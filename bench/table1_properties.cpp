@@ -1,0 +1,45 @@
+// Regenerates Table 1: for every property, the Indus LoC, the generated P4
+// LoC, and the Tofino-model resource estimate (pipeline stages and PHV%)
+// when linked against the Aether fabric-upf baseline.
+//
+//   $ ./table1_properties
+#include <cstdio>
+
+#include "checkers/library.hpp"
+#include "compiler/compile.hpp"
+
+int main() {
+  using namespace hydra;
+  const auto baseline = compiler::fabric_upf_profile();
+
+  std::printf("Table 1: Hydra properties (baseline: Aether %s profile)\n\n",
+              baseline.name.c_str());
+  std::printf("%-32s %12s %12s %8s %9s\n", "Property", "Indus LoC",
+              "P4 Out LoC", "Stages", "PHV (%)");
+  std::printf("%-32s %12s %12s %8d %9.2f\n", "Baseline", "-", "-",
+              baseline.stages, baseline.phv_percent);
+
+  bool all_fit = true;
+  for (const auto& spec : checkers::table1_checkers()) {
+    const auto c = compiler::compile_checker(spec.source, spec.name);
+    std::printf("%-32s %12d %12d %8d %9.2f\n", spec.name.c_str(),
+                c.indus_loc, c.p4_loc, c.linked.stages,
+                c.linked.phv_percent);
+    all_fit = all_fit && c.linked.fits;
+  }
+
+  std::printf("\nShape checks vs. the paper:\n");
+  std::printf("  * every checker links without adding pipeline stages "
+              "(parallel placement): %s\n",
+              all_fit ? "yes" : "NO");
+  double min_ratio = 1e9;
+  for (const auto& spec : checkers::table1_checkers()) {
+    const auto c = compiler::compile_checker(spec.source, spec.name);
+    min_ratio = std::min(
+        min_ratio, static_cast<double>(c.p4_loc) /
+                       static_cast<double>(c.indus_loc));
+  }
+  std::printf("  * Indus is consistently more concise than generated P4 "
+              "(min expansion %.1fx)\n", min_ratio);
+  return all_fit ? 0 : 1;
+}

@@ -1,0 +1,141 @@
+// Regenerates §6.2's throughput comparison: offered vs. achieved rate with
+// and without Hydra, plus the campus-trace replay at 350 Kpps (Figure 13's
+// workload) through leaf1.
+//
+//   $ ./throughput
+#include <cstdio>
+#include <map>
+
+#include "forwarding/anonymizer.hpp"
+#include "forwarding/ipv4_ecmp.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+#include "net/traffic.hpp"
+
+using namespace hydra;
+
+namespace {
+
+struct Result {
+  double offered_gbps = 0;
+  double delivered_gbps = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  double pps = 0;
+};
+
+void deploy_everything(net::Network& net, const net::LeafSpine& fabric) {
+  const int vf = net.deploy(compile_library_checker("valley_free"));
+  configure_valley_free(net, vf, fabric);
+  net.deploy(compile_library_checker("loops"));
+  const int rv = net.deploy(compile_library_checker("routing_validity"));
+  configure_routing_validity(net, rv, fabric);
+  const int ep = net.deploy(compile_library_checker("egress_port_validity"));
+  configure_egress_port_validity(net, ep);
+  net.deploy(compile_library_checker("application_filtering"));
+}
+
+Result iperf_run(bool with_checkers, double duration) {
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  fwd::install_leaf_spine_routing(net, fabric);
+  net.set_baseline_profile(compiler::fabric_upf_profile());
+  if (with_checkers) deploy_everything(net, fabric);
+
+  // Two 10 Gb/s flows (one per host pair): 20 Gb/s offered in aggregate,
+  // the rate the paper's microbenchmark reaches.
+  net::UdpFlood f1(net, fabric.hosts[0][0], fabric.hosts[1][0], 10.0, 8000,
+                   7001);
+  net::UdpFlood f2(net, fabric.hosts[0][1], fabric.hosts[1][1], 10.0, 8000,
+                   7002);
+  f1.start(0.0, duration);
+  f2.start(0.0, duration);
+  net.events().run();
+
+  Result r;
+  r.sent = f1.packets_sent() + f2.packets_sent();
+  r.delivered = net.counters().delivered;
+  r.offered_gbps = static_cast<double>(r.sent) * 8000 * 8 / duration / 1e9;
+  r.delivered_gbps =
+      static_cast<double>(r.delivered) * 8000 * 8 / duration / 1e9;
+  return r;
+}
+
+Result campus_run(bool with_checkers, double duration) {
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  auto routing = fwd::install_leaf_spine_routing(net, fabric);
+  if (with_checkers) deploy_everything(net, fabric);
+
+  // Figure 13 pipeline: the mirrored traffic passes a line-rate
+  // prefix-preserving anonymizer at the broker switch (leaf1) before
+  // being delivered towards the testbed.
+  auto anonymizer =
+      std::make_shared<fwd::AnonymizerProgram>(routing, /*salt=*/2023);
+  net.set_program(fabric.leaves[0], anonymizer);
+  const std::uint32_t dst = net.topo().node(fabric.hosts[1][0]).ip;
+  const std::uint32_t anon_dst = fwd::anonymize_ipv4(dst, 2023);
+  routing->add_route(fabric.leaves[0], anon_dst, 32,
+                     {fabric.leaf_uplink_port(0), fabric.leaf_uplink_port(1)});
+  for (std::size_t j = 0; j < fabric.spines.size(); ++j) {
+    routing->add_route(fabric.spines[j], anon_dst, 32,
+                       {fabric.spine_down_port(1)});
+  }
+  routing->add_route(fabric.leaves[1], anon_dst, 32,
+                     {fabric.leaf_host_port(0)});
+
+  net::CampusReplay replay(net, fabric.hosts[0][0], fabric.hosts[1][0],
+                           350000.0);
+  replay.start(0.0, duration);
+  net.events().run();
+
+  Result r;
+  r.sent = replay.packets_sent();
+  r.delivered = net.counters().delivered;
+  r.pps = static_cast<double>(r.sent) / duration;
+  r.offered_gbps =
+      static_cast<double>(replay.bytes_sent()) * 8 / duration / 1e9;
+  r.delivered_gbps = r.offered_gbps *
+                     static_cast<double>(r.delivered) /
+                     static_cast<double>(r.sent);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Throughput comparison (paper §6.2: 'almost identical with "
+              "around 20 Gb/s')\n\n");
+
+  const double dur = 0.05;
+  const Result b = iperf_run(false, dur);
+  const Result h = iperf_run(true, dur);
+  std::printf("iperf3-style UDP load:\n");
+  std::printf("  %-14s %10s %12s %12s\n", "config", "offered", "delivered",
+              "loss");
+  auto loss = [](const Result& r) {
+    return 100.0 * (1.0 - static_cast<double>(r.delivered) /
+                              static_cast<double>(r.sent));
+  };
+  std::printf("  %-14s %8.2f G %10.2f G %10.3f%%\n", "baseline",
+              b.offered_gbps, b.delivered_gbps, loss(b));
+  std::printf("  %-14s %8.2f G %10.2f G %10.3f%%\n", "all-checkers",
+              h.offered_gbps, h.delivered_gbps, loss(h));
+  const double delta =
+      100.0 * (b.delivered_gbps - h.delivered_gbps) / b.delivered_gbps;
+  std::printf("  delta: %.3f%% -> %s\n\n", delta,
+              std::abs(delta) < 1.0 ? "throughput unchanged by Hydra "
+                                      "(matches the paper)"
+                                    : "NOTICEABLE drop (paper reports none)");
+
+  const Result cb = campus_run(false, 0.05);
+  const Result ch = campus_run(true, 0.05);
+  std::printf("campus trace replay towards leaf1 (paper: ~350 Kpps):\n");
+  std::printf("  %-14s %10s %12s %12s\n", "config", "pps", "offered",
+              "delivered");
+  std::printf("  %-14s %10.0f %10.2f G %10.2f G\n", "baseline", cb.pps,
+              cb.offered_gbps, cb.delivered_gbps);
+  std::printf("  %-14s %10.0f %10.2f G %10.2f G\n", "all-checkers", ch.pps,
+              ch.offered_gbps, ch.delivered_gbps);
+  return 0;
+}

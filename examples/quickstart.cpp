@@ -1,0 +1,79 @@
+// Quickstart: write a property in Indus, compile it, deploy it on a
+// simulated leaf-spine fabric, and watch it reject a violating packet.
+//
+// The property is the paper's Figure 1 (bare-metal multi-tenancy): every
+// packet must enter and exit the network at ports that belong to the same
+// tenant.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <map>
+
+#include "forwarding/ipv4_ecmp.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+
+int main() {
+  using namespace hydra;
+
+  // 1. The property, in Indus (Figure 1 of the paper).
+  const std::string property = R"(
+    control dict<bit<8>,bit<8>> tenants;
+    tele bit<8> tenant;
+    header bit<8> in_port;
+    header bit<8> eg_port;
+
+    { /* first hop */  tenant = tenants[in_port]; }
+    { /* every hop */ }
+    { /* last hop  */  if (tenant != tenants[eg_port]) { reject; } }
+  )";
+
+  // 2. Compile it. The result carries the generated P4, the telemetry
+  //    layout, and the hardware resource estimate.
+  auto checker = compile_shared(property, "multi_tenancy");
+  std::printf("compiled '%s': %d lines of Indus -> %d lines of P4\n",
+              checker->name.c_str(), checker->indus_loc, checker->p4_loc);
+  std::printf("  pipeline stages: %d (baseline %d -> linked %d)\n",
+              checker->resources.checker_stages, 12, checker->linked.stages);
+  std::printf("  PHV: +%.2f%% (baseline %.2f%% -> %.2f%%)\n",
+              checker->resources.phv_percent, 44.53,
+              checker->linked.phv_percent);
+  std::printf("  telemetry on the wire: %d bytes/packet\n\n",
+              checker->layout.wire_bytes);
+
+  // 3. Build the Figure 8 fabric (2 leaves x 2 spines, 2 hosts per leaf)
+  //    with ordinary ECMP routing, and deploy the checker.
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  fwd::install_leaf_spine_routing(net, fabric);
+  const int dep = net.deploy(checker);
+
+  // 4. Control plane: leaf1's server ports belong to tenant 1, leaf2's to
+  //    tenant 2.
+  std::map<std::pair<int, int>, std::uint8_t> tenants;
+  for (int i = 0; i < 2; ++i) {
+    tenants[{fabric.leaves[0], fabric.leaf_host_port(i)}] = 1;
+    tenants[{fabric.leaves[1], fabric.leaf_host_port(i)}] = 2;
+  }
+  configure_multi_tenancy(net, dep, tenants);
+
+  // 5. Traffic. h1 -> h2 stays inside tenant 1; h1 -> h3 crosses tenants.
+  auto ip = [&](int host) { return net.topo().node(host).ip; };
+  const int h1 = fabric.hosts[0][0];
+  const int h2 = fabric.hosts[0][1];
+  const int h3 = fabric.hosts[1][0];
+
+  net.send_from_host(h1, p4rt::make_udp(ip(h1), ip(h2), 1000, 2000, 100));
+  net.send_from_host(h1, p4rt::make_udp(ip(h1), ip(h3), 1000, 2000, 100));
+  net.events().run();
+
+  const auto& c = net.counters();
+  std::printf("sent 2 packets: delivered=%llu rejected=%llu\n",
+              static_cast<unsigned long long>(c.delivered),
+              static_cast<unsigned long long>(c.rejected));
+  std::printf(
+      "the intra-tenant packet was delivered; the cross-tenant packet was\n"
+      "rejected by the checker at the last hop -- isolation enforced on\n"
+      "every packet, at line rate, with no central server.\n");
+  return c.delivered == 1 && c.rejected == 1 ? 0 : 1;
+}

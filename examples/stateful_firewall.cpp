@@ -1,0 +1,88 @@
+// Stateful firewall (Figure 3) with a closed control loop: flows may only
+// enter the network if a device inside initiated the communication. The
+// checker REPORTS missing reverse-direction entries, and a small control
+// application consumes those reports to install the reverse rules — the
+// paper's §2 scenario, end to end.
+//
+//   $ ./stateful_firewall
+#include <cstdio>
+
+#include "forwarding/ipv4_ecmp.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+#include "util/strings.hpp"
+
+using namespace hydra;
+
+int main() {
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  fwd::install_leaf_spine_routing(net, fabric);
+
+  auto checker = compile_library_checker("stateful_firewall");
+  std::printf("stateful-firewall checker: %d LoC Indus -> %d LoC P4\n\n",
+              checker->indus_loc, checker->p4_loc);
+  const int dep = net.deploy(checker);
+
+  const int inside = fabric.hosts[0][0];   // trusted host behind leaf1
+  const int outside = fabric.hosts[1][0];  // "internet" host behind leaf2
+  auto ip = [&](int h) { return net.topo().node(h).ip; };
+
+  // The control app: allow everything the inside host initiates, and react
+  // to Hydra reports by installing reverse-direction rules.
+  std::size_t handled = 0;
+  auto pump_reports = [&] {
+    for (; handled < net.reports().size(); ++handled) {
+      const auto& r = net.reports()[handled];
+      std::printf("  [control] report: reverse flow %s -> %s missing; "
+                  "installing rule\n",
+                  str::ipv4_to_string(
+                      static_cast<std::uint32_t>(r.values[0].value()))
+                      .c_str(),
+                  str::ipv4_to_string(
+                      static_cast<std::uint32_t>(r.values[1].value()))
+                      .c_str());
+      net.dict_insert_all(dep, "allowed", {r.values[0], r.values[1]},
+                          {BitVec::from_bool(true)});
+    }
+  };
+
+  // 1. Unsolicited traffic from outside is rejected.
+  std::printf("[1] outside -> inside, unsolicited:\n");
+  net.send_from_host(outside,
+                     p4rt::make_udp(ip(outside), ip(inside), 4444, 53, 64));
+  net.events().run();
+  std::printf("  delivered=%llu rejected=%llu (expected 0/1)\n\n",
+              static_cast<unsigned long long>(net.counters().delivered),
+              static_cast<unsigned long long>(net.counters().rejected));
+
+  // 2. The inside host opens a connection (its direction is pre-allowed by
+  //    the egress policy).
+  std::printf("[2] inside -> outside, initiating:\n");
+  net.dict_insert_all(dep, "allowed",
+                      {BitVec(32, ip(inside)), BitVec(32, ip(outside))},
+                      {BitVec::from_bool(true)});
+  net.send_from_host(inside,
+                     p4rt::make_udp(ip(inside), ip(outside), 5555, 53, 64));
+  net.events().run();
+  pump_reports();
+  std::printf("  delivered=%llu (the checker reported the missing reverse "
+              "rule)\n\n",
+              static_cast<unsigned long long>(net.counters().delivered));
+
+  // 3. Now the reverse direction works: the outside host can answer.
+  std::printf("[3] outside -> inside, response:\n");
+  const auto rejected_before = net.counters().rejected;
+  net.send_from_host(outside,
+                     p4rt::make_udp(ip(outside), ip(inside), 53, 5555, 64));
+  net.events().run();
+  const bool ok = net.counters().rejected == rejected_before &&
+                  net.counters().delivered == 2;
+  std::printf("  delivered=%llu rejected=%llu (expected 2/%llu)\n\n",
+              static_cast<unsigned long long>(net.counters().delivered),
+              static_cast<unsigned long long>(net.counters().rejected),
+              static_cast<unsigned long long>(rejected_before));
+  std::printf(ok ? "firewall behaviour verified on every packet.\n"
+                 : "unexpected firewall behaviour!\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,160 @@
+#include "aether/controller.hpp"
+
+#include <stdexcept>
+
+namespace hydra::aether {
+
+AetherController::AetherController(net::Network& net,
+                                   std::shared_ptr<fwd::UpfProgram> upf,
+                                   int hydra_deployment)
+    : net_(net), upf_(std::move(upf)), hydra_deployment_(hydra_deployment) {
+  if (!upf_) throw std::invalid_argument("AetherController: null UPF");
+}
+
+void AetherController::define_slice(Slice slice) {
+  const std::uint32_t id = slice.id;
+  SliceState state;
+  state.config = std::move(slice);
+  if (!slices_.emplace(id, std::move(state)).second) {
+    throw std::invalid_argument("slice " + std::to_string(id) +
+                                " already defined");
+  }
+}
+
+const Slice& AetherController::slice(std::uint32_t slice_id) const {
+  return slices_.at(slice_id).config;
+}
+
+std::uint32_t AetherController::client_id(std::uint64_t imsi) const {
+  return client_ids_.at(imsi);
+}
+
+const std::vector<Client>& AetherController::clients(
+    std::uint32_t slice_id) const {
+  return slices_.at(slice_id).attached;
+}
+
+std::uint32_t AetherController::ensure_application(SliceState& s,
+                                                   const FilteringRule& rule) {
+  // TCAM-saving sharing: reuse an installed entry when the match AND
+  // priority AND action are identical; otherwise install a new entry under
+  // a fresh app ID. Old entries are never migrated or removed.
+  for (const auto& [installed, app_id] : s.installed_apps) {
+    if (installed.same_match(rule)) return app_id;
+  }
+  const std::uint32_t app_id = next_app_id_++;
+  upf_->add_application(s.config.id, rule.priority, rule.app_prefix,
+                        rule.prefix_len, rule.proto, rule.port_lo,
+                        rule.port_hi, app_id);
+  s.installed_apps.emplace_back(rule, app_id);
+  return app_id;
+}
+
+void AetherController::install_terminations(const SliceState& s,
+                                            std::uint32_t cid) {
+  // One termination per *current* rule of the slice. Deny rules install a
+  // drop termination; allow rules a forward termination.
+  for (const auto& rule : s.config.rules) {
+    for (const auto& [installed, app_id] : s.installed_apps) {
+      if (installed.same_match(rule)) {
+        upf_->add_termination(cid, app_id,
+                              rule.action == FilterAction::kAllow);
+      }
+    }
+  }
+}
+
+void AetherController::install_hydra_policy(const SliceState& s,
+                                            const Client& client) {
+  if (hydra_deployment_ < 0) return;
+  for (const auto& rule : s.config.rules) {
+    // Build the ternary/expanded entries for the checker's
+    // filtering_actions dict: key (ue_ip, proto, app_ip, l4_port).
+    const std::uint32_t mask32 =
+        rule.prefix_len == 0
+            ? 0
+            : static_cast<std::uint32_t>(BitVec::mask(32)
+                                         << (32 - rule.prefix_len));
+    const auto action_code =
+        BitVec(8, static_cast<std::uint64_t>(rule.action));
+    std::vector<std::uint16_t> ports;
+    const bool any_port = rule.port_lo == 0 && rule.port_hi == 0xffff;
+    if (!any_port) {
+      for (std::uint32_t p = rule.port_lo; p <= rule.port_hi; ++p) {
+        ports.push_back(static_cast<std::uint16_t>(p));
+      }
+    }
+    for (int sw = 0; sw < net_.topo().node_count(); ++sw) {
+      if (net_.topo().node(sw).kind != net::NodeKind::kSwitch) continue;
+      auto& table =
+          net_.checker_table(hydra_deployment_, sw, "filtering_actions");
+      auto make_entry = [&](std::optional<std::uint16_t> port) {
+        p4rt::TableEntry e;
+        e.priority = rule.priority;
+        e.patterns.push_back(
+            p4rt::KeyPattern::exact(BitVec(32, client.ue_ip)));
+        e.patterns.push_back(rule.proto
+                                 ? p4rt::KeyPattern::exact(
+                                       BitVec(8, *rule.proto))
+                                 : p4rt::KeyPattern::wildcard(8));
+        e.patterns.push_back(p4rt::KeyPattern::ternary(
+            BitVec(32, rule.app_prefix), BitVec(32, mask32)));
+        e.patterns.push_back(port ? p4rt::KeyPattern::exact(BitVec(16, *port))
+                                  : p4rt::KeyPattern::wildcard(16));
+        e.action_data.push_back(action_code);
+        return e;
+      };
+      if (any_port) {
+        table.insert(make_entry(std::nullopt));
+      } else {
+        for (std::uint16_t p : ports) table.insert(make_entry(p));
+      }
+    }
+  }
+}
+
+void AetherController::update_slice_rules(std::uint32_t slice_id,
+                                          std::vector<FilteringRule> rules) {
+  SliceState& s = slices_.at(slice_id);
+  s.config.rules = std::move(rules);
+  // THE BUG: nothing else happens here for the UPF tables. Attached
+  // clients keep their old Applications/Terminations entries; only clients
+  // that attach from now on see the new configuration.
+  //
+  // The Hydra policy table, by contrast, is the operator's intent, so it
+  // is refreshed for every attached client of the slice.
+  if (hydra_deployment_ >= 0) {
+    for (int sw = 0; sw < net_.topo().node_count(); ++sw) {
+      if (net_.topo().node(sw).kind != net::NodeKind::kSwitch) continue;
+      net_.checker_table(hydra_deployment_, sw, "filtering_actions").clear();
+    }
+    for (const auto& [id, state] : slices_) {
+      for (const auto& c : state.attached) {
+        install_hydra_policy(state, c);
+      }
+    }
+  }
+}
+
+void AetherController::attach_client(std::uint32_t slice_id,
+                                     const Client& client,
+                                     std::uint32_t enb_ip,
+                                     std::uint32_t n3_ip) {
+  SliceState& s = slices_.at(slice_id);
+  const auto [it, fresh] = client_ids_.emplace(client.imsi, next_client_id_);
+  if (fresh) ++next_client_id_;
+  const std::uint32_t cid = it->second;
+
+  upf_->add_uplink_session(client.teid, cid, slice_id);
+  upf_->add_downlink_session(client.ue_ip, cid, slice_id, client.teid,
+                             enb_ip, n3_ip);
+  // PFCP sends the (current) rule list for this client; the controller
+  // translates it into shared Applications entries + per-client
+  // Terminations.
+  for (const auto& rule : s.config.rules) ensure_application(s, rule);
+  install_terminations(s, cid);
+  s.attached.push_back(client);
+  install_hydra_policy(s, client);
+}
+
+}  // namespace hydra::aether

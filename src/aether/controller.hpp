@@ -1,0 +1,86 @@
+// ONOS-like controller for the Aether UPF (§5.2).
+//
+// Faithfully reproduces the control-plane behaviour that creates the bug:
+//
+//   * PFCP delivers filtering rules PER CLIENT, so every attach re-sends
+//     the slice's (current) rule list for that client.
+//   * To save TCAM, the controller SHARES Applications entries between
+//     clients of a slice: an attach only installs an Applications entry if
+//     no identical (match+priority) entry exists, and allocates a fresh
+//     app ID for new entries.
+//   * An operator rule update via the portal only changes the stored
+//     config — existing clients' table entries are NOT migrated.
+//
+// Consequence (Figure 11): update a rule (new priority/range), attach a new
+// client, and the new higher-priority Applications entry captures the OLD
+// clients' traffic with an app ID those clients have no Terminations entry
+// for — silently dropping previously-allowed traffic.
+//
+// The controller also drives the Hydra checker's control-plane state (the
+// `filtering_actions` dictionary), which always reflects the operator's
+// *intended* policy — that independence is what lets the checker catch the
+// bug.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "aether/slice.hpp"
+#include "forwarding/upf.hpp"
+#include "net/network.hpp"
+
+namespace hydra::aether {
+
+class AetherController {
+ public:
+  // `upf` is the UPF leaf's program; `hydra_deployment` (if >= 0) is the
+  // application-filtering checker deployed in `net`.
+  AetherController(net::Network& net, std::shared_ptr<fwd::UpfProgram> upf,
+                   int hydra_deployment = -1);
+
+  void define_slice(Slice slice);
+  const Slice& slice(std::uint32_t slice_id) const;
+
+  // Operator updates the slice's rules in the portal. UPF entries of
+  // already-attached clients are left as-is (the bug); the Hydra policy
+  // table is refreshed for everyone (the ground truth).
+  void update_slice_rules(std::uint32_t slice_id,
+                          std::vector<FilteringRule> rules);
+
+  // A client attaches (PFCP session establishment): installs sessions,
+  // shared Applications entries for the current rules, per-client
+  // Terminations, and the client's Hydra policy entries.
+  void attach_client(std::uint32_t slice_id, const Client& client,
+                     std::uint32_t enb_ip, std::uint32_t n3_ip);
+
+  std::uint32_t client_id(std::uint64_t imsi) const;
+  const std::vector<Client>& clients(std::uint32_t slice_id) const;
+
+  // Number of distinct app IDs allocated so far (app IDs start at 1).
+  std::uint32_t app_ids_allocated() const { return next_app_id_ - 1; }
+
+ private:
+  struct SliceState {
+    Slice config;
+    std::vector<Client> attached;
+    // Shared Applications entries already installed for this slice:
+    // rule (match+priority) -> app id.
+    std::vector<std::pair<FilteringRule, std::uint32_t>> installed_apps;
+  };
+
+  std::uint32_t ensure_application(SliceState& s, const FilteringRule& rule);
+  void install_terminations(const SliceState& s, std::uint32_t cid);
+  void install_hydra_policy(const SliceState& s, const Client& client);
+
+  net::Network& net_;
+  std::shared_ptr<fwd::UpfProgram> upf_;
+  int hydra_deployment_;
+  std::map<std::uint32_t, SliceState> slices_;
+  std::map<std::uint64_t, std::uint32_t> client_ids_;  // imsi -> client id
+  std::uint32_t next_client_id_ = 1;
+  std::uint32_t next_app_id_ = 1;
+};
+
+}  // namespace hydra::aether

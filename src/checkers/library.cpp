@@ -1,0 +1,645 @@
+#include "checkers/library.hpp"
+
+#include <stdexcept>
+
+namespace hydra::checkers {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Figure 1: bare-metal multi-tenancy.
+// ---------------------------------------------------------------------------
+const char* kMultiTenancy = R"(
+/* Variable declarations */
+control dict<bit<8>,bit<8>> tenants;
+tele bit<8> tenant;
+header bit<8> in_port;
+header bit<8> eg_port;
+
+{ /* Executes at first hop */
+  tenant = tenants[in_port];
+}
+{ /* Executes at every hop */ }
+{ /* Executes at the last hop */
+  if (tenant != tenants[eg_port]) { reject; }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Data center uplink load balancing, hardware-optimized variant. The paper
+// (§6.1) notes that for compilation to hardware they "maintain a boolean
+// variable that records whether an imbalance has been detected on any
+// switch on the network-wide path, which eliminates the need to iterate
+// over multiple arrays" — this is that program. Figure 2's array version
+// is kept verbatim below as dc_uplink_load_balance_fig2.
+// ---------------------------------------------------------------------------
+const char* kLoadBalance = R"(
+sensor bit<32> left_load = 0;
+sensor bit<32> right_load = 0;
+control left_port;
+control right_port;
+control thresh;
+control dict<bit<8>,bool> is_uplink;
+tele bool imbalanced = false;
+header bit<8> eg_port;
+
+{ }
+{
+  if (is_uplink[eg_port]) {
+    if (eg_port == left_port) {
+      left_load += packet_length;
+    }
+    elsif (eg_port == right_port) {
+      right_load += packet_length;
+    }
+    if (abs(left_load - right_load) > thresh) {
+      imbalanced = true;
+    }
+  }
+}
+{
+  if (imbalanced) {
+    report;
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 2: data center load balancing, verbatim (telemetry arrays).
+// ---------------------------------------------------------------------------
+const char* kLoadBalanceFig2 = R"(
+sensor bit<32> left_load = 0;
+sensor bit<32> right_load = 0;
+control left_port;
+control right_port;
+control thresh;
+control dict<bit<8>,bool> is_uplink;
+tele bit<32>[15] left_loads;
+tele bit<32>[15] right_loads;
+header bit<8> eg_port;
+
+{ }
+{
+  if (is_uplink[eg_port]) {
+    if (eg_port == left_port) {
+      left_load += packet_length;
+    }
+    elsif (eg_port == right_port) {
+      right_load += packet_length;
+    }
+  }
+  left_loads.push(left_load);
+  right_loads.push(right_load);
+}
+{
+  for (left_load, right_load in left_loads,
+       right_loads) {
+    if (abs(left_load - right_load) > thresh) {
+      report;
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 3: stateful firewall.
+// ---------------------------------------------------------------------------
+const char* kStatefulFirewall = R"(
+control dict<(bit<32>,bit<32>),bool> allowed;
+tele bool violated = false;
+header bit<32> ipv4_src;
+header bit<32> ipv4_dst;
+
+{ /* Checks if packet is allowed to enter */
+  if (!allowed[(ipv4_src,ipv4_dst)]) {
+    violated = true;
+  }
+}
+{ /* Checks if packet on reverse
+     direction has been seen */
+  if (last_hop && !allowed[(ipv4_dst, ipv4_src)]) {
+    report((ipv4_dst,ipv4_src));
+  }
+}
+{
+  if (violated) { reject; }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 9: Aether application filtering.
+// ---------------------------------------------------------------------------
+const char* kApplicationFiltering = R"(
+tele bit<32> ue_ipv4_addr;
+tele bit<32> app_ipv4_addr;
+tele bit<8> app_ip_proto;
+tele bit<16> app_l4_port;
+tele bit<8> filtering_action = 0; // 1=deny,2=allow
+
+control dict<(bit<32>,bit<8>,bit<32>,bit<16>),bit<8>> filtering_actions;
+
+header bool inner_ipv4_is_valid;
+header bool inner_tcp_is_valid;
+header bool inner_udp_is_valid;
+header bool ipv4_is_valid;
+header bool tcp_is_valid;
+header bool udp_is_valid;
+header bool to_be_dropped;
+header bit<32> inner_ipv4_src;
+header bit<32> inner_ipv4_dst;
+header bit<8> inner_ipv4_proto;
+header bit<16> inner_tcp_dport;
+header bit<16> inner_udp_dport;
+header bit<32> outer_ipv4_src;
+header bit<32> outer_ipv4_dst;
+header bit<8> outer_ipv4_proto;
+header bit<16> outer_tcp_sport;
+header bit<16> outer_udp_sport;
+
+{
+  if (inner_ipv4_is_valid) {
+    // this is an uplink packet
+    ue_ipv4_addr = inner_ipv4_src;
+    app_ip_proto = inner_ipv4_proto;
+    app_ipv4_addr = inner_ipv4_dst;
+    if (inner_tcp_is_valid) {
+      app_l4_port = inner_tcp_dport;
+    } elsif (inner_udp_is_valid) {
+      app_l4_port = inner_udp_dport;
+    }
+  } elsif (ipv4_is_valid) {
+    // this is a downlink packet
+    ue_ipv4_addr = outer_ipv4_dst;
+    app_ip_proto = outer_ipv4_proto;
+    app_ipv4_addr = outer_ipv4_src;
+    if (tcp_is_valid) {
+      app_l4_port = outer_tcp_sport;
+    } elsif (udp_is_valid) {
+      app_l4_port = outer_udp_sport;
+    }
+  }
+  filtering_action = filtering_actions[(
+      ue_ipv4_addr, app_ip_proto, app_ipv4_addr,
+      app_l4_port)];
+}
+{ }
+{
+  if (filtering_action == 1 && !to_be_dropped) {
+    reject;
+    report((ue_ipv4_addr, app_ip_proto,
+            app_ipv4_addr, app_l4_port,
+            filtering_action));
+  }
+  if (filtering_action == 2 && to_be_dropped) {
+    report((ue_ipv4_addr, app_ip_proto,
+            app_ipv4_addr, app_l4_port,
+            filtering_action));
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// VLAN isolation: packets should traverse switches in the same VLAN.
+// ---------------------------------------------------------------------------
+const char* kVlanIsolation = R"(
+tele bit<16> vlan;
+tele bool violated = false;
+header bool vlan_is_valid;
+header bit<16> vlan_id;
+
+{
+  if (vlan_is_valid) {
+    vlan = vlan_id;
+  }
+}
+{
+  if (vlan_is_valid && vlan != vlan_id) {
+    violated = true;
+  }
+}
+{
+  if (violated) {
+    reject;
+    report((vlan, vlan_id));
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Egress port validity: packets only egress a switch at allowed ports.
+// ---------------------------------------------------------------------------
+const char* kEgressPortValidity = R"(
+control set<bit<8>> allowed_eg_ports;
+tele bool violated = false;
+header bit<8> eg_port;
+
+{ }
+{
+  if (!(eg_port in allowed_eg_ports)) {
+    violated = true;
+  }
+}
+{
+  if (violated) {
+    reject;
+    report((eg_port));
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Routing validity: first and last hop must be leaf switches, the rest
+// spine switches.
+// ---------------------------------------------------------------------------
+const char* kRoutingValidity = R"(
+control bool is_leaf_switch;
+tele bool violated = false;
+
+{ }
+{
+  if (first_hop || last_hop) {
+    if (!is_leaf_switch) {
+      violated = true;
+    }
+  }
+  elsif (is_leaf_switch) {
+    violated = true;
+  }
+}
+{
+  if (violated) {
+    reject;
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Loops (4 hops): packets should not visit the same switch twice.
+// ---------------------------------------------------------------------------
+const char* kLoops = R"(
+header bit<32> switch_id;
+tele bit<32>[4] visited;
+tele bool looped = false;
+
+{ }
+{
+  if (switch_id in visited) {
+    looped = true;
+  }
+  visited.push(switch_id);
+}
+{
+  if (looped) {
+    reject;
+    report((switch_id));
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Waypointing: all packets pass through a choke point.
+// ---------------------------------------------------------------------------
+const char* kWaypointing = R"(
+control bit<32> waypoint_id;
+header bit<32> switch_id;
+tele bool seen = false;
+
+{
+  if (switch_id == waypoint_id) {
+    seen = true;
+  }
+}
+{
+  if (switch_id == waypoint_id) {
+    seen = true;
+  }
+}
+{
+  if (!seen) {
+    reject;
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Service chains: packets from s to t pass through (w1, ..., wn) in order.
+// ---------------------------------------------------------------------------
+const char* kServiceChains = R"(
+control bit<32>[4] chain;
+control bit<32> chain_len;
+header bit<32> switch_id;
+tele bit<8> progress = 0;
+
+{ }
+{
+  if (progress < chain_len) {
+    if (switch_id == chain[progress]) {
+      progress += 1;
+    }
+  }
+}
+{
+  if (progress != chain_len) {
+    reject;
+    report((progress));
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Source routing with path validation: a packet source-routed through
+// (s, s1, ..., t) must pass those switches in order. At the first hop the
+// checker snapshots the sender's declared hop list (before any switch has
+// popped it); every hop then records its actual egress port; the last hop
+// compares the two — catching any switch that forwards somewhere other
+// than where the sender asked (independent of the forwarding code). This
+// is the checker with the largest per-hop telemetry footprint, matching
+// the paper's observation.
+// ---------------------------------------------------------------------------
+const char* kSourceRoutingPathValidation = R"(
+control bool is_leaf_switch;
+header bool sr_is_valid;
+header bit<8> sr_depth;
+header bit<8> sr_port_0;
+header bit<8> sr_port_1;
+header bit<8> sr_port_2;
+header bit<8> sr_port_3;
+header bit<8> sr_port_4;
+header bit<8> sr_port_5;
+header bit<8> eg_port;
+tele bit<8>[6] expected;
+tele bit<8>[6] actual;
+tele bool sr_active = false;
+tele bool valid = true;
+
+{
+  if (sr_is_valid) {
+    sr_active = true;
+    if (!is_leaf_switch) {
+      valid = false;
+    }
+    if (sr_depth > 0) { expected.push(sr_port_0); }
+    if (sr_depth > 1) { expected.push(sr_port_1); }
+    if (sr_depth > 2) { expected.push(sr_port_2); }
+    if (sr_depth > 3) { expected.push(sr_port_3); }
+    if (sr_depth > 4) { expected.push(sr_port_4); }
+    if (sr_depth > 5) { expected.push(sr_port_5); }
+  }
+}
+{
+  if (sr_active) {
+    actual.push(eg_port);
+  }
+}
+{
+  if (sr_active) {
+    if (!is_leaf_switch) {
+      valid = false;
+    }
+    if (length(actual) != length(expected)) {
+      valid = false;
+    }
+    for (e, a in expected, actual) {
+      if (e != a) {
+        valid = false;
+      }
+    }
+    if (!valid) {
+      reject;
+      report((length(expected), length(actual)));
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Figure 7: valley-free routing (the §5.1 case study).
+// ---------------------------------------------------------------------------
+const char* kValleyFree = R"(
+control bool is_spine_switch;
+tele bool visited_spine;
+tele bool to_reject;
+
+{
+  visited_spine = false;
+  to_reject = false;
+}
+{
+  if (is_spine_switch) {
+    if (visited_spine) {
+      to_reject = true;
+    }
+    visited_spine = true;
+  }
+}
+{
+  if (to_reject) {
+    reject;
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Generalized up/down (valley-free) routing for multi-tier fabrics: once a
+// packet has taken a link towards a lower tier it must never go up again.
+// Works for any tier assignment (fat trees, leaf-spine, ...), unlike the
+// topology-specialized Figure 7 program.
+// ---------------------------------------------------------------------------
+const char* kUpDownRouting = R"(
+control bit<8> my_tier;
+tele bit<8> prev_tier = 255;
+tele bool went_down = false;
+tele bool valley = false;
+
+{ }
+{
+  if (prev_tier != 255) {
+    if (my_tier < prev_tier) {
+      went_down = true;
+    }
+    if (my_tier > prev_tier) {
+      if (went_down) {
+        valley = true;
+      }
+    }
+  }
+  prev_tier = my_tier;
+}
+{
+  if (valley) {
+    reject;
+    report((prev_tier));
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Hop-count limit: a cheap loop/detour guard — every path must finish
+// within a configured number of hops.
+// ---------------------------------------------------------------------------
+const char* kHopCountLimit = R"(
+control bit<8> max_hops;
+tele bit<8> hops = 0;
+
+{ }
+{
+  hops += 1;
+}
+{
+  if (hops > max_hops) {
+    reject;
+    report((hops));
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// DSCP preservation: QoS markings must survive the fabric untouched
+// (catches mis-rewriting QoS policies and bit flips in the ToS byte).
+// ---------------------------------------------------------------------------
+const char* kDscpUnchanged = R"(
+tele bit<8> dscp0;
+tele bool changed = false;
+header bool ipv4_is_valid;
+header bit<8> ipv4_dscp;
+
+{
+  if (ipv4_is_valid) {
+    dscp0 = ipv4_dscp;
+  }
+}
+{
+  if (ipv4_is_valid && ipv4_dscp != dscp0) {
+    changed = true;
+  }
+}
+{
+  if (changed) {
+    reject;
+    report((dscp0, ipv4_dscp));
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Header integrity: IPv4 addresses must be identical at every hop (detects
+// unauthorized NAT, header corruption, memory errors — the hardware-fault
+// class the paper argues static checkers cannot see).
+// ---------------------------------------------------------------------------
+const char* kHeaderIntegrity = R"(
+tele bit<32> src0;
+tele bit<32> dst0;
+tele bool corrupted = false;
+header bool ipv4_is_valid;
+header bit<32> ipv4_src;
+header bit<32> ipv4_dst;
+
+{
+  if (ipv4_is_valid) {
+    src0 = ipv4_src;
+    dst0 = ipv4_dst;
+  }
+}
+{
+  if (ipv4_is_valid) {
+    if (ipv4_src != src0 || ipv4_dst != dst0) {
+      corrupted = true;
+    }
+  }
+}
+{
+  if (corrupted) {
+    reject;
+    report((src0, dst0, ipv4_src, ipv4_dst));
+  }
+}
+)";
+
+std::vector<CheckerSpec> build_table1() {
+  return {
+      {"multi_tenancy",
+       "All traffic through a given ToR switch port, facing a bare-metal "
+       "server should belong to the same tenant",
+       kMultiTenancy},
+      {"dc_uplink_load_balance",
+       "Uplink ports in data center switches should load balance, to exact "
+       "equivalence, between specified ports",
+       kLoadBalance},
+      {"stateful_firewall",
+       "Flows can only enter the network if a device inside initiated the "
+       "communication",
+       kStatefulFirewall},
+      {"application_filtering",
+       "Clients should only be able to communicate with designated "
+       "applications (as identified by layer 4 ports)",
+       kApplicationFiltering},
+      {"vlan_isolation",
+       "Packets should traverse switches in the same VLAN", kVlanIsolation},
+      {"egress_port_validity",
+       "Packets should only egress a switch at allowed ports",
+       kEgressPortValidity},
+      {"routing_validity",
+       "The first and last hop of any packet should be a leaf switch, while "
+       "the rest of the hops are spine switches",
+       kRoutingValidity},
+      {"loops",
+       "Packets should not visit the same switch twice", kLoops},
+      {"waypointing",
+       "All packets should pass through a choke point", kWaypointing},
+      {"service_chains",
+       "Packets from switch s to switch t should pass through switches "
+       "(w1, w2, ..., wn) in that order on the way",
+       kServiceChains},
+      {"source_routing_path_validation",
+       "A packet that is source routed through switches (s, s1, ..., t) "
+       "should pass them in order",
+       kSourceRoutingPathValidation},
+  };
+}
+
+}  // namespace
+
+const std::vector<CheckerSpec>& table1_checkers() {
+  static const std::vector<CheckerSpec> kList = build_table1();
+  return kList;
+}
+
+const std::vector<CheckerSpec>& all_checkers() {
+  static const std::vector<CheckerSpec> kList = [] {
+    std::vector<CheckerSpec> list = build_table1();
+    list.push_back({"valley_free",
+                    "Packets may not traverse an up-link after a down-link "
+                    "(at most one spine visit)",
+                    kValleyFree});
+    list.push_back({"dc_uplink_load_balance_fig2",
+                    "Figure 2 verbatim: per-hop load arrays, checked with a "
+                    "parallel for loop at the last hop",
+                    kLoadBalanceFig2});
+    list.push_back({"up_down_routing",
+                    "Generalized valley-free routing for multi-tier fabrics: "
+                    "no up-link after a down-link",
+                    kUpDownRouting});
+    list.push_back({"hop_count_limit",
+                    "Every path must finish within a configured number of "
+                    "hops",
+                    kHopCountLimit});
+    list.push_back({"dscp_unchanged",
+                    "QoS markings must survive the fabric untouched",
+                    kDscpUnchanged});
+    list.push_back({"header_integrity",
+                    "IPv4 addresses must be identical at every hop "
+                    "(corruption / unauthorized NAT detector)",
+                    kHeaderIntegrity});
+    return list;
+  }();
+  return kList;
+}
+
+const CheckerSpec& checker_by_name(std::string_view name) {
+  for (const auto& c : all_checkers()) {
+    if (c.name == name) return c;
+  }
+  throw std::invalid_argument("no checker named '" + std::string(name) + "'");
+}
+
+}  // namespace hydra::checkers

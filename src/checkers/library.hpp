@@ -1,0 +1,29 @@
+// The checker library: every property from the paper's Table 1 written in
+// Indus, plus the valley-free source-routing checker of Figure 7. Sources
+// follow the paper's figures verbatim where a figure exists (Figures 1, 2,
+// 3, 7, 9), with the header-variable declarations the figures elide
+// spelled out.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hydra::checkers {
+
+struct CheckerSpec {
+  std::string name;         // stable identifier, e.g. "multi_tenancy"
+  std::string description;  // Table 1's description column
+  std::string source;       // Indus program text
+};
+
+// The eleven Table 1 properties, in the paper's row order.
+const std::vector<CheckerSpec>& table1_checkers();
+
+// All checkers (Table 1 plus extras like "valley_free").
+const std::vector<CheckerSpec>& all_checkers();
+
+// Throws std::invalid_argument if absent.
+const CheckerSpec& checker_by_name(std::string_view name);
+
+}  // namespace hydra::checkers

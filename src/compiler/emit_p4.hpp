@@ -1,0 +1,26 @@
+// P4-16 (TNA-flavoured) code generation from CheckerIR — the textual
+// artifact a switch toolchain would consume, and the source of Table 1's
+// "P4 Output LoC" column. The emitted program contains the telemetry
+// header and parser/deparser, one match-action table per control variable,
+// registers for sensors, and three control blocks (init / telemetry /
+// checker) to be linked into the forwarding pipeline per switch role
+// (§4.2): init at the start of ingress on first-hop switches, telemetry in
+// egress everywhere, checker at the end of egress on last-hop switches.
+#pragma once
+
+#include <string>
+
+#include "compiler/layout.hpp"
+#include "ir/ir.hpp"
+
+namespace hydra::compiler {
+
+// Target dialects. kTna is Tofino Native Architecture (the paper's
+// hardware target); kV1Model is the BMv2 software-switch architecture,
+// useful for Mininet-style functional testing.
+enum class P4Dialect { kTna, kV1Model };
+
+std::string emit_p4(const ir::CheckerIR& ir, const TelemetryLayout& layout,
+                    P4Dialect dialect = P4Dialect::kTna);
+
+}  // namespace hydra::compiler

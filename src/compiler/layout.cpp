@@ -1,0 +1,22 @@
+#include "compiler/layout.hpp"
+
+namespace hydra::compiler {
+
+TelemetryLayout layout_telemetry(const ir::CheckerIR& ir, bool byte_aligned) {
+  TelemetryLayout layout;
+  layout.byte_aligned = byte_aligned;
+  int offset = 0;
+  for (std::size_t i = 0; i < ir.fields.size(); ++i) {
+    const ir::Field& f = ir.fields[i];
+    if (f.space != ir::Space::kTele) continue;
+    if (byte_aligned && offset % 8 != 0) offset += 8 - offset % 8;
+    layout.entries.push_back(
+        {ir::FieldId{static_cast<int>(i)}, offset, f.width});
+    offset += f.width;
+  }
+  layout.payload_bits = offset;
+  layout.wire_bytes = (offset + 7) / 8 + TelemetryLayout::kPreambleBytes;
+  return layout;
+}
+
+}  // namespace hydra::compiler

@@ -1,0 +1,41 @@
+// Wire layout of the Hydra telemetry header generated for a checker.
+//
+// The compiler serializes every tele field (scalars, list slots, list fill
+// counters) into a dedicated header carried between the Ethernet header and
+// the original payload, tagged by a reserved EtherType — matching the
+// paper's generated `hydra_header_t` plus parser/deparser (§4.1).
+//
+// Two layouts are supported for the ablation in DESIGN.md §5.3:
+//   * packed: fields at exact bit offsets (minimal wire bytes);
+//   * byte-aligned: every field starts on a byte boundary (cheaper PHV
+//     slicing on hardware, more wire bytes).
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace hydra::compiler {
+
+struct LayoutEntry {
+  ir::FieldId field;
+  int offset_bits = 0;
+  int width = 0;
+};
+
+struct TelemetryLayout {
+  std::vector<LayoutEntry> entries;
+  bool byte_aligned = false;
+  int payload_bits = 0;  // telemetry fields only
+  int wire_bytes = 0;    // ceil(payload/8) + encapsulation preamble
+
+  // 2-byte Hydra EtherType tag prepended so end hosts and non-Hydra
+  // switches can skip the telemetry (stripped at the last hop).
+  static constexpr int kPreambleBytes = 2;
+  static constexpr int kHydraEtherType = 0x88B5;  // IEEE local experimental
+};
+
+TelemetryLayout layout_telemetry(const ir::CheckerIR& ir,
+                                 bool byte_aligned = false);
+
+}  // namespace hydra::compiler

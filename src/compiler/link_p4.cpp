@@ -1,0 +1,109 @@
+#include "compiler/link_p4.hpp"
+
+#include "util/strings.hpp"
+
+namespace hydra::compiler {
+
+ForwardingSkeleton ForwardingSkeleton::fabric_upf() {
+  ForwardingSkeleton s;
+  s.name = "fabric-upf";
+  s.headers = R"(// fabric-upf forwarding state (abridged)
+header ethernet_h { bit<48> dst; bit<48> src; bit<16> ether_type; }
+header vlan_h { bit<12> vid; bit<16> ether_type; }
+header ipv4_h { bit<32> src_addr; bit<32> dst_addr; bit<8> protocol;
+                bit<8> ttl; bit<6> dscp; }
+header gtpu_h { bit<32> teid; }
+table bridging { key = { hdr.vlan.vid: exact; hdr.ethernet.dst: exact; }
+                 actions = { set_output; drop; } }
+table sessions_uplink { key = { hdr.gtpu.teid: exact; }
+                        actions = { set_session; drop; } }
+table sessions_downlink { key = { hdr.ipv4.dst_addr: exact; }
+                          actions = { set_tunnel; drop; } }
+table applications { key = { meta.slice_id: exact;
+                             hdr.ipv4.dst_addr: ternary;
+                             meta.l4_port: range;
+                             hdr.ipv4.protocol: ternary; }
+                     actions = { set_app_id; } }
+table terminations { key = { meta.client_id: exact; meta.app_id: exact; }
+                     actions = { fwd; drop; } }
+table acl { key = { hdr.ipv4.src_addr: ternary; hdr.ipv4.dst_addr: ternary; }
+            actions = { permit; deny; } }
+table routing_v4 { key = { hdr.ipv4.dst_addr: lpm; }
+                   actions = { set_ecmp_group; drop; } })";
+  s.ingress_body = R"(bridging.apply();
+if (hdr.gtpu.isValid()) { sessions_uplink.apply(); }
+else { sessions_downlink.apply(); }
+applications.apply();
+terminations.apply();
+acl.apply();
+routing_v4.apply();)";
+  s.egress_body = R"(// egress: VLAN tagging + counters
+vlan_rewrite.apply();
+port_counters.count(eg_intr_md.egress_port);)";
+  return s;
+}
+
+ForwardingSkeleton ForwardingSkeleton::simple_router() {
+  ForwardingSkeleton s;
+  s.name = "simple-router";
+  s.headers = R"(header ethernet_h { bit<48> dst; bit<48> src; bit<16> ether_type; }
+header ipv4_h { bit<32> src_addr; bit<32> dst_addr; bit<8> ttl; }
+table routing_v4 { key = { hdr.ipv4.dst_addr: lpm; }
+                   actions = { set_next_hop; drop; } })";
+  s.ingress_body = "routing_v4.apply();\nhdr.ipv4.ttl = hdr.ipv4.ttl - 1;";
+  s.egress_body = "// no egress processing";
+  return s;
+}
+
+LinkedProgram link_p4(const CompiledChecker& checker,
+                      const ForwardingSkeleton& forwarding, SwitchRole role) {
+  LinkedProgram out;
+  out.role = role;
+  out.runs_init = role == SwitchRole::kEdge;
+  out.runs_checker = role == SwitchRole::kEdge ||
+                     checker.options.placement == CheckPlacement::kEveryHop;
+
+  std::string& p = out.p4_code;
+  p += "// Linked pipeline: forwarding '" + forwarding.name +
+       "' + hydra checker '" + checker.name + "'\n";
+  p += "// role: ";
+  p += role == SwitchRole::kEdge ? "edge" : "core";
+  p += "\n\n";
+  p += forwarding.headers;
+  p += "\n\n// ---- Hydra generated code "
+       "(headers, parser, tables, blocks) ----\n";
+  p += checker.p4_code;
+  p += "\n// ---- linked pipeline ----\n";
+  p += "control Ingress(inout headers_t hdr, inout metadata_t meta) {\n";
+  p += "    apply {\n";
+  if (out.runs_init) {
+    p += "        // Hydra init runs BEFORE forwarding can rewrite "
+         "headers\n";
+    p += "        if (meta.hydra_first_hop) {\n";
+    p += "            HydraInit.apply(hdr.hydra_tag, hdr.hydra, meta);\n";
+    p += "        }\n";
+  }
+  p += str::indent(forwarding.ingress_body, 8);
+  p += "\n    }\n}\n";
+  p += "control Egress(inout headers_t hdr, inout metadata_t meta) {\n";
+  p += "    apply {\n";
+  p += str::indent(forwarding.egress_body, 8);
+  p += "\n        HydraTelemetry.apply(hdr.hydra_tag, hdr.hydra, meta);\n";
+  if (out.runs_checker) {
+    if (checker.options.placement == CheckPlacement::kEveryHop) {
+      p += "        // per-hop placement: the checker runs here on every "
+           "switch\n";
+      p += "        HydraChecker.apply(hdr.hydra_tag, hdr.hydra, meta);\n";
+    } else {
+      p += "        if (meta.hydra_last_hop) {\n";
+      p += "            HydraChecker.apply(hdr.hydra_tag, hdr.hydra, "
+           "meta);\n";
+      p += "        }\n";
+    }
+  }
+  p += "    }\n}\n";
+  out.p4_loc = str::count_loc(p);
+  return out;
+}
+
+}  // namespace hydra::compiler

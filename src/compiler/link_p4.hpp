@@ -1,0 +1,53 @@
+// Automatic linking of generated checker code with the forwarding program
+// (§4.2 — the paper places blocks by hand and leaves automation as future
+// work). Given a forwarding-pipeline skeleton and a compiled checker, the
+// linker produces the per-role P4 program:
+//
+//   * edge switches:  HydraInit at the START of ingress (before any
+//     forwarding rewrites), the forwarding ingress, then forwarding
+//     egress followed by HydraTelemetry and — last — HydraChecker with
+//     the telemetry strip;
+//   * core switches:  forwarding code plus HydraTelemetry only (unless
+//     the checker was compiled for per-hop placement, in which case the
+//     checker block is linked everywhere).
+//
+// Because networks are bidirectional, edge switches end up running all
+// three blocks, exactly as the paper describes.
+#pragma once
+
+#include <string>
+
+#include "compiler/compile.hpp"
+
+namespace hydra::compiler {
+
+// A forwarding program's linkable shape: its header declarations and the
+// bodies of its ingress/egress apply blocks.
+struct ForwardingSkeleton {
+  std::string name;
+  std::string headers;       // header/table declarations (verbatim text)
+  std::string ingress_body;  // statements inside ingress apply { }
+  std::string egress_body;   // statements inside egress apply { }
+
+  // The Aether mobile-core pipeline the paper links against (abridged to
+  // its table structure: bridging/VLAN, UPF sessions/applications/
+  // terminations, ACL, ECMP routing).
+  static ForwardingSkeleton fabric_upf();
+  // A minimal L3 router (the source-routing testbed's other profile).
+  static ForwardingSkeleton simple_router();
+};
+
+enum class SwitchRole { kEdge, kCore };
+
+struct LinkedProgram {
+  std::string p4_code;
+  SwitchRole role = SwitchRole::kEdge;
+  bool runs_init = false;
+  bool runs_checker = false;
+  int p4_loc = 0;
+};
+
+LinkedProgram link_p4(const CompiledChecker& checker,
+                      const ForwardingSkeleton& forwarding, SwitchRole role);
+
+}  // namespace hydra::compiler

@@ -1,0 +1,29 @@
+// Lowering from the typed Indus AST to CheckerIR (§4.1 code generation):
+//
+//   * tele scalars/tuples  -> fields in the Hydra telemetry header
+//   * tele arrays          -> header stacks (slots + fill counter)
+//   * sensor variables     -> registers
+//   * control dicts/sets   -> match-action tables, with the lookup placed
+//                             immediately before the statement that uses it
+//   * control scalars      -> keyless "config" tables read via their
+//                             default action once per block
+//   * for loops            -> fully unrolled over the static capacity,
+//                             guarded by the fill counter
+//   * dynamic array reads  -> if-chains (P4 has no dynamic stack indexing)
+//   * abs(a - b)           -> saturating |a-b| (avoids wraparound)
+#pragma once
+
+#include <string>
+
+#include "indus/typecheck.hpp"
+#include "ir/ir.hpp"
+
+namespace hydra::compiler {
+
+// Lowers a parsed-and-typechecked program. Throws indus::CompileError on
+// constructs the backend cannot express.
+ir::CheckerIR lower(const indus::Program& program,
+                    const indus::SymbolTable& symbols,
+                    const std::string& checker_name);
+
+}  // namespace hydra::compiler

@@ -1,0 +1,209 @@
+#include "compiler/relocate.hpp"
+
+#include <map>
+
+namespace hydra::compiler {
+
+namespace {
+
+enum class FieldClass { kStable, kTrueLatch, kOther };
+
+// Is this rvalue the literal constant true (bit value 1)?
+bool is_const_true(const ir::RValue& rv) {
+  return rv.kind == ir::RKind::kConst && rv.cval.as_bool() &&
+         rv.cval.width() == 1;
+}
+
+// Classifies every tele field by how the telemetry block writes it.
+class FieldClassifier {
+ public:
+  explicit FieldClassifier(const ir::CheckerIR& ir) : ir_(ir) {
+    for (std::size_t i = 0; i < ir.fields.size(); ++i) {
+      if (ir.fields[i].space == ir::Space::kTele) {
+        classes_[static_cast<int>(i)] = FieldClass::kStable;
+      }
+    }
+    scan(ir.tele_block);
+  }
+
+  FieldClass classify(ir::FieldId f) const {
+    const auto it = classes_.find(f.id);
+    return it == classes_.end() ? FieldClass::kOther : it->second;
+  }
+
+ private:
+  void demote(ir::FieldId f, FieldClass to) {
+    const auto it = classes_.find(f.id);
+    if (it == classes_.end()) return;
+    // kStable can become kTrueLatch or kOther; kTrueLatch only kOther.
+    if (to == FieldClass::kOther || it->second == FieldClass::kStable) {
+      it->second = to;
+    }
+  }
+
+  void scan(const std::vector<ir::InstrPtr>& body) {
+    for (const auto& instr : body) {
+      switch (instr->kind) {
+        case ir::InstrKind::kAssign:
+          demote(instr->dst, is_const_true(*instr->value)
+                                 ? FieldClass::kTrueLatch
+                                 : FieldClass::kOther);
+          break;
+        case ir::InstrKind::kTableLookup:
+          for (const auto& d : instr->dsts) demote(d, FieldClass::kOther);
+          if (instr->hit_dst.valid()) {
+            demote(instr->hit_dst, FieldClass::kOther);
+          }
+          break;
+        case ir::InstrKind::kRegRead:
+          demote(instr->dst, FieldClass::kOther);
+          break;
+        case ir::InstrKind::kPush: {
+          // Pushing mutates slots and the counter.
+          const auto& list =
+              ir_.lists[static_cast<std::size_t>(instr->list)];
+          for (const auto& s : list.slots) demote(s, FieldClass::kOther);
+          demote(list.count, FieldClass::kOther);
+          break;
+        }
+        case ir::InstrKind::kIf:
+          scan(instr->then_body);
+          scan(instr->else_body);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  const ir::CheckerIR& ir_;
+  std::map<int, FieldClass> classes_;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const ir::CheckerIR& ir) : ir_(ir), classes_(ir) {}
+
+  RelocationAnalysis run() {
+    RelocationAnalysis out;
+    std::string why;
+    if (check_body(ir_.check_block, why)) {
+      out.relocatable = true;
+      out.reason = "check block is a monotone predicate over stable/"
+                   "latched telemetry; per-hop rejection is sound";
+    } else {
+      out.relocatable = false;
+      out.reason = why;
+    }
+    return out;
+  }
+
+ private:
+  // positive=true means the expression appears under an even number of
+  // negations, so a latch turning true can only make the condition truer.
+  bool cond_ok(const ir::RValue& rv, bool positive, std::string& why) {
+    switch (rv.kind) {
+      case ir::RKind::kConst:
+        return true;
+      case ir::RKind::kField: {
+        const ir::Field& f = ir_.field(rv.field);
+        if (f.space != ir::Space::kTele) {
+          why = "condition reads non-telemetry state ('" + f.name +
+                "'), which differs across hops";
+          return false;
+        }
+        switch (classes_.classify(rv.field)) {
+          case FieldClass::kStable:
+            return true;
+          case FieldClass::kTrueLatch:
+            if (!positive) {
+              why = "latched field '" + f.name +
+                    "' appears under a negation; an early hop could "
+                    "reject a packet the last hop would accept";
+              return false;
+            }
+            return true;
+          case FieldClass::kOther:
+            why = "field '" + f.name +
+                  "' is mutated non-monotonically by the telemetry block";
+            return false;
+        }
+        return false;
+      }
+      case ir::RKind::kUnary:
+        if (rv.unop == indus::UnOp::kNot) {
+          return cond_ok(*rv.args[0], !positive, why);
+        }
+        return cond_ok(*rv.args[0], positive, why);
+      case ir::RKind::kBinary:
+        if (rv.binop == indus::BinOp::kAnd ||
+            rv.binop == indus::BinOp::kOr) {
+          return cond_ok(*rv.args[0], positive, why) &&
+                 cond_ok(*rv.args[1], positive, why);
+        }
+        // Comparisons are not monotone in latch inputs: require that all
+        // operands are stable (constant along the path).
+        return stable_only(*rv.args[0], why) && stable_only(*rv.args[1], why);
+      case ir::RKind::kAbsDiff:
+        return stable_only(*rv.args[0], why) && stable_only(*rv.args[1], why);
+    }
+    return false;
+  }
+
+  bool stable_only(const ir::RValue& rv, std::string& why) {
+    if (rv.kind == ir::RKind::kField) {
+      const ir::Field& f = ir_.field(rv.field);
+      if (f.space != ir::Space::kTele ||
+          classes_.classify(rv.field) != FieldClass::kStable) {
+        why = "comparison operand '" + f.name +
+              "' is not stable along the path";
+        return false;
+      }
+      return true;
+    }
+    for (const auto& a : rv.args) {
+      if (!stable_only(*a, why)) return false;
+    }
+    return true;
+  }
+
+  bool check_body(const std::vector<ir::InstrPtr>& body, std::string& why) {
+    for (const auto& instr : body) {
+      switch (instr->kind) {
+        case ir::InstrKind::kReject:
+        case ir::InstrKind::kReport:
+          break;  // payloads may read anything
+        case ir::InstrKind::kIf:
+          if (!cond_ok(*instr->cond, /*positive=*/true, why)) return false;
+          // An else branch fires under the NEGATED condition, so the
+          // condition must be monotone in both polarities to guard it.
+          if (!instr->else_body.empty() &&
+              !cond_ok(*instr->cond, /*positive=*/false, why)) {
+            return false;
+          }
+          if (!check_body(instr->then_body, why)) return false;
+          if (!check_body(instr->else_body, why)) return false;
+          break;
+        case ir::InstrKind::kAssign:
+        case ir::InstrKind::kTableLookup:
+        case ir::InstrKind::kRegRead:
+        case ir::InstrKind::kRegWrite:
+        case ir::InstrKind::kPush:
+          why = "check block mutates state or reads per-switch tables";
+          return false;
+      }
+    }
+    return true;
+  }
+
+  const ir::CheckerIR& ir_;
+  FieldClassifier classes_;
+};
+
+}  // namespace
+
+RelocationAnalysis analyze_relocation(const ir::CheckerIR& ir) {
+  return Analyzer(ir).run();
+}
+
+}  // namespace hydra::compiler

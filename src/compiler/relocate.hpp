@@ -1,0 +1,39 @@
+// Check relocation analysis (§4.3). The paper's compiler checks only at
+// the last hop and leaves "automatically relocating checks from the edge
+// into the network core" as future work — this pass implements it.
+//
+// Running the checker block at EVERY hop is sound iff an intermediate hop
+// can never reject a packet that the last-hop check would have accepted.
+// The analysis proves this for the common shape of Indus checkers:
+//
+//   * the check block consists only of `if (cond) { reject/report }`
+//     statements (no assignments, table lookups, or register ops — those
+//     read per-switch state that legitimately differs across hops);
+//   * every tele field read by a condition is either
+//       - STABLE: written only by the init block, so its value is the same
+//         at every hop, or
+//       - a TRUE-LATCH: the telemetry block only ever assigns it the
+//         constant true, so once set it stays set;
+//   * true-latches appear only in POSITIVE positions (under an even number
+//     of negations, combined with && / ||), so the condition is monotone:
+//     if it holds at hop k it still holds at the last hop.
+//
+// Report payloads may read anything (they don't affect forwarding).
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace hydra::compiler {
+
+struct RelocationAnalysis {
+  bool relocatable = false;
+  // Human-readable explanation of the verdict (which field/instruction
+  // blocked relocation, or why it is sound).
+  std::string reason;
+};
+
+RelocationAnalysis analyze_relocation(const ir::CheckerIR& ir);
+
+}  // namespace hydra::compiler

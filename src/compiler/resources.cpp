@@ -1,0 +1,145 @@
+#include "compiler/resources.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hydra::compiler {
+
+BaselineProfile fabric_upf_profile() { return {"fabric-upf", 12, 44.53}; }
+
+BaselineProfile simple_router_profile() { return {"simple-router", 4, 12.50}; }
+
+namespace {
+
+int container_bits(int width) {
+  if (width <= 8) return 8;
+  if (width <= 16) return 16;
+  if (width <= 32) return 32;
+  // Wider values span multiple 32-bit containers.
+  return ((width + 31) / 32) * 32;
+}
+
+// Data-dependence stage scheduler. `avail[f]` is the first stage at which
+// field f's value can be read. Returns the stage after the last one used.
+class StageScheduler {
+ public:
+  int schedule(const std::vector<ir::InstrPtr>& body) {
+    last_stage_ = 0;
+    avail_.clear();
+    run(body, 1);
+    return last_stage_;
+  }
+
+ private:
+  int read_stage(const ir::RValue& rv, int floor) {
+    std::vector<ir::FieldId> fields;
+    rv.collect_fields(fields);
+    int stage = floor;
+    for (const auto& f : fields) {
+      const auto it = avail_.find(f.id);
+      if (it != avail_.end()) stage = std::max(stage, it->second);
+    }
+    // Each operator level in the expression tree is one ALU pass.
+    const int depth = rv.depth();
+    return stage + std::max(0, depth - 1);
+  }
+
+  void write(ir::FieldId f, int stage) {
+    avail_[f.id] = stage + 1;
+    last_stage_ = std::max(last_stage_, stage);
+  }
+
+  void run(const std::vector<ir::InstrPtr>& body, int floor) {
+    for (const auto& instr : body) {
+      switch (instr->kind) {
+        case ir::InstrKind::kAssign: {
+          const int s = read_stage(*instr->value, floor);
+          write(instr->dst, s);
+          break;
+        }
+        case ir::InstrKind::kTableLookup: {
+          int s = floor;
+          for (const auto& k : instr->keys) {
+            s = std::max(s, read_stage(*k, floor));
+          }
+          for (const auto& d : instr->dsts) write(d, s);
+          if (instr->hit_dst.valid()) write(instr->hit_dst, s);
+          last_stage_ = std::max(last_stage_, s);
+          break;
+        }
+        case ir::InstrKind::kRegRead:
+          write(instr->dst, floor);
+          break;
+        case ir::InstrKind::kRegWrite: {
+          const int s = read_stage(*instr->value, floor);
+          last_stage_ = std::max(last_stage_, s);
+          break;
+        }
+        case ir::InstrKind::kPush: {
+          const int s = read_stage(*instr->push_value, floor);
+          last_stage_ = std::max(last_stage_, s);
+          break;
+        }
+        case ir::InstrKind::kIf: {
+          // The gateway evaluates the condition; predicated bodies start
+          // in the same stage as the gateway's result.
+          const int c = read_stage(*instr->cond, floor);
+          run(instr->then_body, c);
+          run(instr->else_body, c);
+          break;
+        }
+        case ir::InstrKind::kReject:
+        case ir::InstrKind::kReport: {
+          int s = floor;
+          for (const auto& p : instr->report_payload) {
+            s = std::max(s, read_stage(*p, floor));
+          }
+          last_stage_ = std::max(last_stage_, s);
+          break;
+        }
+      }
+    }
+  }
+
+  std::map<int, int> avail_;
+  int last_stage_ = 0;
+};
+
+}  // namespace
+
+ResourceReport estimate_resources(const ir::CheckerIR& ir) {
+  ResourceReport r;
+  StageScheduler sched;
+  r.init_stages = sched.schedule(ir.init_block);
+  r.tele_stages = sched.schedule(ir.tele_block);
+  r.check_stages = sched.schedule(ir.check_block);
+  r.checker_stages =
+      std::max({r.init_stages, r.tele_stages, r.check_stages});
+
+  // PHV: checker-owned fields only; header bindings alias forwarding PHV.
+  int bits = 0;
+  for (const auto& f : ir.fields) {
+    if (f.space == ir::Space::kHeader) continue;
+    bits += container_bits(f.width);
+  }
+  // Encapsulation preamble (EtherType tag) and the reject/report flags the
+  // generated code threads through the pipeline.
+  bits += 16 + 8;
+  r.phv_bits = bits;
+  r.phv_percent = 100.0 * static_cast<double>(bits) /
+                  static_cast<double>(kTotalPhvBits);
+  r.tables = static_cast<int>(ir.tables.size());
+  r.registers = static_cast<int>(ir.registers.size());
+  return r;
+}
+
+LinkedResources link_resources(const BaselineProfile& baseline,
+                               const ResourceReport& checker) {
+  LinkedResources out;
+  out.stages = std::max(baseline.stages, checker.checker_stages);
+  out.phv_percent = baseline.phv_percent + checker.phv_percent;
+  out.fits = out.stages <= kHardwareStages && out.phv_percent <= 100.0;
+  return out;
+}
+
+}  // namespace hydra::compiler

@@ -1,0 +1,66 @@
+// Pipeline resource model for Tofino-class hardware (§6.2 of the paper).
+//
+// The paper reports two resources per checker: pipeline *stages* and Packet
+// Header Vector (*PHV*) bits. This module estimates both from the IR:
+//
+//   * Stages — instructions are scheduled by data dependence: an
+//     instruction that reads a field written earlier must land in a later
+//     stage; table applies, register ops, and ALU operations each occupy a
+//     stage, and deep expression trees consume one stage per operator
+//     level. The checker's stage need is the longest block's critical path.
+//
+//   * PHV — every checker-owned field (tele, metadata, temporaries)
+//     occupies the smallest 8/16/32-bit container that fits it. Fields
+//     bound to the forwarding program (header variables) alias existing
+//     PHV and cost nothing.
+//
+// Linking (§4.2): because checking code is independent of forwarding code,
+// checker stages run in parallel with the baseline's — the linked program
+// needs max(baseline, checker) stages, and PHV adds up.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace hydra::compiler {
+
+// Calibrated against the paper's Table 1: the fabric-upf baseline uses
+// 44.53% of PHV, and the checkers add ~2-8 points each.
+inline constexpr int kTotalPhvBits = 2048;
+inline constexpr int kHardwareStages = 20;  // Tofino-2 class budget
+
+struct BaselineProfile {
+  std::string name;
+  int stages = 12;
+  double phv_percent = 44.53;
+};
+
+// The Aether mobile-core forwarding program the paper links against.
+BaselineProfile fabric_upf_profile();
+// A minimal L3 forwarding profile (for the source-routing testbed).
+BaselineProfile simple_router_profile();
+
+struct ResourceReport {
+  int checker_stages = 0;   // critical path of the longest block
+  int init_stages = 0;
+  int tele_stages = 0;
+  int check_stages = 0;
+  int phv_bits = 0;         // container-rounded checker PHV usage
+  double phv_percent = 0.0;  // phv_bits / kTotalPhvBits
+  int tables = 0;
+  int registers = 0;
+};
+
+ResourceReport estimate_resources(const ir::CheckerIR& ir);
+
+struct LinkedResources {
+  int stages = 0;          // max(baseline, checker): parallel placement
+  double phv_percent = 0;  // baseline + checker delta
+  bool fits = true;        // within kHardwareStages and 100% PHV
+};
+
+LinkedResources link_resources(const BaselineProfile& baseline,
+                               const ResourceReport& checker);
+
+}  // namespace hydra::compiler

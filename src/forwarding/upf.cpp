@@ -1,0 +1,125 @@
+#include "forwarding/upf.hpp"
+
+namespace hydra::fwd {
+
+UpfProgram::UpfProgram(std::shared_ptr<Ipv4EcmpProgram> router)
+    : router_(std::move(router)) {}
+
+void UpfProgram::add_uplink_session(std::uint32_t teid,
+                                    std::uint32_t client_id,
+                                    std::uint32_t slice_id) {
+  sessions_ul_.insert_exact({BitVec(32, teid)},
+                            {BitVec(32, client_id), BitVec(32, slice_id)});
+}
+
+void UpfProgram::add_downlink_session(std::uint32_t ue_ip,
+                                      std::uint32_t client_id,
+                                      std::uint32_t slice_id,
+                                      std::uint32_t teid,
+                                      std::uint32_t enb_ip,
+                                      std::uint32_t n3_ip) {
+  sessions_dl_.insert_exact(
+      {BitVec(32, ue_ip)},
+      {BitVec(32, client_id), BitVec(32, slice_id), BitVec(32, teid),
+       BitVec(32, enb_ip), BitVec(32, n3_ip)});
+}
+
+void UpfProgram::add_application(std::uint32_t slice_id, int priority,
+                                 std::uint32_t app_prefix, int prefix_len,
+                                 std::optional<std::uint8_t> proto,
+                                 std::uint16_t port_lo, std::uint16_t port_hi,
+                                 std::uint32_t app_id) {
+  p4rt::TableEntry e;
+  e.priority = priority;
+  e.patterns.push_back(p4rt::KeyPattern::exact(BitVec(32, slice_id)));
+  const std::uint64_t mask =
+      prefix_len == 0 ? 0 : (BitVec::mask(32) << (32 - prefix_len)) &
+                                BitVec::mask(32);
+  e.patterns.push_back(
+      p4rt::KeyPattern::ternary(BitVec(32, app_prefix), BitVec(32, mask)));
+  e.patterns.push_back(
+      p4rt::KeyPattern::range(BitVec(16, port_lo), BitVec(16, port_hi)));
+  e.patterns.push_back(proto ? p4rt::KeyPattern::exact(BitVec(8, *proto))
+                             : p4rt::KeyPattern::wildcard(8));
+  e.action = "set_app_id";
+  e.action_data.push_back(BitVec(32, app_id));
+  applications_.insert(std::move(e));
+}
+
+void UpfProgram::add_termination(std::uint32_t client_id,
+                                 std::uint32_t app_id, bool allow) {
+  terminations_.insert_exact(
+      {BitVec(32, client_id), BitVec(32, app_id)},
+      {BitVec::from_bool(allow)}, allow ? "forward" : "drop");
+}
+
+UpfProgram::Decision UpfProgram::process(p4rt::Packet& pkt, int in_port,
+                                         int switch_id) {
+  Decision d;
+  std::uint32_t client_id = 0;
+  std::uint32_t slice_id = 0;
+  std::uint32_t app_ip = 0;
+  std::uint16_t app_port = 0;
+  std::uint8_t app_proto = 0;
+  bool is_upf_traffic = false;
+
+  if (pkt.gtpu && pkt.ipv4 && pkt.l4 && pkt.l4->dport == p4rt::kGtpuPort) {
+    // Uplink: match the tunnel, then decapsulate.
+    const p4rt::TableEntry* s =
+        sessions_ul_.lookup({BitVec(32, pkt.gtpu->teid)});
+    if (s == nullptr) {
+      ++session_miss_drops_;
+      d.drop = true;
+      return d;
+    }
+    client_id = static_cast<std::uint32_t>(s->action_data[0].value());
+    slice_id = static_cast<std::uint32_t>(s->action_data[1].value());
+    pkt = p4rt::gtpu_decap(pkt);
+    // The application is identified by the destination side.
+    if (pkt.ipv4) {
+      app_ip = pkt.ipv4->dst;
+      app_proto = pkt.ipv4->proto;
+    }
+    if (pkt.l4) app_port = pkt.l4->dport;
+    is_upf_traffic = true;
+  } else if (pkt.ipv4) {
+    const p4rt::TableEntry* s =
+        sessions_dl_.lookup({BitVec(32, pkt.ipv4->dst)});
+    if (s != nullptr) {
+      // Downlink: the application is the remote (source) side.
+      client_id = static_cast<std::uint32_t>(s->action_data[0].value());
+      slice_id = static_cast<std::uint32_t>(s->action_data[1].value());
+      app_ip = pkt.ipv4->src;
+      app_proto = pkt.ipv4->proto;
+      if (pkt.l4) app_port = pkt.l4->sport;
+      const auto teid = static_cast<std::uint32_t>(s->action_data[2].value());
+      const auto enb = static_cast<std::uint32_t>(s->action_data[3].value());
+      const auto n3 = static_cast<std::uint32_t>(s->action_data[4].value());
+      pkt = p4rt::gtpu_encap(pkt, n3, enb, teid);
+      is_upf_traffic = true;
+    }
+  }
+
+  if (is_upf_traffic) {
+    const p4rt::TableEntry* app = applications_.lookup(
+        {BitVec(32, slice_id), BitVec(32, app_ip), BitVec(16, app_port),
+         BitVec(8, app_proto)});
+    // Figure 11: a miss in Applications leaves app_id 0, which never has a
+    // termination — default drop.
+    const std::uint32_t app_id =
+        app != nullptr
+            ? static_cast<std::uint32_t>(app->action_data[0].value())
+            : 0;
+    const p4rt::TableEntry* term =
+        terminations_.lookup({BitVec(32, client_id), BitVec(32, app_id)});
+    if (term == nullptr || !term->action_data[0].as_bool()) {
+      ++termination_drops_;
+      d.drop = true;
+      return d;
+    }
+  }
+
+  return router_->process(pkt, in_port, switch_id);
+}
+
+}  // namespace hydra::fwd

@@ -1,0 +1,43 @@
+#include "hydra/apps.hpp"
+
+namespace hydra::apps {
+
+FirewallAgent::FirewallAgent(net::Network& net, int deployment)
+    : net_(net), deployment_(deployment) {
+  net_.subscribe_reports([this](const net::ReportRecord& r) {
+    if (r.deployment == deployment_) on_report(r);
+  });
+}
+
+void FirewallAgent::on_report(const net::ReportRecord& r) {
+  if (r.values.size() < 2) return;
+  const auto key = std::pair{r.values[0].value(), r.values[1].value()};
+  if (known_.count(key) != 0U) {
+    ++duplicates_;
+    return;
+  }
+  known_[key] = true;
+  net_.dict_insert_all(deployment_, "allowed", {r.values[0], r.values[1]},
+                       {BitVec::from_bool(true)});
+  ++installed_;
+}
+
+ReportCounter::ReportCounter(net::Network& net) {
+  net.subscribe_reports([this](const net::ReportRecord& r) {
+    ++total_;
+    ++by_switch_[r.switch_id];
+    ++by_checker_[r.checker];
+  });
+}
+
+std::uint64_t ReportCounter::at_switch(int switch_id) const {
+  const auto it = by_switch_.find(switch_id);
+  return it == by_switch_.end() ? 0 : it->second;
+}
+
+std::uint64_t ReportCounter::for_checker(const std::string& name) const {
+  const auto it = by_checker_.find(name);
+  return it == by_checker_.end() ? 0 : it->second;
+}
+
+}  // namespace hydra::apps

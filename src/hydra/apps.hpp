@@ -1,0 +1,52 @@
+// Control-plane applications that close the loop on Hydra reports — the
+// paper's "the control plane could add firewall rules ... in response to a
+// single report" (§2), packaged as reusable agents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace hydra::apps {
+
+// Consumes stateful-firewall reports (payload: dst, src of the missing
+// reverse entry) and installs the reverse-direction `allowed` rule on
+// every edge switch, following the standard consistent-update practice the
+// paper cites (install everywhere in response to a single report).
+class FirewallAgent {
+ public:
+  // `deployment` must be a deployment of the stateful_firewall checker.
+  FirewallAgent(net::Network& net, int deployment);
+
+  std::uint64_t rules_installed() const { return installed_; }
+  std::uint64_t duplicate_reports() const { return duplicates_; }
+
+ private:
+  void on_report(const net::ReportRecord& r);
+
+  net::Network& net_;
+  int deployment_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, bool> known_;
+  std::uint64_t installed_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+// Counts reports per (checker, switch) — a minimal telemetry collector for
+// dashboards and the load-balance monitoring example.
+class ReportCounter {
+ public:
+  explicit ReportCounter(net::Network& net);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t at_switch(int switch_id) const;
+  std::uint64_t for_checker(const std::string& name) const;
+
+ private:
+  std::map<int, std::uint64_t> by_switch_;
+  std::map<std::string, std::uint64_t> by_checker_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hydra::apps

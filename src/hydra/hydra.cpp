@@ -1,0 +1,155 @@
+#include "hydra/hydra.hpp"
+
+#include <algorithm>
+
+namespace hydra {
+
+std::shared_ptr<const compiler::CompiledChecker> compile_shared(
+    const std::string& source, const std::string& name,
+    const compiler::CompileOptions& options) {
+  return std::make_shared<const compiler::CompiledChecker>(
+      compiler::compile_checker(source, name, options));
+}
+
+std::shared_ptr<const compiler::CompiledChecker> compile_library_checker(
+    std::string_view name, const compiler::CompileOptions& options) {
+  const checkers::CheckerSpec& spec = checkers::checker_by_name(name);
+  return compile_shared(spec.source, spec.name, options);
+}
+
+std::uint32_t checker_switch_tag(int switch_node_id) {
+  return static_cast<std::uint32_t>(switch_node_id + 1);
+}
+
+void configure_valley_free(net::Network& net, int deployment,
+                           const net::LeafSpine& fabric) {
+  for (int sw : fabric.spines) {
+    net.set_config(deployment, sw, "is_spine_switch",
+                   {BitVec::from_bool(true)});
+  }
+  for (int sw : fabric.leaves) {
+    net.set_config(deployment, sw, "is_spine_switch",
+                   {BitVec::from_bool(false)});
+  }
+}
+
+void configure_routing_validity(net::Network& net, int deployment,
+                                const net::LeafSpine& fabric) {
+  for (int sw : fabric.leaves) {
+    net.set_config(deployment, sw, "is_leaf_switch",
+                   {BitVec::from_bool(true)});
+  }
+  for (int sw : fabric.spines) {
+    net.set_config(deployment, sw, "is_leaf_switch",
+                   {BitVec::from_bool(false)});
+  }
+}
+
+void configure_up_down(net::Network& net, int deployment,
+                       const net::LeafSpine& fabric) {
+  for (int sw : fabric.leaves) {
+    net.set_config(deployment, sw, "my_tier", {BitVec(8, 0)});
+  }
+  for (int sw : fabric.spines) {
+    net.set_config(deployment, sw, "my_tier", {BitVec(8, 1)});
+  }
+}
+
+void configure_up_down(net::Network& net, int deployment,
+                       const net::FatTree& ft) {
+  for (int sw = 0; sw < net.topo().node_count(); ++sw) {
+    if (net.topo().node(sw).kind != net::NodeKind::kSwitch) continue;
+    const int tier = ft.tier(sw);
+    net.set_config(deployment, sw, "my_tier",
+                   {BitVec(8, static_cast<std::uint64_t>(
+                                  tier < 0 ? 0 : tier))});
+  }
+}
+
+void configure_path_validation(net::Network& net, int deployment,
+                               const net::LeafSpine& fabric) {
+  // The checker only needs the leaf/spine classification; the declared
+  // route itself travels as telemetry.
+  configure_routing_validity(net, deployment, fabric);
+}
+
+void configure_egress_port_validity(net::Network& net, int deployment) {
+  const net::Topology& topo = net.topo();
+  for (int sw = 0; sw < topo.node_count(); ++sw) {
+    if (topo.node(sw).kind != net::NodeKind::kSwitch) continue;
+    auto& table = net.checker_table(deployment, sw, "allowed_eg_ports");
+    for (const auto& link : topo.links()) {
+      if (link.a.node == sw) {
+        table.insert_exact(
+            {BitVec(8, static_cast<std::uint64_t>(link.a.port))}, {});
+      }
+      if (link.b.node == sw) {
+        table.insert_exact(
+            {BitVec(8, static_cast<std::uint64_t>(link.b.port))}, {});
+      }
+    }
+  }
+}
+
+void configure_waypoint(net::Network& net, int deployment,
+                        int waypoint_switch) {
+  net.set_config_all(deployment, "waypoint_id",
+                     {BitVec(32, checker_switch_tag(waypoint_switch))});
+}
+
+void configure_service_chain(net::Network& net, int deployment,
+                             const std::vector<int>& chain) {
+  // The library checker's control array holds 4 slots.
+  std::vector<BitVec> values;
+  for (std::size_t i = 0; i < 4; ++i) {
+    values.emplace_back(32, i < chain.size()
+                                ? checker_switch_tag(chain[i])
+                                : 0);
+  }
+  net.set_config_all(deployment, "chain", values);
+  net.set_config_all(deployment, "chain_len",
+                     {BitVec(32, static_cast<std::uint64_t>(chain.size()))});
+}
+
+void configure_multi_tenancy(
+    net::Network& net, int deployment,
+    const std::map<std::pair<int, int>, std::uint8_t>& port_tenants) {
+  for (const auto& [key, tenant] : port_tenants) {
+    const auto& [sw, port] = key;
+    net.checker_table(deployment, sw, "tenants")
+        .insert_exact({BitVec(8, static_cast<std::uint64_t>(port))},
+                      {BitVec(8, tenant)});
+  }
+}
+
+void configure_load_balance(net::Network& net, int deployment,
+                            const net::LeafSpine& fabric,
+                            std::uint32_t threshold_bytes) {
+  if (fabric.spines.size() < 2) {
+    throw std::invalid_argument(
+        "load balance checker needs at least two spines");
+  }
+  const int left = fabric.leaf_uplink_port(0);
+  const int right = fabric.leaf_uplink_port(1);
+  for (int sw : fabric.leaves) {
+    net.set_config(deployment, sw, "left_port",
+                   {BitVec(32, static_cast<std::uint64_t>(left))});
+    net.set_config(deployment, sw, "right_port",
+                   {BitVec(32, static_cast<std::uint64_t>(right))});
+    net.set_config(deployment, sw, "thresh", {BitVec(32, threshold_bytes)});
+    auto& uplinks = net.checker_table(deployment, sw, "is_uplink");
+    for (std::size_t j = 0; j < fabric.spines.size(); ++j) {
+      uplinks.insert_exact(
+          {BitVec(8, static_cast<std::uint64_t>(
+                         fabric.leaf_uplink_port(static_cast<int>(j))))},
+          {BitVec::from_bool(true)});
+    }
+  }
+  for (int sw : fabric.spines) {
+    net.set_config(deployment, sw, "left_port", {BitVec(32, 0)});
+    net.set_config(deployment, sw, "right_port", {BitVec(32, 0)});
+    net.set_config(deployment, sw, "thresh", {BitVec(32, threshold_bytes)});
+  }
+}
+
+}  // namespace hydra

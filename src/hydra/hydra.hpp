@@ -1,0 +1,80 @@
+// Hydra public API — the one-stop header a downstream user includes.
+//
+//   auto checker = hydra::compile_library_checker("valley_free");
+//   hydra::net::Network net(fabric.topo);
+//   const int dep = net.deploy(checker);
+//   hydra::configure_valley_free(net, dep, fabric);
+//
+// Compilation helpers wrap the Indus compiler; the configure_* functions
+// are the small control-plane applications that populate each library
+// checker's control variables from the topology (the paper's "control
+// plane specifies ... to the compiler / at runtime" steps).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "checkers/library.hpp"
+#include "compiler/compile.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace hydra {
+
+// Compiles Indus source; the shared_ptr form is what Network::deploy takes.
+std::shared_ptr<const compiler::CompiledChecker> compile_shared(
+    const std::string& source, const std::string& name,
+    const compiler::CompileOptions& options = {});
+
+// Compiles a checker from the library (src/checkers) by name.
+std::shared_ptr<const compiler::CompiledChecker> compile_library_checker(
+    std::string_view name, const compiler::CompileOptions& options = {});
+
+// ---- control-plane configuration for the library checkers ---------------
+
+// valley_free / routing_validity: classify switches as spine/leaf.
+void configure_valley_free(net::Network& net, int deployment,
+                           const net::LeafSpine& fabric);
+void configure_routing_validity(net::Network& net, int deployment,
+                                const net::LeafSpine& fabric);
+
+// up_down_routing: assign every switch its tier (0 = lowest/edge).
+void configure_up_down(net::Network& net, int deployment,
+                       const net::LeafSpine& fabric);
+void configure_up_down(net::Network& net, int deployment,
+                       const net::FatTree& ft);
+
+// source_routing_path_validation: adjacency dict + leaf classification.
+void configure_path_validation(net::Network& net, int deployment,
+                               const net::LeafSpine& fabric);
+
+// egress_port_validity: every connected port is allowed (callers can
+// remove entries afterwards to model misconfiguration).
+void configure_egress_port_validity(net::Network& net, int deployment);
+
+// waypointing: all packets must pass through `waypoint_switch`.
+void configure_waypoint(net::Network& net, int deployment,
+                        int waypoint_switch);
+
+// service_chains: packets must visit `chain` (switch ids) in order.
+void configure_service_chain(net::Network& net, int deployment,
+                             const std::vector<int>& chain);
+
+// multi_tenancy: tenant id per (switch, port). Ports not listed get tenant
+// 0. The same dict is installed on every switch (tenants of *edge* ports).
+void configure_multi_tenancy(
+    net::Network& net, int deployment,
+    const std::map<std::pair<int, int>, std::uint8_t>& port_tenants);
+
+// dc_uplink_load_balance: uplink classification + port pair + threshold.
+void configure_load_balance(net::Network& net, int deployment,
+                            const net::LeafSpine& fabric,
+                            std::uint32_t threshold_bytes);
+
+// The stable switch id exposed to checkers via the `switch_id` header
+// variable (node id + 1, so 0 means "none").
+std::uint32_t checker_switch_tag(int switch_node_id);
+
+}  // namespace hydra

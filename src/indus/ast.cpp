@@ -1,0 +1,213 @@
+#include "indus/ast.hpp"
+
+namespace hydra::indus {
+
+const char* unop_name(UnOp op) {
+  switch (op) {
+    case UnOp::kNot: return "!";
+    case UnOp::kBitNot: return "~";
+    case UnOp::kNeg: return "-";
+  }
+  return "?";
+}
+
+const char* binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+const char* var_kind_name(VarKind k) {
+  switch (k) {
+    case VarKind::kTele: return "tele";
+    case VarKind::kSensor: return "sensor";
+    case VarKind::kHeader: return "header";
+    case VarKind::kControl: return "control";
+  }
+  return "?";
+}
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->loc = loc;
+  out->name = name;
+  out->number = number;
+  out->bool_value = bool_value;
+  out->unop = unop;
+  out->binop = binop;
+  out->type = type;
+  out->args.reserve(args.size());
+  for (const auto& a : args) out->args.push_back(a->clone());
+  return out;
+}
+
+StmtPtr Stmt::clone() const {
+  auto out = std::make_unique<Stmt>();
+  out->kind = kind;
+  out->loc = loc;
+  for (const auto& s : body) out->body.push_back(s->clone());
+  if (target) out->target = target->clone();
+  out->assign_op = assign_op;
+  if (value) out->value = value->clone();
+  for (const auto& arm : arms) {
+    out->arms.push_back({arm.cond->clone(), arm.body->clone()});
+  }
+  if (else_body) out->else_body = else_body->clone();
+  out->loop_vars = loop_vars;
+  for (const auto& it : iterables) out->iterables.push_back(it->clone());
+  if (push_list) out->push_list = push_list->clone();
+  if (push_value) out->push_value = push_value->clone();
+  for (const auto& r : report_args) out->report_args.push_back(r->clone());
+  return out;
+}
+
+namespace {
+ExprPtr new_expr(ExprKind kind, Loc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  return e;
+}
+
+StmtPtr new_stmt(StmtKind kind, Loc loc) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->loc = loc;
+  return s;
+}
+}  // namespace
+
+ExprPtr make_var(std::string name, Loc loc) {
+  auto e = new_expr(ExprKind::kVar, loc);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr make_number(std::uint64_t value, Loc loc) {
+  auto e = new_expr(ExprKind::kNumber, loc);
+  e->number = value;
+  return e;
+}
+
+ExprPtr make_bool(bool value, Loc loc) {
+  auto e = new_expr(ExprKind::kBoolLit, loc);
+  e->bool_value = value;
+  return e;
+}
+
+ExprPtr make_unary(UnOp op, ExprPtr operand, Loc loc) {
+  auto e = new_expr(ExprKind::kUnary, loc);
+  e->unop = op;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, Loc loc) {
+  auto e = new_expr(ExprKind::kBinary, loc);
+  e->binop = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr make_index(ExprPtr base, ExprPtr index, Loc loc) {
+  auto e = new_expr(ExprKind::kIndex, loc);
+  e->args.push_back(std::move(base));
+  e->args.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr make_tuple(std::vector<ExprPtr> elems, Loc loc) {
+  auto e = new_expr(ExprKind::kTuple, loc);
+  e->args = std::move(elems);
+  return e;
+}
+
+ExprPtr make_call(std::string name, std::vector<ExprPtr> args, Loc loc) {
+  auto e = new_expr(ExprKind::kCall, loc);
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr make_in(ExprPtr needle, ExprPtr haystack, Loc loc) {
+  auto e = new_expr(ExprKind::kIn, loc);
+  e->args.push_back(std::move(needle));
+  e->args.push_back(std::move(haystack));
+  return e;
+}
+
+StmtPtr make_pass(Loc loc) { return new_stmt(StmtKind::kPass, loc); }
+
+StmtPtr make_block(std::vector<StmtPtr> body, Loc loc) {
+  auto s = new_stmt(StmtKind::kBlock, loc);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr make_assign(ExprPtr target, AssignOp op, ExprPtr value, Loc loc) {
+  auto s = new_stmt(StmtKind::kAssign, loc);
+  s->target = std::move(target);
+  s->assign_op = op;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr make_if(std::vector<IfArm> arms, StmtPtr else_body, Loc loc) {
+  auto s = new_stmt(StmtKind::kIf, loc);
+  s->arms = std::move(arms);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr make_for(std::vector<std::string> vars, std::vector<ExprPtr> iters,
+                 StmtPtr body, Loc loc) {
+  auto s = new_stmt(StmtKind::kFor, loc);
+  s->loop_vars = std::move(vars);
+  s->iterables = std::move(iters);
+  s->body.push_back(std::move(body));
+  return s;
+}
+
+StmtPtr make_push(ExprPtr list, ExprPtr value, Loc loc) {
+  auto s = new_stmt(StmtKind::kPush, loc);
+  s->push_list = std::move(list);
+  s->push_value = std::move(value);
+  return s;
+}
+
+StmtPtr make_report(std::vector<ExprPtr> args, Loc loc) {
+  auto s = new_stmt(StmtKind::kReport, loc);
+  s->report_args = std::move(args);
+  return s;
+}
+
+StmtPtr make_reject(Loc loc) { return new_stmt(StmtKind::kReject, loc); }
+
+const Decl* Program::find_decl(const std::string& name) const {
+  for (const auto& d : decls) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace hydra::indus

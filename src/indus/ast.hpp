@@ -1,0 +1,174 @@
+// Abstract syntax for Indus (paper Figure 4 plus the prototype extensions
+// the paper's examples use: elsif chains, compound assignment, tuple
+// expressions, report with a payload, multi-variable for loops, the `in`
+// membership operator, list .push(), length(), and abs()).
+//
+// Nodes are "fat": a single Expr/Stmt struct with a kind discriminator and
+// optional fields. This keeps the tree easy to build, clone, and walk in a
+// compiler of this size without visitor boilerplate.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "indus/source_loc.hpp"
+#include "indus/types.hpp"
+#include "util/bitvec.hpp"
+
+namespace hydra::indus {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kVar,      // name
+  kNumber,   // numeric literal (width resolved during type checking)
+  kBoolLit,  // true / false
+  kUnary,    // op args[0]
+  kBinary,   // args[0] op args[1]
+  kIndex,    // args[0] [ args[1] ]   (array or dict lookup)
+  kTuple,    // ( args... )
+  kCall,     // name ( args... )      -- length, abs
+  kIn,       // args[0] in args[1]    (membership in list/set)
+};
+
+enum class UnOp { kNot, kBitNot, kNeg };
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+const char* unop_name(UnOp op);
+const char* binop_name(BinOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  Loc loc;
+
+  std::string name;          // kVar, kCall
+  std::uint64_t number = 0;  // kNumber
+  bool bool_value = false;   // kBoolLit
+  UnOp unop = UnOp::kNot;    // kUnary
+  BinOp binop = BinOp::kAdd; // kBinary
+  std::vector<ExprPtr> args;
+
+  // Filled in by the type checker.
+  TypePtr type;
+
+  ExprPtr clone() const;
+};
+
+ExprPtr make_var(std::string name, Loc loc = {});
+ExprPtr make_number(std::uint64_t value, Loc loc = {});
+ExprPtr make_bool(bool value, Loc loc = {});
+ExprPtr make_unary(UnOp op, ExprPtr operand, Loc loc = {});
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, Loc loc = {});
+ExprPtr make_index(ExprPtr base, ExprPtr index, Loc loc = {});
+ExprPtr make_tuple(std::vector<ExprPtr> elems, Loc loc = {});
+ExprPtr make_call(std::string name, std::vector<ExprPtr> args, Loc loc = {});
+ExprPtr make_in(ExprPtr needle, ExprPtr haystack, Loc loc = {});
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kPass,
+  kBlock,   // body
+  kAssign,  // target (op)= value  -- target is kVar or kIndex
+  kIf,      // cond/then plus elif chain and optional else
+  kFor,     // for (vars in iters) body
+  kPush,    // list.push(value)
+  kReport,  // report; or report((e, ...));
+  kReject,  // reject;
+};
+
+enum class AssignOp { kSet, kAdd, kSub };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct IfArm {
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  Loc loc;
+
+  // kBlock
+  std::vector<StmtPtr> body;
+
+  // kAssign
+  ExprPtr target;
+  AssignOp assign_op = AssignOp::kSet;
+  ExprPtr value;
+
+  // kIf: arms[0] is the `if`, the rest are `elsif`s.
+  std::vector<IfArm> arms;
+  StmtPtr else_body;  // may be null
+
+  // kFor
+  std::vector<std::string> loop_vars;
+  std::vector<ExprPtr> iterables;
+
+  // kPush
+  ExprPtr push_list;
+  ExprPtr push_value;
+
+  // kReport (payload may be empty)
+  std::vector<ExprPtr> report_args;
+
+  StmtPtr clone() const;
+};
+
+StmtPtr make_pass(Loc loc = {});
+StmtPtr make_block(std::vector<StmtPtr> body, Loc loc = {});
+StmtPtr make_assign(ExprPtr target, AssignOp op, ExprPtr value, Loc loc = {});
+StmtPtr make_if(std::vector<IfArm> arms, StmtPtr else_body, Loc loc = {});
+StmtPtr make_for(std::vector<std::string> vars, std::vector<ExprPtr> iters,
+                 StmtPtr body, Loc loc = {});
+StmtPtr make_push(ExprPtr list, ExprPtr value, Loc loc = {});
+StmtPtr make_report(std::vector<ExprPtr> args, Loc loc = {});
+StmtPtr make_reject(Loc loc = {});
+
+// ---------------------------------------------------------------------------
+// Declarations and programs
+// ---------------------------------------------------------------------------
+
+// Variable kinds (§3.2): tele travels on the packet, sensor lives on the
+// switch, header/control are read-only views of data-/control-plane state.
+enum class VarKind { kTele, kSensor, kHeader, kControl };
+
+const char* var_kind_name(VarKind k);
+
+struct Decl {
+  VarKind kind;
+  Loc loc;
+  std::string name;
+  // Untyped `control x;` declarations (paper Figure 2) default to bit<32>.
+  TypePtr type;
+  ExprPtr init;            // may be null
+  std::string annotation;  // header binding, e.g. "hdr.ipv4.src_addr"
+};
+
+struct Program {
+  std::vector<Decl> decls;
+  StmtPtr init_block;   // first hop
+  StmtPtr tele_block;   // every hop
+  StmtPtr check_block;  // last hop
+
+  const Decl* find_decl(const std::string& name) const;
+};
+
+}  // namespace hydra::indus

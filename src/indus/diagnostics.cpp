@@ -1,0 +1,34 @@
+#include "indus/diagnostics.hpp"
+
+namespace hydra::indus {
+
+std::string Diagnostic::to_string() const {
+  const char* tag = severity == Severity::kError ? "error" : "warning";
+  return loc.to_string() + ": " + tag + ": " + message;
+}
+
+void Diagnostics::error(Loc loc, std::string message) {
+  items_.push_back({Severity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void Diagnostics::warning(Loc loc, std::string message) {
+  items_.push_back({Severity::kWarning, loc, std::move(message)});
+}
+
+std::string Diagnostics::to_string() const {
+  std::string out;
+  for (const auto& d : items_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+void Diagnostics::throw_if_errors(const std::string& phase) const {
+  if (has_errors()) {
+    throw CompileError(phase + " failed:\n" + to_string());
+  }
+}
+
+}  // namespace hydra::indus

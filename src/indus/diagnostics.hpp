@@ -1,0 +1,50 @@
+// Diagnostic accumulation for the Indus frontend. The lexer/parser/type
+// checker report into a Diagnostics sink instead of throwing, so a single
+// compile surfaces every error in the program. CompileError is thrown only
+// at phase boundaries when errors are present.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "indus/source_loc.hpp"
+
+namespace hydra::indus {
+
+enum class Severity { kError, kWarning };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  Loc loc;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+class Diagnostics {
+ public:
+  void error(Loc loc, std::string message);
+  void warning(Loc loc, std::string message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  int error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& all() const { return items_; }
+
+  // Human-readable rendering of every diagnostic, one per line.
+  std::string to_string() const;
+
+  // Throws CompileError carrying to_string() if any error was reported.
+  void throw_if_errors(const std::string& phase) const;
+
+ private:
+  std::vector<Diagnostic> items_;
+  int error_count_ = 0;
+};
+
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace hydra::indus

@@ -1,0 +1,454 @@
+#include "indus/eval_ref.hpp"
+
+#include <stdexcept>
+
+namespace hydra::indus {
+
+namespace {
+
+std::vector<std::uint64_t> raw(const RefValue& v) {
+  std::vector<std::uint64_t> out;
+  out.reserve(v.size());
+  for (const auto& b : v) out.push_back(b.value());
+  return out;
+}
+
+BitVec apply_binop(BinOp op, const BitVec& a, const BitVec& b) {
+  switch (op) {
+    case BinOp::kAdd: return a.add(b);
+    case BinOp::kSub: return a.sub(b);
+    case BinOp::kMul: return a.mul(b);
+    case BinOp::kDiv: return a.div(b);
+    case BinOp::kMod: return a.mod(b);
+    case BinOp::kBitAnd: return a.band(b);
+    case BinOp::kBitOr: return a.bor(b);
+    case BinOp::kBitXor: return a.bxor(b);
+    case BinOp::kShl: return a.shl(b);
+    case BinOp::kShr: return a.shr(b);
+    case BinOp::kEq: return BitVec::from_bool(a == b);
+    case BinOp::kNe: return BitVec::from_bool(!(a == b));
+    case BinOp::kLt: return BitVec::from_bool(a < b);
+    case BinOp::kLe: return BitVec::from_bool(a <= b);
+    case BinOp::kGt: return BitVec::from_bool(a > b);
+    case BinOp::kGe: return BitVec::from_bool(a >= b);
+    case BinOp::kAnd:
+      return BitVec::from_bool(a.as_bool() && b.as_bool());
+    case BinOp::kOr:
+      return BitVec::from_bool(a.as_bool() || b.as_bool());
+  }
+  return a;
+}
+
+}  // namespace
+
+// Loop-variable bindings, chained for nested loops.
+struct RefEvaluator::Frame {
+  const Frame* parent = nullptr;
+  std::map<std::string, BitVec> vars;
+
+  const BitVec* find(const std::string& name) const {
+    const auto it = vars.find(name);
+    if (it != vars.end()) return &it->second;
+    return parent != nullptr ? parent->find(name) : nullptr;
+  }
+};
+
+RefEvaluator::RefEvaluator(const Program& program, const SymbolTable& symbols)
+    : program_(program), symbols_(symbols) {}
+
+int RefEvaluator::declared_width(const std::string& name,
+                                 std::size_t part) const {
+  const VarInfo* info = symbols_.lookup(name);
+  if (info == nullptr) {
+    throw std::logic_error("ref eval: unknown variable '" + name + "'");
+  }
+  const auto widths = info->type->flatten_widths();
+  return widths.at(part);
+}
+
+void RefEvaluator::init_packet_state(RefState& state) const {
+  for (const auto& d : program_.decls) {
+    if (d.kind != VarKind::kTele) continue;
+    if (d.type->is_array()) {
+      RefArray arr;
+      const int elem_w = d.type->element()->is_bool()
+                             ? 1
+                             : d.type->element()->bit_width();
+      arr.slots.assign(static_cast<std::size_t>(d.type->array_size()),
+                       BitVec(elem_w, 0));
+      arr.count = 0;
+      state.arrays[d.name] = std::move(arr);
+      continue;
+    }
+    RefValue v;
+    for (int w : d.type->flatten_widths()) v.emplace_back(w, 0);
+    if (d.init) {
+      // Initializers are constant (enforced by the type checker); reuse
+      // the expression evaluator with empty state.
+      RefState empty;
+      RefOutcome ignored;
+      (void)ignored;
+      const RefValue init =
+          eval(*d.init, empty,
+               [](const std::string&, int w) { return BitVec(w, 0); },
+               nullptr);
+      for (std::size_t i = 0; i < v.size() && i < init.size(); ++i) {
+        v[i] = init[i].resize(v[i].width());
+      }
+    }
+    state.scalars[d.name] = std::move(v);
+  }
+}
+
+void RefEvaluator::init_switch_state(RefState& state) const {
+  for (const auto& d : program_.decls) {
+    if (d.kind != VarKind::kSensor) continue;
+    const int w = d.type->is_bool() ? 1 : d.type->bit_width();
+    BitVec init(w, 0);
+    if (d.init) {
+      RefState empty;
+      const RefValue v =
+          eval(*d.init, empty,
+               [](const std::string&, int width) { return BitVec(width, 0); },
+               nullptr);
+      init = v.at(0).resize(w);
+    }
+    state.sensors[d.name] = init;
+  }
+}
+
+RefValue RefEvaluator::eval(const Expr& e, RefState& state,
+                            const RefHeaderFn& hdr,
+                            const Frame* frame) const {
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      return {BitVec(64, e.number)};
+    case ExprKind::kBoolLit:
+      return {BitVec::from_bool(e.bool_value)};
+    case ExprKind::kVar: {
+      if (frame != nullptr) {
+        const BitVec* bound = frame->find(e.name);
+        if (bound != nullptr) return {*bound};
+      }
+      const VarInfo* info = symbols_.lookup(e.name);
+      if (info == nullptr) {
+        throw std::logic_error("ref eval: unbound '" + e.name + "'");
+      }
+      switch (info->kind) {
+        case VarKind::kHeader: {
+          const std::string ann =
+              info->annotation.empty() ? e.name : info->annotation;
+          const int w = info->type->is_bool() ? 1 : info->type->bit_width();
+          return {hdr(ann, w).resize(w)};
+        }
+        case VarKind::kSensor:
+          return {state.sensors.at(e.name)};
+        case VarKind::kControl: {
+          const auto it = state.configs.find(e.name);
+          if (it != state.configs.end()) return it->second;
+          // Unconfigured control scalar reads as zeros.
+          RefValue zeros;
+          for (int w : info->type->flatten_widths()) zeros.emplace_back(w, 0);
+          return zeros;
+        }
+        case VarKind::kTele: {
+          const auto it = state.scalars.find(e.name);
+          if (it != state.scalars.end()) return it->second;
+          throw std::logic_error("ref eval: array '" + e.name +
+                                 "' used as a scalar");
+        }
+      }
+      throw std::logic_error("unreachable");
+    }
+    case ExprKind::kUnary: {
+      const BitVec a = eval1(*e.args[0], state, hdr, frame);
+      switch (e.unop) {
+        case UnOp::kNot: return {BitVec::from_bool(!a.as_bool())};
+        case UnOp::kBitNot: return {a.bnot()};
+        case UnOp::kNeg: return {BitVec(a.width(), 0).sub(a)};
+      }
+      return {a};
+    }
+    case ExprKind::kBinary: {
+      // Tuple (in)equality and logical short-circuit mirror the compiler.
+      if (e.binop == BinOp::kAnd) {
+        if (!eval1(*e.args[0], state, hdr, frame).as_bool()) {
+          return {BitVec::from_bool(false)};
+        }
+        return {BitVec::from_bool(
+            eval1(*e.args[1], state, hdr, frame).as_bool())};
+      }
+      if (e.binop == BinOp::kOr) {
+        if (eval1(*e.args[0], state, hdr, frame).as_bool()) {
+          return {BitVec::from_bool(true)};
+        }
+        return {BitVec::from_bool(
+            eval1(*e.args[1], state, hdr, frame).as_bool())};
+      }
+      const RefValue lhs = eval(*e.args[0], state, hdr, frame);
+      const RefValue rhs = eval(*e.args[1], state, hdr, frame);
+      if (lhs.size() > 1 && (e.binop == BinOp::kEq || e.binop == BinOp::kNe)) {
+        bool all = lhs.size() == rhs.size();
+        for (std::size_t i = 0; all && i < lhs.size(); ++i) {
+          all = lhs[i] == rhs[i];
+        }
+        return {BitVec::from_bool(e.binop == BinOp::kEq ? all : !all)};
+      }
+      return {apply_binop(e.binop, lhs.at(0), rhs.at(0))};
+    }
+    case ExprKind::kIndex: {
+      const Expr& base = *e.args[0];
+      if (base.kind != ExprKind::kVar) {
+        throw std::logic_error("ref eval: non-variable index base");
+      }
+      const VarInfo* info = symbols_.lookup(base.name);
+      if (info != nullptr && info->type->is_dict()) {
+        const RefValue key = eval(*e.args[1], state, hdr, frame);
+        // Keys are width-normalized to the declared key widths, exactly
+        // like table keys in the compiled pipeline.
+        const auto widths = info->type->key()->flatten_widths();
+        RefValue norm;
+        for (std::size_t i = 0; i < key.size(); ++i) {
+          norm.push_back(key[i].resize(widths.at(i)));
+        }
+        const auto& dict = state.dicts[base.name];
+        const auto it = dict.find(raw(norm));
+        if (it != dict.end()) return it->second;
+        RefValue zeros;
+        for (int w : info->type->value()->flatten_widths()) {
+          zeros.emplace_back(w, 0);
+        }
+        return zeros;
+      }
+      // Array index: tele array or control array.
+      const BitVec idx = eval1(*e.args[1], state, hdr, frame);
+      if (info != nullptr && info->kind == VarKind::kControl) {
+        const auto it = state.configs.find(base.name);
+        const std::size_t n =
+            static_cast<std::size_t>(info->type->array_size());
+        const int w = info->type->element()->is_bool()
+                          ? 1
+                          : info->type->element()->bit_width();
+        if (it == state.configs.end() || idx.value() >= n) {
+          return {BitVec(w, 0)};
+        }
+        return {it->second.at(static_cast<std::size_t>(idx.value()))};
+      }
+      const RefArray& arr = state.arrays.at(base.name);
+      const int w = arr.slots.empty() ? 1 : arr.slots[0].width();
+      if (idx.value() >= arr.slots.size()) return {BitVec(w, 0)};
+      return {arr.slots[static_cast<std::size_t>(idx.value())]};
+    }
+    case ExprKind::kTuple: {
+      RefValue out;
+      for (const auto& a : e.args) {
+        const RefValue part = eval(*a, state, hdr, frame);
+        out.insert(out.end(), part.begin(), part.end());
+      }
+      return out;
+    }
+    case ExprKind::kCall: {
+      if (e.name == "abs") {
+        const Expr& arg = *e.args[0];
+        // Mirror the compiler's pattern: abs(a - b) is |a - b|; any other
+        // abs is the identity on unsigned values.
+        if (arg.kind == ExprKind::kBinary && arg.binop == BinOp::kSub) {
+          const BitVec a = eval1(*arg.args[0], state, hdr, frame);
+          const BitVec b = eval1(*arg.args[1], state, hdr, frame);
+          return {a.abs_diff(b)};
+        }
+        return {eval1(arg, state, hdr, frame)};
+      }
+      if (e.name == "length") {
+        const Expr& arg = *e.args[0];
+        const VarInfo* info = symbols_.lookup(arg.name);
+        if (info != nullptr && info->kind == VarKind::kControl) {
+          return {BitVec(32, static_cast<std::uint64_t>(
+                                 info->type->array_size()))};
+        }
+        const RefArray& arr = state.arrays.at(arg.name);
+        return {BitVec(32, static_cast<std::uint64_t>(arr.count))};
+      }
+      throw std::logic_error("ref eval: unknown call '" + e.name + "'");
+    }
+    case ExprKind::kIn: {
+      const Expr& hay = *e.args[1];
+      const VarInfo* info = symbols_.lookup(hay.name);
+      if (info != nullptr && info->type->is_set()) {
+        const RefValue needle = eval(*e.args[0], state, hdr, frame);
+        const auto widths = info->type->element()->flatten_widths();
+        RefValue norm;
+        for (std::size_t i = 0; i < needle.size(); ++i) {
+          norm.push_back(needle[i].resize(widths.at(i)));
+        }
+        const auto& set = state.sets[hay.name];
+        return {BitVec::from_bool(set.count(raw(norm)) != 0U)};
+      }
+      const BitVec needle = eval1(*e.args[0], state, hdr, frame);
+      if (info != nullptr && info->kind == VarKind::kControl) {
+        const auto it = state.configs.find(hay.name);
+        bool found = false;
+        if (it != state.configs.end()) {
+          for (const auto& v : it->second) found = found || v == needle;
+        }
+        return {BitVec::from_bool(found)};
+      }
+      const RefArray& arr = state.arrays.at(hay.name);
+      bool found = false;
+      for (int i = 0; i < arr.count; ++i) {
+        found = found || arr.slots[static_cast<std::size_t>(i)] == needle;
+      }
+      return {BitVec::from_bool(found)};
+    }
+  }
+  throw std::logic_error("unreachable expr kind");
+}
+
+BitVec RefEvaluator::eval1(const Expr& e, RefState& state,
+                           const RefHeaderFn& hdr, const Frame* frame) const {
+  const RefValue v = eval(e, state, hdr, frame);
+  if (v.size() != 1) {
+    throw std::logic_error("ref eval: expected a scalar");
+  }
+  return v[0];
+}
+
+void RefEvaluator::assign(const Expr& target, AssignOp op, RefValue value,
+                          RefState& state, const RefHeaderFn& hdr,
+                          const Frame* frame) const {
+  if (target.kind == ExprKind::kVar) {
+    const VarInfo* info = symbols_.lookup(target.name);
+    if (info == nullptr) {
+      throw std::logic_error("ref eval: assign to unknown variable");
+    }
+    if (info->kind == VarKind::kSensor) {
+      BitVec& cell = state.sensors.at(target.name);
+      BitVec v = value.at(0);
+      if (op == AssignOp::kAdd) v = cell.add(v);
+      if (op == AssignOp::kSub) v = cell.sub(v);
+      cell = v.resize(cell.width());
+      return;
+    }
+    RefValue& dst = state.scalars.at(target.name);
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      BitVec v = value.at(i);
+      if (op == AssignOp::kAdd) v = dst[i].add(v);
+      if (op == AssignOp::kSub) v = dst[i].sub(v);
+      dst[i] = v.resize(dst[i].width());
+    }
+    return;
+  }
+  // Array element target.
+  const Expr& base = *target.args[0];
+  const BitVec idx = eval1(*target.args[1], state, hdr, frame);
+  RefArray& arr = state.arrays.at(base.name);
+  if (idx.value() >= arr.slots.size()) return;  // silently out of range
+  BitVec& slot = arr.slots[static_cast<std::size_t>(idx.value())];
+  BitVec v = value.at(0);
+  if (op == AssignOp::kAdd) v = slot.add(v);
+  if (op == AssignOp::kSub) v = slot.sub(v);
+  slot = v.resize(slot.width());
+}
+
+void RefEvaluator::exec(const Stmt& s, RefState& state, const RefHeaderFn& hdr,
+                        RefOutcome& out, const Frame* frame) const {
+  switch (s.kind) {
+    case StmtKind::kPass:
+      return;
+    case StmtKind::kBlock:
+      for (const auto& child : s.body) exec(*child, state, hdr, out, frame);
+      return;
+    case StmtKind::kAssign:
+      assign(*s.target, s.assign_op, eval(*s.value, state, hdr, frame),
+             state, hdr, frame);
+      return;
+    case StmtKind::kIf: {
+      for (const auto& arm : s.arms) {
+        if (eval1(*arm.cond, state, hdr, frame).as_bool()) {
+          exec(*arm.body, state, hdr, out, frame);
+          return;
+        }
+      }
+      if (s.else_body) exec(*s.else_body, state, hdr, out, frame);
+      return;
+    }
+    case StmtKind::kFor: {
+      // Iteration count: the minimum fill across the iterated containers
+      // (config arrays count as full).
+      int iterations = -1;
+      for (const auto& it : s.iterables) {
+        const VarInfo* info = symbols_.lookup(it->name);
+        int n;
+        if (info != nullptr && info->kind == VarKind::kControl) {
+          n = info->type->array_size();
+        } else {
+          n = state.arrays.at(it->name).count;
+        }
+        iterations = iterations < 0 ? n : std::min(iterations, n);
+      }
+      for (int i = 0; i < iterations; ++i) {
+        Frame inner;
+        inner.parent = frame;
+        for (std::size_t v = 0; v < s.loop_vars.size(); ++v) {
+          const Expr& it = *s.iterables[v];
+          const VarInfo* info = symbols_.lookup(it.name);
+          BitVec value(1, 0);
+          if (info != nullptr && info->kind == VarKind::kControl) {
+            const auto cfg = state.configs.find(it.name);
+            const int w = info->type->element()->is_bool()
+                              ? 1
+                              : info->type->element()->bit_width();
+            value = cfg != state.configs.end()
+                        ? cfg->second.at(static_cast<std::size_t>(i))
+                        : BitVec(w, 0);
+          } else {
+            value = state.arrays.at(it.name)
+                        .slots[static_cast<std::size_t>(i)];
+          }
+          inner.vars.emplace(s.loop_vars[v], value);
+        }
+        exec(*s.body[0], state, hdr, out, &inner);
+      }
+      return;
+    }
+    case StmtKind::kPush: {
+      RefArray& arr = state.arrays.at(s.push_list->name);
+      const BitVec v = eval1(*s.push_value, state, hdr, frame);
+      if (arr.count < static_cast<int>(arr.slots.size())) {
+        arr.slots[static_cast<std::size_t>(arr.count)] =
+            v.resize(arr.slots[0].width());
+        ++arr.count;
+      }
+      return;
+    }
+    case StmtKind::kReport: {
+      RefValue payload;
+      for (const auto& a : s.report_args) {
+        const RefValue part = eval(*a, state, hdr, frame);
+        payload.insert(payload.end(), part.begin(), part.end());
+      }
+      out.reports.push_back(std::move(payload));
+      return;
+    }
+    case StmtKind::kReject:
+      out.reject = true;
+      return;
+  }
+}
+
+void RefEvaluator::run_init(RefState& state, const RefHeaderFn& hdr,
+                            RefOutcome& out) const {
+  exec(*program_.init_block, state, hdr, out, nullptr);
+}
+
+void RefEvaluator::run_tele(RefState& state, const RefHeaderFn& hdr,
+                            RefOutcome& out) const {
+  exec(*program_.tele_block, state, hdr, out, nullptr);
+}
+
+void RefEvaluator::run_check(RefState& state, const RefHeaderFn& hdr,
+                             RefOutcome& out) const {
+  exec(*program_.check_block, state, hdr, out, nullptr);
+}
+
+}  // namespace hydra::indus

@@ -1,0 +1,91 @@
+// Reference interpreter for Indus, executing the *typed AST* directly.
+//
+// This is the executable semantics of the language (§3.2): variables live
+// in named stores, dictionaries are plain maps, loops really iterate. It
+// exists to differentially test the compiler: for any program and any
+// input trace, running the AST here must produce exactly the same rejects,
+// reports, and final telemetry as lowering to IR and running the pipeline
+// interpreter (tests/differential_test.cpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "indus/ast.hpp"
+#include "indus/typecheck.hpp"
+#include "util/bitvec.hpp"
+
+namespace hydra::indus {
+
+// A value is one or more scalars (tuples flatten, in declaration order).
+using RefValue = std::vector<BitVec>;
+
+struct RefArray {
+  std::vector<BitVec> slots;  // fixed capacity, zero-initialized
+  int count = 0;
+};
+
+// Mutable evaluation state, spanning the packet (scalars/arrays) and the
+// switch (sensors). Control state is installed by the test harness.
+struct RefState {
+  std::map<std::string, RefValue> scalars;  // tele scalars and tuples
+  std::map<std::string, RefArray> arrays;   // tele arrays
+  std::map<std::string, BitVec> sensors;
+
+  // Control state: exact-match dictionaries (key = flattened values),
+  // sets, and config scalars/arrays.
+  std::map<std::string, std::map<std::vector<std::uint64_t>, RefValue>>
+      dicts;
+  std::map<std::string, std::set<std::vector<std::uint64_t>>> sets;
+  std::map<std::string, RefValue> configs;
+};
+
+struct RefOutcome {
+  bool reject = false;
+  std::vector<RefValue> reports;
+};
+
+// Resolves header variables by annotation (same contract as p4rt).
+using RefHeaderFn =
+    std::function<BitVec(const std::string& annotation, int width)>;
+
+class RefEvaluator {
+ public:
+  // `program` must be typechecked (Expr::type filled); `symbols` is the
+  // table produced by typecheck().
+  RefEvaluator(const Program& program, const SymbolTable& symbols);
+
+  // Initializes tele state (declaration initializers, zeroed arrays) —
+  // the "telemetry header injection" at the first hop.
+  void init_packet_state(RefState& state) const;
+  // Initializes sensor registers from their declarations.
+  void init_switch_state(RefState& state) const;
+
+  void run_init(RefState& state, const RefHeaderFn& hdr,
+                RefOutcome& out) const;
+  void run_tele(RefState& state, const RefHeaderFn& hdr,
+                RefOutcome& out) const;
+  void run_check(RefState& state, const RefHeaderFn& hdr,
+                 RefOutcome& out) const;
+
+ private:
+  struct Frame;  // loop bindings
+  RefValue eval(const Expr& e, RefState& state, const RefHeaderFn& hdr,
+                const Frame* frame) const;
+  BitVec eval1(const Expr& e, RefState& state, const RefHeaderFn& hdr,
+               const Frame* frame) const;
+  void exec(const Stmt& s, RefState& state, const RefHeaderFn& hdr,
+            RefOutcome& out, const Frame* frame) const;
+  void assign(const Expr& target, AssignOp op, RefValue value,
+              RefState& state, const RefHeaderFn& hdr,
+              const Frame* frame) const;
+  int declared_width(const std::string& name, std::size_t part) const;
+
+  const Program& program_;
+  const SymbolTable& symbols_;
+};
+
+}  // namespace hydra::indus

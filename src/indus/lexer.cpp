@@ -1,0 +1,211 @@
+#include "indus/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace hydra::indus {
+
+namespace {
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kMap = {
+      {"tele", Tok::kTele},       {"sensor", Tok::kSensor},
+      {"header", Tok::kHeader},   {"control", Tok::kControl},
+      {"bit", Tok::kBitKw},       {"bool", Tok::kBoolKw},
+      {"set", Tok::kSetKw},       {"dict", Tok::kDictKw},
+      {"if", Tok::kIf},           {"elsif", Tok::kElsif},
+      {"else", Tok::kElse},       {"for", Tok::kFor},
+      {"in", Tok::kIn},           {"reject", Tok::kReject},
+      {"report", Tok::kReport},   {"pass", Tok::kPass},
+      {"true", Tok::kTrue},       {"false", Tok::kFalse},
+  };
+  return kMap;
+}
+}  // namespace
+
+Lexer::Lexer(std::string_view source, Diagnostics& diags)
+    : src_(source), diags_(diags) {}
+
+char Lexer::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++loc_.line;
+    loc_.col = 1;
+  } else {
+    ++loc_.col;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_trivia() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const Loc start = loc_;
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_.error(start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::make(Tok kind, Loc loc) const {
+  Token t;
+  t.kind = kind;
+  t.loc = loc;
+  return t;
+}
+
+Token Lexer::lex_number(Loc loc) {
+  Token t = make(Tok::kNumber, loc);
+  std::uint64_t value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    bool any = false;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      const char c = advance();
+      const int digit = std::isdigit(static_cast<unsigned char>(c))
+                            ? c - '0'
+                            : std::tolower(c) - 'a' + 10;
+      value = value * 16 + static_cast<std::uint64_t>(digit);
+      any = true;
+    }
+    if (!any) diags_.error(loc, "malformed hex literal");
+  } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+    advance();
+    advance();
+    bool any = false;
+    while (peek() == '0' || peek() == '1') {
+      value = value * 2 + static_cast<std::uint64_t>(advance() - '0');
+      any = true;
+    }
+    if (!any) diags_.error(loc, "malformed binary literal");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + static_cast<std::uint64_t>(advance() - '0');
+    }
+  }
+  t.number = value;
+  return t;
+}
+
+Token Lexer::lex_ident(Loc loc) {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    text += advance();
+  }
+  const auto it = keywords().find(text);
+  if (it != keywords().end()) return make(it->second, loc);
+  Token t = make(Tok::kIdent, loc);
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::lex_string(Loc loc) {
+  Token t = make(Tok::kString, loc);
+  advance();  // opening quote
+  std::string text;
+  while (peek() != '"') {
+    if (peek() == '\0' || peek() == '\n') {
+      diags_.error(loc, "unterminated string literal");
+      t.text = std::move(text);
+      return t;
+    }
+    text += advance();
+  }
+  advance();  // closing quote
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::next_token() {
+  skip_trivia();
+  const Loc loc = loc_;
+  const char c = peek();
+  if (c == '\0') return make(Tok::kEof, loc);
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(loc);
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return lex_ident(loc);
+  }
+  if (c == '"') return lex_string(loc);
+
+  advance();
+  switch (c) {
+    case '{': return make(Tok::kLBrace, loc);
+    case '}': return make(Tok::kRBrace, loc);
+    case '(': return make(Tok::kLParen, loc);
+    case ')': return make(Tok::kRParen, loc);
+    case '[': return make(Tok::kLBracket, loc);
+    case ']': return make(Tok::kRBracket, loc);
+    case ',': return make(Tok::kComma, loc);
+    case ';': return make(Tok::kSemi, loc);
+    case '.': return make(Tok::kDot, loc);
+    case '@': return make(Tok::kAt, loc);
+    case '~': return make(Tok::kTilde, loc);
+    case '^': return make(Tok::kCaret, loc);
+    case '+':
+      return make(match('=') ? Tok::kPlusAssign : Tok::kPlus, loc);
+    case '-':
+      return make(match('=') ? Tok::kMinusAssign : Tok::kMinus, loc);
+    case '*': return make(Tok::kStar, loc);
+    case '/': return make(Tok::kSlash, loc);
+    case '%': return make(Tok::kPercent, loc);
+    case '&':
+      return make(match('&') ? Tok::kAndAnd : Tok::kAmp, loc);
+    case '|':
+      return make(match('|') ? Tok::kOrOr : Tok::kPipe, loc);
+    case '!':
+      return make(match('=') ? Tok::kNe : Tok::kBang, loc);
+    case '=':
+      return make(match('=') ? Tok::kEq : Tok::kAssign, loc);
+    case '<':
+      if (match('=')) return make(Tok::kLe, loc);
+      if (match('<')) return make(Tok::kShl, loc);
+      return make(Tok::kLAngle, loc);
+    case '>':
+      if (match('=')) return make(Tok::kGe, loc);
+      if (match('>')) return make(Tok::kShr, loc);
+      return make(Tok::kRAngle, loc);
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      return next_token();
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next_token();
+    const bool eof = t.kind == Tok::kEof;
+    out.push_back(std::move(t));
+    if (eof) break;
+  }
+  return out;
+}
+
+}  // namespace hydra::indus

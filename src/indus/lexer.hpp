@@ -1,0 +1,39 @@
+// Hand-written lexer for Indus. Supports decimal, hex (0x...) and binary
+// (0b...) numeric literals, C-style /* */ and // comments, and @"..."
+// annotation strings for header variables.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "indus/diagnostics.hpp"
+#include "indus/token.hpp"
+
+namespace hydra::indus {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, Diagnostics& diags);
+
+  // Lexes the whole input; the last token is always kEof.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next_token();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_trivia();
+  Token make(Tok kind, Loc loc) const;
+  Token lex_number(Loc loc);
+  Token lex_ident(Loc loc);
+  Token lex_string(Loc loc);
+
+  std::string_view src_;
+  Diagnostics& diags_;
+  std::size_t pos_ = 0;
+  Loc loc_;
+};
+
+}  // namespace hydra::indus

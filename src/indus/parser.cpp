@@ -1,0 +1,434 @@
+#include "indus/parser.hpp"
+
+#include "indus/lexer.hpp"
+
+namespace hydra::indus {
+
+Parser::Parser(std::vector<Token> tokens, Diagnostics& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  if (tokens_.empty()) tokens_.push_back(Token{});  // guarantee an EOF token
+}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t i = idx_ + static_cast<std::size_t>(ahead);
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+Token Parser::take() {
+  Token t = cur();
+  if (idx_ + 1 < tokens_.size()) ++idx_;
+  return t;
+}
+
+bool Parser::accept(Tok kind) {
+  if (!at(kind)) return false;
+  take();
+  return true;
+}
+
+Token Parser::expect(Tok kind, const char* context) {
+  if (at(kind)) return take();
+  diags_.error(cur().loc, std::string("expected ") + tok_name(kind) + " " +
+                              context + ", found " + cur().to_string());
+  return cur();
+}
+
+void Parser::expect_rangle(const char* context) {
+  if (at(Tok::kRAngle)) {
+    take();
+    return;
+  }
+  if (at(Tok::kShr)) {
+    // `dict<bit<8>,bit<8>>` — the final '>>' closes two generics.
+    tokens_[idx_].kind = Tok::kRAngle;
+    return;
+  }
+  diags_.error(cur().loc, std::string("expected '>' ") + context +
+                              ", found " + cur().to_string());
+}
+
+void Parser::sync_to_semi() {
+  while (!at(Tok::kEof) && !at(Tok::kSemi) && !at(Tok::kRBrace)) take();
+  accept(Tok::kSemi);
+}
+
+TypePtr Parser::parse_base_type() {
+  const Loc loc = cur().loc;
+  if (accept(Tok::kBoolKw)) return Type::boolean();
+  if (accept(Tok::kBitKw)) {
+    expect(Tok::kLAngle, "after 'bit'");
+    const Token n = expect(Tok::kNumber, "as bit width");
+    expect_rangle("after bit width");
+    const int width = static_cast<int>(n.number);
+    if (width < 1 || width > 64) {
+      diags_.error(n.loc, "bit width must be in [1, 64]");
+      return Type::bits(32);
+    }
+    return Type::bits(width);
+  }
+  if (accept(Tok::kSetKw)) {
+    expect(Tok::kLAngle, "after 'set'");
+    TypePtr elem = parse_type();
+    expect_rangle("after set element type");
+    return Type::set(std::move(elem));
+  }
+  if (accept(Tok::kDictKw)) {
+    expect(Tok::kLAngle, "after 'dict'");
+    TypePtr key = parse_type();
+    expect(Tok::kComma, "between dict key and value types");
+    TypePtr value = parse_type();
+    expect_rangle("after dict value type");
+    return Type::dict(std::move(key), std::move(value));
+  }
+  if (accept(Tok::kLParen)) {
+    std::vector<TypePtr> members;
+    members.push_back(parse_type());
+    while (accept(Tok::kComma)) members.push_back(parse_type());
+    expect(Tok::kRParen, "after tuple type");
+    if (members.size() < 2) {
+      diags_.error(loc, "tuple type needs at least two members");
+      return members.empty() ? Type::bits(32) : members[0];
+    }
+    return Type::tuple(std::move(members));
+  }
+  diags_.error(loc, "expected a type, found " + cur().to_string());
+  take();
+  return Type::bits(32);
+}
+
+TypePtr Parser::parse_type() {
+  TypePtr t = parse_base_type();
+  while (at(Tok::kLBracket)) {
+    take();
+    const Token n = expect(Tok::kNumber, "as array size");
+    expect(Tok::kRBracket, "after array size");
+    const int size = static_cast<int>(n.number);
+    if (size < 1 || size > 4096) {
+      diags_.error(n.loc, "array size must be in [1, 4096]");
+    } else {
+      t = Type::array(std::move(t), size);
+    }
+  }
+  return t;
+}
+
+Decl Parser::parse_decl() {
+  Decl d;
+  d.loc = cur().loc;
+  switch (take().kind) {
+    case Tok::kTele: d.kind = VarKind::kTele; break;
+    case Tok::kSensor: d.kind = VarKind::kSensor; break;
+    case Tok::kHeader: d.kind = VarKind::kHeader; break;
+    case Tok::kControl: d.kind = VarKind::kControl; break;
+    default:
+      diags_.error(d.loc, "expected a variable kind (tele/sensor/header/"
+                          "control)");
+      d.kind = VarKind::kTele;
+      break;
+  }
+  // `control thresh;` is legal — untyped control variables default to
+  // bit<32> (the paper's Figure 2 uses this shorthand).
+  if (at(Tok::kIdent)) {
+    d.type = Type::bits(32);
+  } else {
+    d.type = parse_type();
+  }
+  d.name = expect(Tok::kIdent, "as variable name").text;
+  if (accept(Tok::kAt)) {
+    d.annotation = expect(Tok::kString, "as header annotation").text;
+  }
+  if (accept(Tok::kAssign)) {
+    d.init = parse_expression();
+  }
+  expect(Tok::kSemi, "after declaration");
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+namespace {
+// Binding power; higher binds tighter. Mirrors C operator precedence.
+int precedence(Tok t) {
+  switch (t) {
+    case Tok::kOrOr: return 1;
+    case Tok::kAndAnd: return 2;
+    case Tok::kEq:
+    case Tok::kNe: return 3;
+    case Tok::kLAngle:
+    case Tok::kRAngle:
+    case Tok::kLe:
+    case Tok::kGe:
+    case Tok::kIn: return 4;
+    case Tok::kPipe: return 5;
+    case Tok::kCaret: return 6;
+    case Tok::kAmp: return 7;
+    case Tok::kShl:
+    case Tok::kShr: return 8;
+    case Tok::kPlus:
+    case Tok::kMinus: return 9;
+    case Tok::kStar:
+    case Tok::kSlash:
+    case Tok::kPercent: return 10;
+    default: return 0;
+  }
+}
+
+BinOp to_binop(Tok t) {
+  switch (t) {
+    case Tok::kOrOr: return BinOp::kOr;
+    case Tok::kAndAnd: return BinOp::kAnd;
+    case Tok::kEq: return BinOp::kEq;
+    case Tok::kNe: return BinOp::kNe;
+    case Tok::kLAngle: return BinOp::kLt;
+    case Tok::kRAngle: return BinOp::kGt;
+    case Tok::kLe: return BinOp::kLe;
+    case Tok::kGe: return BinOp::kGe;
+    case Tok::kPipe: return BinOp::kBitOr;
+    case Tok::kCaret: return BinOp::kBitXor;
+    case Tok::kAmp: return BinOp::kBitAnd;
+    case Tok::kShl: return BinOp::kShl;
+    case Tok::kShr: return BinOp::kShr;
+    case Tok::kPlus: return BinOp::kAdd;
+    case Tok::kMinus: return BinOp::kSub;
+    case Tok::kStar: return BinOp::kMul;
+    case Tok::kSlash: return BinOp::kDiv;
+    case Tok::kPercent: return BinOp::kMod;
+    default: return BinOp::kAdd;
+  }
+}
+}  // namespace
+
+ExprPtr Parser::parse_expression() { return parse_binary(1); }
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    const Tok op_tok = cur().kind;
+    const int prec = precedence(op_tok);
+    if (prec < min_prec || prec == 0) return lhs;
+    const Loc loc = take().loc;
+    if (op_tok == Tok::kIn) {
+      ExprPtr rhs = parse_binary(prec + 1);
+      lhs = make_in(std::move(lhs), std::move(rhs), loc);
+    } else {
+      ExprPtr rhs = parse_binary(prec + 1);
+      lhs = make_binary(to_binop(op_tok), std::move(lhs), std::move(rhs), loc);
+    }
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  const Loc loc = cur().loc;
+  if (accept(Tok::kBang)) return make_unary(UnOp::kNot, parse_unary(), loc);
+  if (accept(Tok::kTilde)) return make_unary(UnOp::kBitNot, parse_unary(), loc);
+  if (accept(Tok::kMinus)) return make_unary(UnOp::kNeg, parse_unary(), loc);
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  for (;;) {
+    if (at(Tok::kLBracket)) {
+      const Loc loc = take().loc;
+      // dict keys may be tuple expressions: allowed[(a, b)]
+      ExprPtr index = parse_expression();
+      expect(Tok::kRBracket, "after index expression");
+      e = make_index(std::move(e), std::move(index), loc);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parse_primary() {
+  const Loc loc = cur().loc;
+  if (at(Tok::kNumber)) return make_number(take().number, loc);
+  if (accept(Tok::kTrue)) return make_bool(true, loc);
+  if (accept(Tok::kFalse)) return make_bool(false, loc);
+  if (at(Tok::kIdent)) {
+    std::string name = take().text;
+    if (at(Tok::kLParen)) {
+      // Call: abs(e), length(e).
+      take();
+      std::vector<ExprPtr> args;
+      if (!at(Tok::kRParen)) {
+        args.push_back(parse_expression());
+        while (accept(Tok::kComma)) args.push_back(parse_expression());
+      }
+      expect(Tok::kRParen, "after call arguments");
+      return make_call(std::move(name), std::move(args), loc);
+    }
+    return make_var(std::move(name), loc);
+  }
+  if (accept(Tok::kLParen)) {
+    std::vector<ExprPtr> elems;
+    elems.push_back(parse_expression());
+    while (accept(Tok::kComma)) elems.push_back(parse_expression());
+    expect(Tok::kRParen, "after parenthesized expression");
+    if (elems.size() == 1) return std::move(elems[0]);
+    return make_tuple(std::move(elems), loc);
+  }
+  diags_.error(loc, "expected an expression, found " + cur().to_string());
+  take();
+  return make_number(0, loc);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parse_block() {
+  const Loc loc = cur().loc;
+  expect(Tok::kLBrace, "to open a block");
+  std::vector<StmtPtr> body;
+  while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+    body.push_back(parse_stmt());
+  }
+  expect(Tok::kRBrace, "to close a block");
+  return make_block(std::move(body), loc);
+}
+
+StmtPtr Parser::parse_if(Loc loc) {
+  std::vector<IfArm> arms;
+  expect(Tok::kLParen, "after 'if'");
+  ExprPtr cond = parse_expression();
+  expect(Tok::kRParen, "after if condition");
+  StmtPtr then = parse_block();
+  arms.push_back({std::move(cond), std::move(then)});
+  StmtPtr else_body;
+  for (;;) {
+    if (accept(Tok::kElsif)) {
+      expect(Tok::kLParen, "after 'elsif'");
+      ExprPtr c = parse_expression();
+      expect(Tok::kRParen, "after elsif condition");
+      StmtPtr b = parse_block();
+      arms.push_back({std::move(c), std::move(b)});
+    } else if (accept(Tok::kElse)) {
+      // `else if` chains are accepted as sugar for `elsif`.
+      if (accept(Tok::kIf)) {
+        expect(Tok::kLParen, "after 'else if'");
+        ExprPtr c = parse_expression();
+        expect(Tok::kRParen, "after else-if condition");
+        StmtPtr b = parse_block();
+        arms.push_back({std::move(c), std::move(b)});
+        continue;
+      }
+      else_body = parse_block();
+      break;
+    } else {
+      break;
+    }
+  }
+  return make_if(std::move(arms), std::move(else_body), loc);
+}
+
+StmtPtr Parser::parse_for(Loc loc) {
+  expect(Tok::kLParen, "after 'for'");
+  std::vector<std::string> vars;
+  vars.push_back(expect(Tok::kIdent, "as loop variable").text);
+  while (accept(Tok::kComma)) {
+    vars.push_back(expect(Tok::kIdent, "as loop variable").text);
+  }
+  expect(Tok::kIn, "in for loop");
+  std::vector<ExprPtr> iters;
+  iters.push_back(parse_expression());
+  while (accept(Tok::kComma)) iters.push_back(parse_expression());
+  expect(Tok::kRParen, "after for loop header");
+  StmtPtr body = parse_block();
+  if (vars.size() != iters.size()) {
+    diags_.error(loc, "for loop has " + std::to_string(vars.size()) +
+                          " variables but " + std::to_string(iters.size()) +
+                          " iterables");
+  }
+  return make_for(std::move(vars), std::move(iters), std::move(body), loc);
+}
+
+StmtPtr Parser::parse_report(Loc loc) {
+  std::vector<ExprPtr> args;
+  if (accept(Tok::kLParen)) {
+    if (!at(Tok::kRParen)) {
+      // report((a, b, c)) — a single tuple payload is flattened.
+      ExprPtr first = parse_expression();
+      if (first->kind == ExprKind::kTuple && !at(Tok::kComma)) {
+        args = std::move(first->args);
+      } else {
+        args.push_back(std::move(first));
+        while (accept(Tok::kComma)) args.push_back(parse_expression());
+      }
+    }
+    expect(Tok::kRParen, "after report payload");
+  }
+  expect(Tok::kSemi, "after 'report'");
+  return make_report(std::move(args), loc);
+}
+
+StmtPtr Parser::parse_stmt() {
+  const Loc loc = cur().loc;
+  if (accept(Tok::kPass)) {
+    expect(Tok::kSemi, "after 'pass'");
+    return make_pass(loc);
+  }
+  if (accept(Tok::kReject)) {
+    expect(Tok::kSemi, "after 'reject'");
+    return make_reject(loc);
+  }
+  if (accept(Tok::kReport)) return parse_report(loc);
+  if (accept(Tok::kIf)) return parse_if(loc);
+  if (accept(Tok::kFor)) return parse_for(loc);
+  if (at(Tok::kLBrace)) return parse_block();
+
+  // Assignment or list.push().
+  ExprPtr target = parse_postfix();
+  if (accept(Tok::kDot)) {
+    const Token method = expect(Tok::kIdent, "as method name");
+    if (method.text != "push") {
+      diags_.error(method.loc, "unknown method '" + method.text +
+                                   "' (only 'push' is supported)");
+    }
+    expect(Tok::kLParen, "after '.push'");
+    ExprPtr value = parse_expression();
+    expect(Tok::kRParen, "after push argument");
+    expect(Tok::kSemi, "after push statement");
+    return make_push(std::move(target), std::move(value), loc);
+  }
+  AssignOp op = AssignOp::kSet;
+  if (accept(Tok::kPlusAssign)) {
+    op = AssignOp::kAdd;
+  } else if (accept(Tok::kMinusAssign)) {
+    op = AssignOp::kSub;
+  } else if (!accept(Tok::kAssign)) {
+    diags_.error(cur().loc,
+                 "expected '=', '+=', '-=' or '.push' in statement, found " +
+                     cur().to_string());
+    sync_to_semi();
+    return make_pass(loc);
+  }
+  ExprPtr value = parse_expression();
+  expect(Tok::kSemi, "after assignment");
+  return make_assign(std::move(target), op, std::move(value), loc);
+}
+
+Program Parser::parse_program() {
+  Program p;
+  while (at(Tok::kTele) || at(Tok::kSensor) || at(Tok::kHeader) ||
+         at(Tok::kControl)) {
+    p.decls.push_back(parse_decl());
+  }
+  p.init_block = parse_block();
+  p.tele_block = parse_block();
+  p.check_block = parse_block();
+  if (!at(Tok::kEof)) {
+    diags_.error(cur().loc, "unexpected input after the checker block");
+  }
+  return p;
+}
+
+Program parse_indus(const std::string& source, Diagnostics& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lex_all(), diags);
+  return parser.parse_program();
+}
+
+}  // namespace hydra::indus

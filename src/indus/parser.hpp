@@ -1,0 +1,70 @@
+// Recursive-descent parser for Indus.
+//
+// Grammar (paper Figure 4 core plus prototype extensions):
+//   program  := decl* block block block
+//   decl     := kind type? ident ('@' string)? ('=' expr)? ';'
+//   type     := base ('[' number ']')*
+//   base     := 'bit' '<' number '>' | 'bool'
+//             | 'set' '<' type '>' | 'dict' '<' type ',' type '>'
+//             | '(' type (',' type)+ ')'
+//   block    := '{' stmt* '}'
+//   stmt     := 'pass' ';' | 'reject' ';' | report | if | for
+//             | postfix '.' 'push' '(' expr ')' ';'
+//             | postfix ('=' | '+=' | '-=') expr ';'
+// Expressions use standard precedence climbing; `in` binds like a
+// comparison. Nested generics close with '>>' which the parser splits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "indus/ast.hpp"
+#include "indus/diagnostics.hpp"
+#include "indus/token.hpp"
+
+namespace hydra::indus {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Diagnostics& diags);
+
+  // Parses a full three-block program. Diagnostics receive all errors; the
+  // returned Program is best-effort when errors are present.
+  Program parse_program();
+
+  // Parses a single expression (used by tests and the LTLf translator).
+  ExprPtr parse_expression();
+
+ private:
+  const Token& cur() const { return tokens_[idx_]; }
+  const Token& peek(int ahead = 1) const;
+  bool at(Tok kind) const { return cur().kind == kind; }
+  Token take();
+  bool accept(Tok kind);
+  Token expect(Tok kind, const char* context);
+  void expect_rangle(const char* context);  // splits '>>' when needed
+  void sync_to_semi();
+
+  Decl parse_decl();
+  TypePtr parse_type();
+  TypePtr parse_base_type();
+  StmtPtr parse_block();
+  StmtPtr parse_stmt();
+  StmtPtr parse_if(Loc loc);
+  StmtPtr parse_for(Loc loc);
+  StmtPtr parse_report(Loc loc);
+
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  std::size_t idx_ = 0;
+  Diagnostics& diags_;
+};
+
+// Convenience: lex + parse + (optionally) typecheck in one call.
+Program parse_indus(const std::string& source, Diagnostics& diags);
+
+}  // namespace hydra::indus

@@ -1,0 +1,17 @@
+// AST pretty-printer: renders a Program back to Indus surface syntax.
+// Used for parser round-trip tests, the LTLf translator's generated
+// programs, and the Table 1 LoC metric.
+#pragma once
+
+#include <string>
+
+#include "indus/ast.hpp"
+
+namespace hydra::indus {
+
+std::string to_source(const Expr& expr);
+std::string to_source(const Stmt& stmt, int indent = 0);
+std::string to_source(const Decl& decl);
+std::string to_source(const Program& program);
+
+}  // namespace hydra::indus

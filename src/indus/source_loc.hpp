@@ -1,0 +1,18 @@
+// Source positions for diagnostics. Lines and columns are 1-based.
+#pragma once
+
+#include <string>
+
+namespace hydra::indus {
+
+struct Loc {
+  int line = 1;
+  int col = 1;
+
+  std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+  bool operator==(const Loc&) const = default;
+};
+
+}  // namespace hydra::indus

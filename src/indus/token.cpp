@@ -1,0 +1,79 @@
+#include "indus/token.hpp"
+
+namespace hydra::indus {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kString: return "string";
+    case Tok::kTele: return "'tele'";
+    case Tok::kSensor: return "'sensor'";
+    case Tok::kHeader: return "'header'";
+    case Tok::kControl: return "'control'";
+    case Tok::kBitKw: return "'bit'";
+    case Tok::kBoolKw: return "'bool'";
+    case Tok::kSetKw: return "'set'";
+    case Tok::kDictKw: return "'dict'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElsif: return "'elsif'";
+    case Tok::kElse: return "'else'";
+    case Tok::kFor: return "'for'";
+    case Tok::kIn: return "'in'";
+    case Tok::kReject: return "'reject'";
+    case Tok::kReport: return "'report'";
+    case Tok::kPass: return "'pass'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kLAngle: return "'<'";
+    case Tok::kRAngle: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kBang: return "'!'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kDot: return "'.'";
+    case Tok::kAt: return "'@'";
+    case Tok::kEof: return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::to_string() const {
+  switch (kind) {
+    case Tok::kIdent:
+      return "ident(" + text + ")";
+    case Tok::kNumber:
+      return "num(" + std::to_string(number) + ")";
+    case Tok::kString:
+      return "str(\"" + text + "\")";
+    default:
+      return tok_name(kind);
+  }
+}
+
+}  // namespace hydra::indus

@@ -1,0 +1,86 @@
+// Token stream produced by the Indus lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "indus/source_loc.hpp"
+
+namespace hydra::indus {
+
+enum class Tok {
+  // Literals and identifiers.
+  kIdent,
+  kNumber,
+  kTrue,
+  kFalse,
+  kString,  // annotation payloads, e.g. @"hdr.ipv4.src_addr"
+
+  // Keywords.
+  kTele,
+  kSensor,
+  kHeader,
+  kControl,
+  kBitKw,   // `bit`
+  kBoolKw,  // `bool`
+  kSetKw,
+  kDictKw,
+  kIf,
+  kElsif,
+  kElse,
+  kFor,
+  kIn,
+  kReject,
+  kReport,
+  kPass,
+
+  // Punctuation / operators.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLAngle,     // <
+  kRAngle,     // >
+  kLe,         // <=
+  kGe,         // >=
+  kEq,         // ==
+  kNe,         // !=
+  kAssign,     // =
+  kPlusAssign, // +=
+  kMinusAssign,// -=
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,        // &
+  kPipe,       // |
+  kCaret,      // ^
+  kTilde,      // ~
+  kShl,        // <<
+  kShr,        // >>
+  kAndAnd,     // &&
+  kOrOr,       // ||
+  kBang,       // !
+  kComma,
+  kSemi,
+  kDot,
+  kAt,         // @ (header annotations)
+
+  kEof,
+};
+
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;          // identifier text / string payload
+  std::uint64_t number = 0;  // numeric literal value
+  Loc loc;
+
+  std::string to_string() const;
+};
+
+}  // namespace hydra::indus

@@ -1,0 +1,59 @@
+// Indus type checker (§3.2). Enforces:
+//   * every variable is declared exactly once, every use is declared;
+//   * header/control variables are read-only (the non-interference property:
+//     a checker cannot alter forwarding behaviour except by reject);
+//   * tele/sensor variables are read-write; only tele arrays can be pushed;
+//   * reject may appear only in the checker block; report in any block;
+//   * dictionary lookups are keyed with the declared key type;
+//   * for loops iterate typed fixed-size arrays, guaranteeing termination;
+//   * strong typing across operators (bits with bits, bool with bool).
+//
+// Bit widths convert implicitly (values are masked on assignment) — the
+// paper's examples freely mix widths, e.g. `left_load += packet_length`.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "indus/ast.hpp"
+#include "indus/diagnostics.hpp"
+
+namespace hydra::indus {
+
+// Built-in read-only variables every program may reference without
+// declaring: `last_hop`/`first_hop` (bool) and `packet_length` (bit<32>).
+struct BuiltinVar {
+  const char* name;
+  TypeKind kind;
+  int width;
+};
+
+struct VarInfo {
+  VarKind kind = VarKind::kTele;
+  TypePtr type;
+  std::string annotation;  // header binding in the forwarding program
+  bool builtin = false;
+  const Expr* init = nullptr;  // declaration initializer, may be null
+};
+
+class SymbolTable {
+ public:
+  // Returns false if the name already exists.
+  bool declare(const std::string& name, VarInfo info);
+  const VarInfo* lookup(const std::string& name) const;
+  const std::map<std::string, VarInfo>& all() const { return vars_; }
+
+ private:
+  std::map<std::string, VarInfo> vars_;
+};
+
+enum class BlockRole { kInit, kTelemetry, kChecker };
+
+// Type checks `program` in place (filling Expr::type) and returns the symbol
+// table. All problems are reported into `diags`.
+SymbolTable typecheck(Program& program, Diagnostics& diags);
+
+// Parses and type checks; throws CompileError on any diagnostic error.
+Program parse_and_check(const std::string& source);
+
+}  // namespace hydra::indus

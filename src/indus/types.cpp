@@ -1,0 +1,134 @@
+#include "indus/types.hpp"
+
+#include <stdexcept>
+
+namespace hydra::indus {
+
+TypePtr Type::bits(int width) {
+  if (width < 1 || width > 64) {
+    throw std::invalid_argument("bit width out of range: " +
+                                std::to_string(width));
+  }
+  return TypePtr(new Type(TypeKind::kBit, width, {}));
+}
+
+TypePtr Type::boolean() {
+  static const TypePtr kBool(new Type(TypeKind::kBool, 1, {}));
+  return kBool;
+}
+
+TypePtr Type::array(TypePtr elem, int size) {
+  if (size < 1) throw std::invalid_argument("array size must be positive");
+  if (!elem) throw std::invalid_argument("array element type is null");
+  return TypePtr(new Type(TypeKind::kArray, size, {std::move(elem)}));
+}
+
+TypePtr Type::set(TypePtr elem) {
+  if (!elem) throw std::invalid_argument("set element type is null");
+  return TypePtr(new Type(TypeKind::kSet, 0, {std::move(elem)}));
+}
+
+TypePtr Type::dict(TypePtr key, TypePtr value) {
+  if (!key || !value) throw std::invalid_argument("dict type is null");
+  return TypePtr(
+      new Type(TypeKind::kDict, 0, {std::move(key), std::move(value)}));
+}
+
+TypePtr Type::tuple(std::vector<TypePtr> elems) {
+  if (elems.size() < 2) {
+    throw std::invalid_argument("tuple needs at least two members");
+  }
+  return TypePtr(new Type(TypeKind::kTuple, 0, std::move(elems)));
+}
+
+int Type::flat_bits() const {
+  switch (kind_) {
+    case TypeKind::kBit:
+      return width_;
+    case TypeKind::kBool:
+      return 1;
+    case TypeKind::kArray: {
+      // Elements plus a fill-count field wide enough to hold `size`.
+      int count_bits = 1;
+      while ((1 << count_bits) <= width_) ++count_bits;
+      return width_ * elems_[0]->flat_bits() + count_bits;
+    }
+    case TypeKind::kTuple: {
+      int total = 0;
+      for (const auto& m : elems_) total += m->flat_bits();
+      return total;
+    }
+    case TypeKind::kSet:
+    case TypeKind::kDict:
+      // Sets and dicts live in tables/registers, never on the wire.
+      return 0;
+  }
+  return 0;
+}
+
+std::vector<int> Type::flatten_widths() const {
+  switch (kind_) {
+    case TypeKind::kBit:
+      return {width_};
+    case TypeKind::kBool:
+      return {1};
+    case TypeKind::kTuple: {
+      std::vector<int> out;
+      for (const auto& m : elems_) {
+        const auto part = m->flatten_widths();
+        out.insert(out.end(), part.begin(), part.end());
+      }
+      return out;
+    }
+    case TypeKind::kArray: {
+      std::vector<int> out;
+      const auto part = elems_[0]->flatten_widths();
+      for (int i = 0; i < width_; ++i) {
+        out.insert(out.end(), part.begin(), part.end());
+      }
+      return out;
+    }
+    case TypeKind::kSet:
+    case TypeKind::kDict:
+      return {};
+  }
+  return {};
+}
+
+bool Type::equals(const Type& other) const {
+  if (kind_ != other.kind_ || width_ != other.width_ ||
+      elems_.size() != other.elems_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    if (!elems_[i]->equals(*other.elems_[i])) return false;
+  }
+  return true;
+}
+
+std::string Type::to_string() const {
+  switch (kind_) {
+    case TypeKind::kBit:
+      return "bit<" + std::to_string(width_) + ">";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kArray:
+      return elems_[0]->to_string() + "[" + std::to_string(width_) + "]";
+    case TypeKind::kSet:
+      return "set<" + elems_[0]->to_string() + ">";
+    case TypeKind::kDict:
+      return "dict<" + elems_[0]->to_string() + "," + elems_[1]->to_string() +
+             ">";
+    case TypeKind::kTuple: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < elems_.size(); ++i) {
+        if (i) out += ",";
+        out += elems_[i]->to_string();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace hydra::indus

@@ -1,0 +1,79 @@
+// The Indus type system (paper Figure 4):
+//   t ::= bit<n> | bool | t[n] | set<t> | dict<k, v> | (t1, ..., tk)
+// Tuples are a prototype extension used for dictionary keys and report
+// payloads (e.g. dict<(bit<32>, bit<32>), bool> in the stateful firewall).
+//
+// Types are immutable values with structural equality. Array sizes are part
+// of the type, which is what guarantees for-loop termination (§3.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hydra::indus {
+
+enum class TypeKind {
+  kBit,
+  kBool,
+  kArray,
+  kSet,
+  kDict,
+  kTuple,
+};
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+class Type {
+ public:
+  static TypePtr bits(int width);
+  static TypePtr boolean();
+  static TypePtr array(TypePtr elem, int size);
+  static TypePtr set(TypePtr elem);
+  static TypePtr dict(TypePtr key, TypePtr value);
+  static TypePtr tuple(std::vector<TypePtr> elems);
+
+  TypeKind kind() const { return kind_; }
+  bool is_bits() const { return kind_ == TypeKind::kBit; }
+  bool is_bool() const { return kind_ == TypeKind::kBool; }
+  bool is_array() const { return kind_ == TypeKind::kArray; }
+  bool is_set() const { return kind_ == TypeKind::kSet; }
+  bool is_dict() const { return kind_ == TypeKind::kDict; }
+  bool is_tuple() const { return kind_ == TypeKind::kTuple; }
+  // A scalar fits in a single PHV container: bit<n> or bool.
+  bool is_scalar() const { return is_bits() || is_bool(); }
+
+  int bit_width() const { return width_; }   // kBit only
+  int array_size() const { return width_; }  // kArray only
+  const TypePtr& element() const { return elems_[0]; }  // array/set
+  const TypePtr& key() const { return elems_[0]; }      // dict
+  const TypePtr& value() const { return elems_[1]; }    // dict
+  const std::vector<TypePtr>& members() const { return elems_; }  // tuple
+
+  // Total bits needed to carry one value of this type in the telemetry
+  // header (bool = 1 bit; arrays = size * elem bits + a count field).
+  int flat_bits() const;
+
+  // Scalar widths of the flattened representation, in declaration order.
+  // A tuple (bit<32>, bool) flattens to {32, 1}; scalars to a single entry.
+  std::vector<int> flatten_widths() const;
+
+  bool equals(const Type& other) const;
+  std::string to_string() const;
+
+ private:
+  Type(TypeKind kind, int width, std::vector<TypePtr> elems)
+      : kind_(kind), width_(width), elems_(std::move(elems)) {}
+
+  TypeKind kind_;
+  int width_;  // bit width for kBit, array size for kArray
+  std::vector<TypePtr> elems_;
+};
+
+inline bool operator==(const TypePtr& a, const TypePtr& b) {
+  if (!a || !b) return static_cast<bool>(a) == static_cast<bool>(b);
+  return a->equals(*b);
+}
+
+}  // namespace hydra::indus

@@ -1,0 +1,197 @@
+// Compiler intermediate representation.
+//
+// An Indus program lowers to a CheckerIR: a set of scalar *fields* (PHV
+// slots), *telemetry lists* (header stacks), *tables* (from control
+// variables), and *registers* (from sensor variables), plus three
+// instruction blocks (init / telemetry / check). The IR is loop-free —
+// `for` loops are unrolled over the statically-known list capacity — which
+// mirrors what the paper's compiler does for P4 targets (§4.1).
+//
+// The same IR drives three consumers:
+//   * the P4 text emitter (Table 1 "P4 Output LoC"),
+//   * the pipeline resource estimator (stages / PHV bits),
+//   * the runtime interpreter executing on simulated switches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "indus/ast.hpp"
+#include "util/bitvec.hpp"
+
+namespace hydra::ir {
+
+// Where a scalar field lives.
+enum class Space {
+  kTele,    // serialized into the Hydra telemetry header (on the wire)
+  kMeta,    // per-packet switch-local metadata (not on the wire)
+  kHeader,  // read-only binding into the forwarding program / intrinsic
+  kLocal,   // compiler temporary (metadata)
+};
+
+struct FieldId {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+  bool operator==(const FieldId&) const = default;
+};
+
+struct Field {
+  std::string name;  // debug name, e.g. "tele.tenant" or "tmp3"
+  Space space = Space::kLocal;
+  int width = 1;             // bits
+  bool is_bool = false;      // rendered as bool in P4 output
+  std::string annotation;    // kHeader: path in the forwarding program
+};
+
+// A tele array: `capacity` slots of a scalar element plus a fill counter.
+struct TeleList {
+  std::string name;
+  int capacity = 0;
+  int elem_width = 1;
+  bool elem_is_bool = false;
+  std::vector<FieldId> slots;  // size == capacity
+  FieldId count;               // current fill level
+};
+
+// Match kinds supported by generated tables.
+enum class MatchKind { kExact, kTernary, kLpm, kRange };
+
+// A match-action table generated from a control variable.
+//   * dict controls match on the flattened key and return the flattened
+//     value plus a hit flag;
+//   * non-dict controls ("config scalars") are keyless tables whose default
+//     action supplies the value;
+//   * set controls match on the element and return only the hit flag.
+struct Table {
+  std::string name;
+  std::vector<int> key_widths;    // empty for config scalars
+  std::vector<int> value_widths;  // empty for sets
+  bool from_set = false;
+  bool config_scalar = false;
+};
+
+// A register generated from a sensor variable.
+struct Register {
+  std::string name;
+  int width = 32;
+  hydra::BitVec initial{32, 0};
+};
+
+// ---------------------------------------------------------------------------
+// RValues: pure expression trees over fields and constants.
+// ---------------------------------------------------------------------------
+
+enum class RKind { kConst, kField, kUnary, kBinary, kAbsDiff };
+
+struct RValue;
+using RValuePtr = std::unique_ptr<RValue>;
+
+struct RValue {
+  RKind kind = RKind::kConst;
+  hydra::BitVec cval;                       // kConst
+  FieldId field;                            // kField
+  indus::UnOp unop = indus::UnOp::kNot;     // kUnary
+  indus::BinOp binop = indus::BinOp::kAdd;  // kBinary
+  std::vector<RValuePtr> args;
+
+  RValuePtr clone() const;
+  // Maximum operator-nesting depth; proxies ALU dependency depth for the
+  // stage scheduler.
+  int depth() const;
+  void collect_fields(std::vector<FieldId>& out) const;
+};
+
+RValuePtr rv_const(hydra::BitVec v);
+RValuePtr rv_bool(bool b);
+RValuePtr rv_field(FieldId f);
+RValuePtr rv_unary(indus::UnOp op, RValuePtr a);
+RValuePtr rv_binary(indus::BinOp op, RValuePtr a, RValuePtr b);
+RValuePtr rv_absdiff(RValuePtr a, RValuePtr b);
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+enum class InstrKind {
+  kAssign,       // dst := value
+  kTableLookup,  // dsts..., hit := table[keys...]
+  kRegRead,      // dst := registers[reg]
+  kRegWrite,     // registers[reg] := value
+  kPush,         // lists[list].push(value)
+  kIf,           // if (cond) then_body else else_body
+  kReject,
+  kReport,       // report(payload...)
+};
+
+struct Instr;
+using InstrPtr = std::unique_ptr<Instr>;
+
+struct Instr {
+  InstrKind kind = InstrKind::kAssign;
+
+  FieldId dst;             // kAssign, kRegRead
+  RValuePtr value;         // kAssign, kRegWrite
+
+  int table = -1;               // kTableLookup
+  std::vector<RValuePtr> keys;  // kTableLookup
+  std::vector<FieldId> dsts;    // kTableLookup value outputs
+  FieldId hit_dst;              // kTableLookup optional hit flag
+
+  int reg = -1;  // kRegRead / kRegWrite
+
+  int list = -1;           // kPush
+  RValuePtr push_value;    // kPush
+
+  RValuePtr cond;                 // kIf
+  std::vector<InstrPtr> then_body;
+  std::vector<InstrPtr> else_body;
+
+  std::vector<RValuePtr> report_payload;  // kReport
+
+  InstrPtr clone() const;
+};
+
+InstrPtr in_assign(FieldId dst, RValuePtr value);
+InstrPtr in_table(int table, std::vector<RValuePtr> keys,
+                  std::vector<FieldId> dsts, FieldId hit_dst);
+InstrPtr in_reg_read(int reg, FieldId dst);
+InstrPtr in_reg_write(int reg, RValuePtr value);
+InstrPtr in_push(int list, RValuePtr value);
+InstrPtr in_if(RValuePtr cond, std::vector<InstrPtr> then_body,
+               std::vector<InstrPtr> else_body = {});
+InstrPtr in_reject();
+InstrPtr in_report(std::vector<RValuePtr> payload);
+
+// ---------------------------------------------------------------------------
+// Whole-checker IR
+// ---------------------------------------------------------------------------
+
+struct CheckerIR {
+  std::string name;
+
+  std::vector<Field> fields;
+  std::vector<TeleList> lists;
+  std::vector<Table> tables;
+  std::vector<Register> registers;
+
+  std::vector<InstrPtr> init_block;
+  std::vector<InstrPtr> tele_block;
+  std::vector<InstrPtr> check_block;
+
+  const Field& field(FieldId id) const { return fields[id.id]; }
+
+  // Wire footprint of the telemetry header this checker adds to packets,
+  // in bits (scalars plus list slots plus list counters), excluding the
+  // fixed encapsulation preamble.
+  int telemetry_wire_bits() const;
+
+  int find_table(const std::string& name) const;   // -1 if absent
+  int find_register(const std::string& name) const;
+  int find_list(const std::string& name) const;
+  FieldId find_field(const std::string& name) const;
+
+  std::string dump() const;  // human-readable IR listing for tests/debug
+};
+
+}  // namespace hydra::ir

@@ -1,0 +1,38 @@
+#include "ltlf/eval.hpp"
+
+namespace hydra::ltlf {
+
+bool eval(const Formula& f, const Trace& trace, std::size_t pos) {
+  switch (f.op) {
+    case Op::kAtom:
+      return pos < trace.size() &&
+             trace[pos][static_cast<std::size_t>(f.atom)];
+    case Op::kNot:
+      return !eval(*f.kids[0], trace, pos);
+    case Op::kAnd:
+      return eval(*f.kids[0], trace, pos) && eval(*f.kids[1], trace, pos);
+    case Op::kOr:
+      return eval(*f.kids[0], trace, pos) || eval(*f.kids[1], trace, pos);
+    case Op::kNext:
+      return pos + 1 < trace.size() && eval(*f.kids[0], trace, pos + 1);
+    case Op::kUntil:
+      for (std::size_t j = pos; j < trace.size(); ++j) {
+        if (eval(*f.kids[1], trace, j)) return true;
+        if (!eval(*f.kids[0], trace, j)) return false;
+      }
+      return false;
+    case Op::kEventually:
+      for (std::size_t j = pos; j < trace.size(); ++j) {
+        if (eval(*f.kids[0], trace, j)) return true;
+      }
+      return false;
+    case Op::kGlobally:
+      for (std::size_t j = pos; j < trace.size(); ++j) {
+        if (!eval(*f.kids[0], trace, j)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace hydra::ltlf

@@ -1,0 +1,13 @@
+// Reference LTLf semantics over finite traces (De Giacomo & Vardi 2013).
+// Used as the oracle in the Theorem 3.1 equivalence property tests.
+#pragma once
+
+#include "ltlf/formula.hpp"
+
+namespace hydra::ltlf {
+
+// Truth of `f` at position `pos` of `trace`. The empty trace satisfies no
+// atom, X phi, or F phi, and satisfies every G phi — standard LTLf.
+bool eval(const Formula& f, const Trace& trace, std::size_t pos = 0);
+
+}  // namespace hydra::ltlf

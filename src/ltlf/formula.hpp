@@ -1,0 +1,50 @@
+// Linear Temporal Logic over finite traces (LTLf), as used in §3.3 to
+// establish Indus's expressiveness lower bound. Core connectives are
+// atom / not / and / next / until (Figure 5); or / eventually / globally /
+// implies are provided as standard abbreviations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hydra::ltlf {
+
+enum class Op {
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kNext,        // X phi: phi holds at the following event
+  kUntil,       // phi U psi
+  kEventually,  // F phi  ==  true U phi
+  kGlobally,    // G phi  ==  not F not phi
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  Op op = Op::kAtom;
+  int atom = 0;  // kAtom only
+  std::vector<FormulaPtr> kids;
+
+  static FormulaPtr make_atom(int index);
+  static FormulaPtr make_not(FormulaPtr a);
+  static FormulaPtr make_and(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr make_or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr make_next(FormulaPtr a);
+  static FormulaPtr make_until(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr make_eventually(FormulaPtr a);
+  static FormulaPtr make_globally(FormulaPtr a);
+
+  int max_atom() const;  // highest atom index used (-1 if none)
+  int depth() const;
+  std::string to_string() const;
+};
+
+// A finite trace: trace[t][i] is the truth of atom i at event t. Every
+// event row must cover the formula's atoms.
+using Trace = std::vector<std::vector<bool>>;
+
+}  // namespace hydra::ltlf

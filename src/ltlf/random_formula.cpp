@@ -1,0 +1,46 @@
+#include "ltlf/random_formula.hpp"
+
+namespace hydra::ltlf {
+
+FormulaPtr random_formula(Rng& rng, int num_atoms, int max_depth) {
+  if (max_depth <= 1 || rng.chance(0.3)) {
+    return Formula::make_atom(
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(num_atoms))));
+  }
+  switch (rng.below(7)) {
+    case 0:
+      return Formula::make_not(random_formula(rng, num_atoms, max_depth - 1));
+    case 1:
+      return Formula::make_and(random_formula(rng, num_atoms, max_depth - 1),
+                               random_formula(rng, num_atoms, max_depth - 1));
+    case 2:
+      return Formula::make_or(random_formula(rng, num_atoms, max_depth - 1),
+                              random_formula(rng, num_atoms, max_depth - 1));
+    case 3:
+      return Formula::make_next(random_formula(rng, num_atoms, max_depth - 1));
+    case 4:
+      return Formula::make_until(
+          random_formula(rng, num_atoms, max_depth - 1),
+          random_formula(rng, num_atoms, max_depth - 1));
+    case 5:
+      return Formula::make_eventually(
+          random_formula(rng, num_atoms, max_depth - 1));
+    default:
+      return Formula::make_globally(
+          random_formula(rng, num_atoms, max_depth - 1));
+  }
+}
+
+Trace random_trace(Rng& rng, int num_atoms, int length) {
+  Trace t;
+  t.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    std::vector<bool> event;
+    event.reserve(static_cast<std::size_t>(num_atoms));
+    for (int a = 0; a < num_atoms; ++a) event.push_back(rng.chance(0.5));
+    t.push_back(std::move(event));
+  }
+  return t;
+}
+
+}  // namespace hydra::ltlf

@@ -1,0 +1,15 @@
+// Random LTLf formulas and traces for the Theorem 3.1 property tests.
+#pragma once
+
+#include "ltlf/formula.hpp"
+#include "util/rng.hpp"
+
+namespace hydra::ltlf {
+
+// A random formula over `num_atoms` atoms with operator depth <= max_depth.
+FormulaPtr random_formula(Rng& rng, int num_atoms, int max_depth);
+
+// A random trace of `length` events over `num_atoms` atoms.
+Trace random_trace(Rng& rng, int num_atoms, int length);
+
+}  // namespace hydra::ltlf

@@ -1,0 +1,36 @@
+// LTLf -> Indus translation (§3.3, Theorem 3.1).
+//
+// Follows the paper's scheme: the telemetry block populates an array T with
+// an increasing sequence of positions and one boolean array A_i per atomic
+// predicate; the checker block evaluates the first-order translation of the
+// formula (Figure 5, bottom) with existential/universal quantifiers mapped
+// to for-loops over T. The packet is rejected iff the trace violates the
+// formula — so "checker accepts" is exactly LTLf satisfaction.
+#pragma once
+
+#include <string>
+
+#include "compiler/compile.hpp"
+#include "ltlf/formula.hpp"
+
+namespace hydra::ltlf {
+
+struct Translation {
+  std::string indus_source;
+  int num_atoms = 0;
+  int capacity = 0;  // maximum trace length the program supports
+};
+
+// `max_trace_len` bounds the unrolled loops (Indus arrays are fixed-size).
+Translation to_indus(const Formula& f, int max_trace_len = 8);
+
+// Compiles the translation and executes it hop-by-hop over `trace` (one
+// telemetry-block execution per event, checker at the end). Returns true
+// iff the checker accepted — which Theorem 3.1 says equals LTLf truth.
+bool run_translation(const compiler::CompiledChecker& compiled,
+                     const Trace& trace);
+
+// Convenience: translate + compile + run.
+bool check_trace(const Formula& f, const Trace& trace, int max_trace_len = 8);
+
+}  // namespace hydra::ltlf

@@ -1,0 +1,34 @@
+#include "net/event.hpp"
+
+#include <stdexcept>
+
+namespace hydra::net {
+
+void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  heap_.push(Item{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::run_until(SimTime t) {
+  while (!heap_.empty() && heap_.top().t <= t) {
+    // Copy out before pop so the handler may schedule more events.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.t;
+    item.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run() {
+  while (!heap_.empty()) {
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.t;
+    item.fn();
+  }
+}
+
+}  // namespace hydra::net

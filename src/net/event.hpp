@@ -1,0 +1,50 @@
+// Discrete-event simulation core. Time is in seconds (double); events with
+// equal timestamps fire in scheduling order (stable), which keeps runs
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hydra::net {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime t, std::function<void()> fn);
+  void schedule_in(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  // Runs events until the queue is empty or `t` is passed; `now()` advances
+  // to at most t.
+  void run_until(SimTime t);
+  void run();  // until empty
+
+ private:
+  struct Item {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+};
+
+}  // namespace hydra::net

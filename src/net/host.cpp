@@ -1,0 +1,24 @@
+#include "net/host.hpp"
+
+namespace hydra::net {
+
+std::optional<p4rt::Packet> Host::deliver(const p4rt::Packet& pkt,
+                                          double now) {
+  ++received_;
+  for (const auto& sink : sinks_) sink(pkt, now);
+  if (auto_icmp_reply_ && pkt.icmp && pkt.icmp->type == 8 && pkt.ipv4 &&
+      pkt.ipv4->dst == ip_) {
+    p4rt::Packet reply = pkt;
+    reply.tele.clear();
+    reply.ipv4->src = ip_;
+    reply.ipv4->dst = pkt.ipv4->src;
+    reply.icmp->type = 0;  // echo reply, same ident/seq
+    reply.eth.src = mac_;
+    reply.eth.dst = pkt.eth.src;
+    reply.created_at = now;
+    return reply;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hydra::net

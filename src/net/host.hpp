@@ -1,0 +1,49 @@
+// End hosts: packet sources/sinks with an automatic ICMP echo responder
+// (so ping RTTs can be measured exactly as the paper does with a "fast
+// ping" between servers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4rt/packet.hpp"
+
+namespace hydra::net {
+
+class Host {
+ public:
+  Host() = default;
+  Host(int id, std::string name, std::uint32_t ip, std::uint64_t mac)
+      : id_(id), name_(std::move(name)), ip_(ip), mac_(mac) {}
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::uint32_t ip() const { return ip_; }
+  std::uint64_t mac() const { return mac_; }
+
+  using Sink = std::function<void(const p4rt::Packet&, double now)>;
+  void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  void set_auto_icmp_reply(bool v) { auto_icmp_reply_ = v; }
+  bool auto_icmp_reply() const { return auto_icmp_reply_; }
+
+  std::uint64_t received() const { return received_; }
+
+  // Called by the network on delivery. Returns an echo reply to send, if
+  // the packet was an ICMP echo request addressed to this host.
+  std::optional<p4rt::Packet> deliver(const p4rt::Packet& pkt, double now);
+
+ private:
+  int id_ = -1;
+  std::string name_;
+  std::uint32_t ip_ = 0;
+  std::uint64_t mac_ = 0;
+  std::vector<Sink> sinks_;
+  bool auto_icmp_reply_ = true;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace hydra::net

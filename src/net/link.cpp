@@ -1,0 +1,32 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace hydra::net {
+
+Link::Link(const LinkSpec& spec) : spec_(spec) {}
+
+std::optional<double> Link::transmit(int dir, double now, int bytes) {
+  DirStats& d = dirs_[dir];
+  const double rate_bps = spec_.gbps * 1e9;
+  const double tx_time = static_cast<double>(bytes) * 8.0 / rate_bps;
+  const double start = std::max(now, d.busy_until);
+  // Backlog currently queued ahead of this packet, in bytes.
+  const double backlog_bytes = (start - now) * rate_bps / 8.0;
+  if (backlog_bytes + static_cast<double>(bytes) > buffer_bytes_) {
+    ++d.drops;
+    return std::nullopt;
+  }
+  d.busy_until = start + tx_time;
+  d.busy_time += tx_time;
+  ++d.packets;
+  d.bytes += static_cast<std::uint64_t>(bytes);
+  return d.busy_until + spec_.latency_s;
+}
+
+double Link::throughput_gbps(int dir, double now) const {
+  if (now <= 0.0) return 0.0;
+  return static_cast<double>(dirs_[dir].bytes) * 8.0 / now / 1e9;
+}
+
+}  // namespace hydra::net

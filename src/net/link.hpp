@@ -1,0 +1,46 @@
+// Link transmission model: store-and-forward with per-direction
+// serialization, propagation latency, and a bounded drop-tail buffer.
+// Tracks byte/packet counters for the throughput evaluation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/topology.hpp"
+
+namespace hydra::net {
+
+class Link {
+ public:
+  explicit Link(const LinkSpec& spec);
+
+  // Queues `bytes` for transmission in direction `dir` (0 = a->b, 1 = b->a)
+  // at time `now`. Returns the arrival time at the peer, or nullopt if the
+  // output buffer overflowed (tail drop).
+  std::optional<double> transmit(int dir, double now, int bytes);
+
+  const LinkSpec& spec() const { return spec_; }
+
+  struct DirStats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops = 0;
+    double busy_until = 0.0;
+    double busy_time = 0.0;  // cumulative serialization time
+  };
+  const DirStats& stats(int dir) const { return dirs_[dir]; }
+
+  // Mean offered load in Gb/s over [0, now].
+  double throughput_gbps(int dir, double now) const;
+
+  // Buffer capacity per direction; default 1 MiB, typical of a shallow
+  // switch port buffer.
+  void set_buffer_bytes(double bytes) { buffer_bytes_ = bytes; }
+
+ private:
+  LinkSpec spec_;
+  DirStats dirs_[2];
+  double buffer_bytes_ = 1024.0 * 1024.0;
+};
+
+}  // namespace hydra::net

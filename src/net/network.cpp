@@ -1,0 +1,295 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+#include "p4rt/tele_codec.hpp"
+
+namespace hydra::net {
+
+Network::Network(Topology topo) : topo_(std::move(topo)) {
+  for (const auto& l : topo_.links()) links_.emplace_back(l);
+  hosts_.resize(static_cast<std::size_t>(topo_.node_count()));
+  programs_.resize(static_cast<std::size_t>(topo_.node_count()));
+  for (int i = 0; i < topo_.node_count(); ++i) {
+    const NodeSpec& n = topo_.node(i);
+    if (n.kind == NodeKind::kHost) {
+      hosts_[static_cast<std::size_t>(i)] = Host(i, n.name, n.ip, n.mac);
+    }
+  }
+}
+
+Host& Network::host(int node_id) {
+  if (topo_.node(node_id).kind != NodeKind::kHost) {
+    throw std::invalid_argument("node " + std::to_string(node_id) +
+                                " is not a host");
+  }
+  return hosts_[static_cast<std::size_t>(node_id)];
+}
+
+void Network::set_program(int switch_id,
+                          std::shared_ptr<ForwardingProgram> prog) {
+  if (topo_.node(switch_id).kind != NodeKind::kSwitch) {
+    throw std::invalid_argument("node " + std::to_string(switch_id) +
+                                " is not a switch");
+  }
+  programs_[static_cast<std::size_t>(switch_id)] = std::move(prog);
+}
+
+ForwardingProgram* Network::program(int switch_id) {
+  return programs_[static_cast<std::size_t>(switch_id)].get();
+}
+
+int Network::deploy(
+    std::shared_ptr<const compiler::CompiledChecker> checker) {
+  if (!checker) throw std::invalid_argument("deploy: null checker");
+  Deployment d;
+  d.checker = checker;
+  d.interp = std::make_unique<p4rt::Interp>(checker->ir);
+  d.tele_wire_bytes = checker->layout.wire_bytes;
+  d.per_switch.resize(static_cast<std::size_t>(topo_.node_count()));
+  for (int i = 0; i < topo_.node_count(); ++i) {
+    if (topo_.node(i).kind == NodeKind::kSwitch) {
+      d.per_switch[static_cast<std::size_t>(i)] =
+          p4rt::make_checker_state(checker->ir);
+    }
+  }
+  deployments_.push_back(std::move(d));
+  return static_cast<int>(deployments_.size()) - 1;
+}
+
+const compiler::CompiledChecker& Network::checker(int deployment) const {
+  return *deployments_.at(static_cast<std::size_t>(deployment)).checker;
+}
+
+p4rt::Table& Network::checker_table(int deployment, int switch_id,
+                                    const std::string& var) {
+  Deployment& d = deployments_.at(static_cast<std::size_t>(deployment));
+  const int t = d.checker->ir.find_table(var);
+  if (t < 0) {
+    throw std::invalid_argument("checker '" + d.checker->name +
+                                "' has no control table '" + var + "'");
+  }
+  return d.per_switch.at(static_cast<std::size_t>(switch_id))
+      .tables[static_cast<std::size_t>(t)];
+}
+
+void Network::set_config(int deployment, int switch_id,
+                         const std::string& var,
+                         std::vector<BitVec> values) {
+  checker_table(deployment, switch_id, var).set_default(std::move(values));
+}
+
+void Network::set_config_all(int deployment, const std::string& var,
+                             std::vector<BitVec> values) {
+  for (int i = 0; i < topo_.node_count(); ++i) {
+    if (topo_.node(i).kind == NodeKind::kSwitch) {
+      set_config(deployment, i, var, values);
+    }
+  }
+}
+
+void Network::dict_insert_all(int deployment, const std::string& var,
+                              const std::vector<BitVec>& key,
+                              std::vector<BitVec> value) {
+  for (int i = 0; i < topo_.node_count(); ++i) {
+    if (topo_.node(i).kind == NodeKind::kSwitch) {
+      checker_table(deployment, i, var).insert_exact(key, value);
+    }
+  }
+}
+
+p4rt::RegisterArray& Network::checker_register(int deployment, int switch_id,
+                                               const std::string& var) {
+  Deployment& d = deployments_.at(static_cast<std::size_t>(deployment));
+  const int r = d.checker->ir.find_register(var);
+  if (r < 0) {
+    throw std::invalid_argument("checker '" + d.checker->name +
+                                "' has no sensor '" + var + "'");
+  }
+  return d.per_switch.at(static_cast<std::size_t>(switch_id))
+      .registers[static_cast<std::size_t>(r)];
+}
+
+void Network::subscribe_reports(ReportCallback callback) {
+  report_callbacks_.push_back(std::move(callback));
+}
+
+void Network::emit_report(ReportRecord record) {
+  reports_.push_back(std::move(record));
+  const ReportRecord& stored = reports_.back();
+  for (const auto& cb : report_callbacks_) cb(stored);
+}
+
+int Network::pipeline_stages() const {
+  int stages = baseline_.stages;
+  for (const auto& d : deployments_) {
+    stages = std::max(stages, d.checker->resources.checker_stages);
+  }
+  return stages;
+}
+
+double Network::switch_latency() const {
+  return base_proc_s_ + per_stage_s_ * pipeline_stages();
+}
+
+int Network::packet_wire_bytes(const p4rt::Packet& pkt) const {
+  int bytes = pkt.base_wire_bytes();
+  for (const auto& f : pkt.tele) {
+    if (f.checker >= 0 &&
+        f.checker < static_cast<int>(deployments_.size())) {
+      bytes += deployments_[static_cast<std::size_t>(f.checker)]
+                   .tele_wire_bytes;
+    }
+  }
+  return bytes;
+}
+
+void Network::send_from_host(int host_id, p4rt::Packet pkt) {
+  Host& h = host(host_id);
+  pkt.id = next_packet_id_++;
+  pkt.created_at = events_.now();
+  if (pkt.eth.src == 0) pkt.eth.src = h.mac();
+  ++counters_.injected;
+  transmit({host_id, 0}, std::move(pkt));
+}
+
+void Network::transmit(PortRef from, p4rt::Packet pkt) {
+  const int li = topo_.link_index(from);
+  if (li < 0) return;  // unconnected port: packet vanishes
+  const LinkSpec& spec = topo_.links()[static_cast<std::size_t>(li)];
+  const int dir = spec.a == from ? 0 : 1;
+  const PortRef dest = dir == 0 ? spec.b : spec.a;
+  Link& link = links_[static_cast<std::size_t>(li)];
+  const auto arrival =
+      link.transmit(dir, events_.now(), packet_wire_bytes(pkt));
+  if (!arrival) {
+    ++counters_.queue_dropped;
+    return;
+  }
+  events_.schedule_at(*arrival,
+                      [this, dest, p = std::move(pkt)]() mutable {
+                        node_receive(dest.node, dest.port, std::move(p));
+                      });
+}
+
+void Network::node_receive(int node, int port, p4rt::Packet pkt) {
+  const NodeSpec& spec = topo_.node(node);
+  if (spec.kind == NodeKind::kHost) {
+    ++counters_.delivered;
+    Host& h = hosts_[static_cast<std::size_t>(node)];
+    auto reply = h.deliver(pkt, events_.now());
+    if (reply) send_from_host(node, std::move(*reply));
+    return;
+  }
+  // Switch: model pipeline traversal latency, then process.
+  events_.schedule_in(switch_latency(),
+                      [this, node, port, p = std::move(pkt)]() mutable {
+                        switch_process(node, port, std::move(p));
+                      });
+}
+
+void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
+  HopContext ctx;
+  ctx.switch_id = sw;
+  ctx.switch_tag = switch_tag(sw);
+  ctx.in_port = in_port;
+  ctx.first_hop = topo_.host_facing({sw, in_port});
+  ctx.wire_bytes = packet_wire_bytes(pkt);
+
+  auto resolver = [&pkt, &ctx](const std::string& ann, int width) {
+    return resolve_header(pkt, ctx, ann, width);
+  };
+
+  // 1. Hydra init at the first hop: create and fill telemetry frames.
+  if (ctx.first_hop) {
+    for (std::size_t di = 0; di < deployments_.size(); ++di) {
+      Deployment& d = deployments_[di];
+      auto vals = d.interp->fresh_store();
+      p4rt::ExecOutcome out;
+      d.interp->run(d.checker->ir.init_block, vals,
+                    d.per_switch[static_cast<std::size_t>(sw)], resolver,
+                    out);
+      p4rt::TeleFrame frame;
+      frame.checker = static_cast<int>(di);
+      d.interp->store_frame(vals, frame);
+      pkt.tele.push_back(std::move(frame));
+      for (auto& r : out.reports) {
+        emit_report({static_cast<int>(di), d.checker->name, sw,
+                     events_.now(), std::move(r)});
+      }
+    }
+  }
+
+  // 2. Forwarding.
+  ForwardingProgram* prog = programs_[static_cast<std::size_t>(sw)].get();
+  ForwardingProgram::Decision decision;
+  if (prog != nullptr) {
+    decision = prog->process(pkt, in_port, sw);
+  } else {
+    decision.drop = true;
+  }
+  ctx.eg_port = decision.eg_port;
+  ctx.fwd_drop = decision.drop;
+  // A forwarding drop ends the packet's journey: this is its last hop, so
+  // the checker still gets to observe (and report) the drop decision.
+  ctx.last_hop =
+      decision.drop ||
+      (decision.eg_port >= 0 && topo_.host_facing({sw, decision.eg_port}));
+  ctx.wire_bytes = packet_wire_bytes(pkt);
+
+  // 3./4. Telemetry at every hop; checker at the last hop (or every hop,
+  // for checkers compiled with per-hop placement).
+  bool rejected = false;
+  for (std::size_t di = 0; di < deployments_.size(); ++di) {
+    Deployment& d = deployments_[di];
+    p4rt::TeleFrame* frame = pkt.frame(static_cast<int>(di));
+    if (frame == nullptr) continue;  // entered before deployment; skip
+    auto vals = d.interp->fresh_store();
+    d.interp->load_frame(*frame, vals);
+    p4rt::ExecOutcome out;
+    auto& state = d.per_switch[static_cast<std::size_t>(sw)];
+    d.interp->run(d.checker->ir.tele_block, vals, state, resolver, out);
+    const bool run_check =
+        ctx.last_hop ||
+        d.checker->options.placement == compiler::CheckPlacement::kEveryHop;
+    if (run_check) {
+      d.interp->run(d.checker->ir.check_block, vals, state, resolver, out);
+    }
+    d.interp->store_frame(vals, *frame);
+    if (wire_validation_) {
+      const auto bytes = p4rt::serialize_frame(d.checker->layout,
+                                               d.checker->ir, *frame);
+      const auto back = p4rt::parse_frame(d.checker->layout, d.checker->ir,
+                                          frame->checker, bytes);
+      for (std::size_t i = 0; i < frame->values.size(); ++i) {
+        if (d.checker->ir.fields[i].space == ir::Space::kTele &&
+            !(back.values[i] == frame->values[i])) {
+          throw std::logic_error(
+              "telemetry wire round-trip mismatch in checker '" +
+              d.checker->name + "' field '" + d.checker->ir.fields[i].name +
+              "'");
+        }
+      }
+    }
+    for (auto& r : out.reports) {
+      emit_report({static_cast<int>(di), d.checker->name, sw, events_.now(),
+                   std::move(r)});
+    }
+    rejected = rejected || out.reject;
+  }
+
+  // Strip telemetry before the packet exits the network.
+  if (ctx.last_hop) pkt.tele.clear();
+
+  if (decision.drop) {
+    ++counters_.fwd_dropped;
+    return;
+  }
+  if (rejected) {
+    ++counters_.rejected;
+    return;
+  }
+  transmit({sw, decision.eg_port}, std::move(pkt));
+}
+
+}  // namespace hydra::net

@@ -1,0 +1,148 @@
+// The simulated network: topology + links + switches (forwarding programs
+// and deployed Hydra checkers) + hosts + the event queue.
+//
+// The per-hop pipeline mirrors the paper's linking rules (§4.2):
+//   1. first hop (host-facing ingress on an edge switch): run each
+//      checker's init block and inject its telemetry frame;
+//   2. the forwarding program computes the egress port (and may rewrite
+//      the packet — GTP encap/decap, source-route pop);
+//   3. every hop (egress): run the telemetry block;
+//   4. last hop (host-facing egress, or a forwarding drop, which ends the
+//      packet's journey): run the checker block, honour reject, emit
+//      reports, and strip telemetry before the packet reaches the host.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "net/event.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/switch_node.hpp"
+#include "net/topology.hpp"
+#include "p4rt/interp.hpp"
+
+namespace hydra::net {
+
+struct ReportRecord {
+  int deployment = -1;
+  std::string checker;
+  int switch_id = -1;
+  double time = 0.0;
+  std::vector<BitVec> values;
+};
+
+class Network {
+ public:
+  explicit Network(Topology topo);
+
+  EventQueue& events() { return events_; }
+  const Topology& topo() const { return topo_; }
+  Host& host(int node_id);
+  Link& link(int index) { return links_[static_cast<std::size_t>(index)]; }
+  std::size_t link_count() const { return links_.size(); }
+
+  // ---- forwarding -------------------------------------------------------
+  void set_program(int switch_id, std::shared_ptr<ForwardingProgram> prog);
+  ForwardingProgram* program(int switch_id);
+
+  // ---- Hydra deployment (control-plane API) -----------------------------
+  int deploy(std::shared_ptr<const compiler::CompiledChecker> checker);
+  int deployment_count() const { return static_cast<int>(deployments_.size()); }
+  const compiler::CompiledChecker& checker(int deployment) const;
+
+  // Table for a control dict/set variable on one switch.
+  p4rt::Table& checker_table(int deployment, int switch_id,
+                             const std::string& var);
+  // Config value(s) for a non-dict control variable on one switch.
+  void set_config(int deployment, int switch_id, const std::string& var,
+                  std::vector<BitVec> values);
+  void set_config_all(int deployment, const std::string& var,
+                      std::vector<BitVec> values);
+  // Installs the same exact-match dict entry on every switch.
+  void dict_insert_all(int deployment, const std::string& var,
+                       const std::vector<BitVec>& key,
+                       std::vector<BitVec> value);
+  p4rt::RegisterArray& checker_register(int deployment, int switch_id,
+                                        const std::string& var);
+
+  const std::vector<ReportRecord>& reports() const { return reports_; }
+  void clear_reports() { reports_.clear(); }
+
+  // Push-based report delivery: callbacks fire at the simulation time the
+  // report is raised (the switch-to-controller digest channel). Callbacks
+  // may install table entries — that's the closed control loop the paper's
+  // stateful firewall uses.
+  using ReportCallback = std::function<void(const ReportRecord&)>;
+  void subscribe_reports(ReportCallback callback);
+
+  // ---- traffic ----------------------------------------------------------
+  // Sends from a host onto its access link at the current time.
+  void send_from_host(int host_id, p4rt::Packet pkt);
+
+  struct Counters {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t rejected = 0;      // dropped by a Hydra checker
+    std::uint64_t fwd_dropped = 0;   // dropped by the forwarding program
+    std::uint64_t queue_dropped = 0; // tail-dropped at a full buffer
+  };
+  const Counters& counters() const { return counters_; }
+
+  // ---- latency model ----------------------------------------------------
+  // Switch traversal time: base + per-stage cost; stages come from the
+  // baseline profile linked with all deployed checkers.
+  void set_latency_model(double base_s, double per_stage_s) {
+    base_proc_s_ = base_s;
+    per_stage_s_ = per_stage_s;
+  }
+  void set_baseline_profile(compiler::BaselineProfile profile) {
+    baseline_ = std::move(profile);
+  }
+  double switch_latency() const;
+  int pipeline_stages() const;  // baseline linked with all deployments
+
+  // When enabled, every telemetry frame is round-tripped through the
+  // byte-exact wire codec at every hop (serialize -> parse -> compare),
+  // proving that the compiled layout carries the checker state losslessly.
+  // Throws std::logic_error on any mismatch. Costs ~2x on telemetry
+  // processing; intended for tests and validation runs.
+  void set_wire_validation(bool enabled) { wire_validation_ = enabled; }
+
+ private:
+  struct Deployment {
+    std::shared_ptr<const compiler::CompiledChecker> checker;
+    std::unique_ptr<p4rt::Interp> interp;
+    std::vector<p4rt::CheckerState> per_switch;  // indexed by node id
+    int tele_wire_bytes = 0;
+  };
+
+  void node_receive(int node, int port, p4rt::Packet pkt);
+  void switch_process(int sw, int in_port, p4rt::Packet pkt);
+  void emit_report(ReportRecord record);
+  void transmit(PortRef from, p4rt::Packet pkt);
+  int packet_wire_bytes(const p4rt::Packet& pkt) const;
+  std::uint32_t switch_tag(int sw) const {
+    return static_cast<std::uint32_t>(sw + 1);
+  }
+
+  Topology topo_;
+  EventQueue events_;
+  std::vector<Link> links_;
+  std::vector<Host> hosts_;    // indexed by node id (empty for switches)
+  std::vector<std::shared_ptr<ForwardingProgram>> programs_;  // by node id
+  std::vector<Deployment> deployments_;
+  std::vector<ReportRecord> reports_;
+  std::vector<ReportCallback> report_callbacks_;
+  Counters counters_;
+  compiler::BaselineProfile baseline_ = compiler::simple_router_profile();
+  double base_proc_s_ = 8e-7;
+  double per_stage_s_ = 5e-8;
+  std::uint64_t next_packet_id_ = 1;
+  bool wire_validation_ = false;
+};
+
+}  // namespace hydra::net

@@ -1,0 +1,136 @@
+#include "net/switch_node.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace hydra::net {
+
+namespace {
+
+BitVec bv(int width, std::uint64_t v) { return BitVec(width, v); }
+BitVec flag(bool b) { return BitVec::from_bool(b); }
+
+// Resolves the inner-vs-outer view of IPv4/L4 fields.
+const p4rt::Ipv4H* outer_ip(const p4rt::Packet& p) {
+  return p.ipv4 ? &*p.ipv4 : nullptr;
+}
+const p4rt::L4H* outer_l4(const p4rt::Packet& p) {
+  return p.l4 ? &*p.l4 : nullptr;
+}
+
+}  // namespace
+
+BitVec resolve_header(const p4rt::Packet& pkt, const HopContext& ctx,
+                      const std::string& annotation, int width) {
+  const std::string& a = annotation;
+
+  // Intrinsics.
+  if (a == "std.last_hop") return flag(ctx.last_hop);
+  if (a == "std.first_hop") return flag(ctx.first_hop);
+  if (a == "std.packet_length") {
+    return bv(32, static_cast<std::uint64_t>(ctx.wire_bytes));
+  }
+
+  // Hop / switch state.
+  if (a == "in_port" || a == "ig_port" || a == "standard_metadata.ingress_port") {
+    return bv(width, static_cast<std::uint64_t>(
+                         ctx.in_port < 0 ? 0xff : ctx.in_port));
+  }
+  if (a == "eg_port" || a == "egress_port" || a == "standard_metadata.egress_port") {
+    return bv(width, static_cast<std::uint64_t>(
+                         ctx.eg_port < 0 ? 0xff : ctx.eg_port));
+  }
+  if (a == "switch_id") return bv(width, ctx.switch_tag);
+  if (a == "to_be_dropped") return flag(ctx.fwd_drop);
+
+  // Ethernet / VLAN.
+  if (a == "eth_src" || a == "hdr.ethernet.src_addr") return bv(width, pkt.eth.src);
+  if (a == "eth_dst" || a == "hdr.ethernet.dst_addr") return bv(width, pkt.eth.dst);
+  if (a == "eth_type" || a == "hdr.ethernet.ether_type") {
+    return bv(width, pkt.eth.ethertype);
+  }
+  if (a == "vlan_is_valid") return flag(pkt.vlan.has_value());
+  if (a == "vlan_id" || a == "hdr.vlan.vid") {
+    return bv(width, pkt.vlan ? pkt.vlan->vid : 0);
+  }
+
+  // Outer IPv4 (both the bare names and the explicit outer_ prefix).
+  const p4rt::Ipv4H* ip = outer_ip(pkt);
+  if (a == "ipv4_is_valid") return flag(ip != nullptr);
+  if (a == "ipv4_src" || a == "outer_ipv4_src" || a == "hdr.ipv4.src_addr") {
+    return bv(width, ip ? ip->src : 0);
+  }
+  if (a == "ipv4_dst" || a == "outer_ipv4_dst" || a == "hdr.ipv4.dst_addr") {
+    return bv(width, ip ? ip->dst : 0);
+  }
+  if (a == "ipv4_proto" || a == "outer_ipv4_proto" || a == "hdr.ipv4.protocol") {
+    return bv(width, ip ? ip->proto : 0);
+  }
+  if (a == "ipv4_ttl") return bv(width, ip ? ip->ttl : 0);
+  if (a == "ipv4_dscp") return bv(width, ip ? ip->dscp : 0);
+
+  // Outer L4.
+  const p4rt::L4H* l4 = outer_l4(pkt);
+  const bool outer_tcp = ip != nullptr && ip->proto == p4rt::kProtoTcp &&
+                         l4 != nullptr;
+  const bool outer_udp = ip != nullptr && ip->proto == p4rt::kProtoUdp &&
+                         l4 != nullptr;
+  if (a == "tcp_is_valid") return flag(outer_tcp);
+  if (a == "udp_is_valid") return flag(outer_udp);
+  if (a == "tcp_sport" || a == "outer_tcp_sport") {
+    return bv(width, outer_tcp ? l4->sport : 0);
+  }
+  if (a == "tcp_dport" || a == "outer_tcp_dport") {
+    return bv(width, outer_tcp ? l4->dport : 0);
+  }
+  if (a == "udp_sport" || a == "outer_udp_sport") {
+    return bv(width, outer_udp ? l4->sport : 0);
+  }
+  if (a == "udp_dport" || a == "outer_udp_dport") {
+    return bv(width, outer_udp ? l4->dport : 0);
+  }
+  if (a == "l4_sport") return bv(width, l4 ? l4->sport : 0);
+  if (a == "l4_dport") return bv(width, l4 ? l4->dport : 0);
+
+  // GTP-U tunnel.
+  if (a == "gtpu_is_valid") return flag(pkt.gtpu.has_value());
+  if (a == "gtpu_teid") return bv(width, pkt.gtpu ? pkt.gtpu->teid : 0);
+
+  // Inner headers (Aether uplink direction).
+  const p4rt::Ipv4H* iip = pkt.inner_ipv4 ? &*pkt.inner_ipv4 : nullptr;
+  const p4rt::L4H* il4 = pkt.inner_l4 ? &*pkt.inner_l4 : nullptr;
+  const bool inner_tcp =
+      iip != nullptr && iip->proto == p4rt::kProtoTcp && il4 != nullptr;
+  const bool inner_udp =
+      iip != nullptr && iip->proto == p4rt::kProtoUdp && il4 != nullptr;
+  if (a == "inner_ipv4_is_valid") return flag(iip != nullptr);
+  if (a == "inner_ipv4_src") return bv(width, iip ? iip->src : 0);
+  if (a == "inner_ipv4_dst") return bv(width, iip ? iip->dst : 0);
+  if (a == "inner_ipv4_proto") return bv(width, iip ? iip->proto : 0);
+  if (a == "inner_tcp_is_valid") return flag(inner_tcp);
+  if (a == "inner_udp_is_valid") return flag(inner_udp);
+  if (a == "inner_tcp_sport") return bv(width, inner_tcp ? il4->sport : 0);
+  if (a == "inner_tcp_dport") return bv(width, inner_tcp ? il4->dport : 0);
+  if (a == "inner_udp_sport") return bv(width, inner_udp ? il4->sport : 0);
+  if (a == "inner_udp_dport") return bv(width, inner_udp ? il4->dport : 0);
+
+  // Source routing. sr_port_<i> is the i-th remaining hop in travel order
+  // (the stack is popped from the back); at the first hop, before any pop,
+  // this is the sender's declared route.
+  if (a == "sr_is_valid") return flag(pkt.has_sr);
+  if (a == "sr_depth") {
+    return bv(width, static_cast<std::uint64_t>(pkt.sr_stack.size()));
+  }
+  if (a.rfind("sr_port_", 0) == 0) {
+    const auto i = static_cast<std::size_t>(std::stoi(a.substr(8)));
+    if (i < pkt.sr_stack.size()) {
+      return bv(width, pkt.sr_stack[pkt.sr_stack.size() - 1 - i]);
+    }
+    return bv(width, 0);
+  }
+
+  throw std::invalid_argument("unknown header annotation '" + a + "'");
+}
+
+}  // namespace hydra::net

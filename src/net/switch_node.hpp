@@ -1,0 +1,53 @@
+// Per-hop context, the header-variable resolver (the "foreign function
+// interface" between Indus checkers and the data plane), and the
+// forwarding-program interface implemented by src/forwarding.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "p4rt/packet.hpp"
+#include "util/bitvec.hpp"
+
+namespace hydra::net {
+
+// Everything a checker's header variables may observe at one hop.
+struct HopContext {
+  int switch_id = -1;        // topology node id
+  std::uint32_t switch_tag = 0;  // stable numeric id exposed to checkers
+  int in_port = -1;
+  int eg_port = -1;          // -1 until forwarding decides / on drop
+  bool first_hop = false;    // packet entering the network here
+  bool last_hop = false;     // packet exiting the network here
+  bool fwd_drop = false;     // forwarding decided to drop (UPF deny, miss)
+  int wire_bytes = 0;        // packet length on the wire at this hop
+};
+
+// Resolves a header variable annotation to its value. Annotations cover
+// the paper's examples: switch ports (`in_port`, `eg_port`), IPv4/L4
+// fields with `ipv4_*`/`outer_*`/`inner_*` prefixes and `*_is_valid`
+// flags, GTP-U (`gtpu_teid`), VLAN (`vlan_id`), `to_be_dropped`,
+// `switch_id`, and the std.* intrinsics (first/last hop, packet length).
+// Unknown annotations throw std::invalid_argument so checker/forwarding
+// mismatches surface loudly instead of reading zeros.
+BitVec resolve_header(const p4rt::Packet& pkt, const HopContext& ctx,
+                      const std::string& annotation, int width);
+
+// A switch's forwarding pipeline. Implementations may rewrite the packet
+// (encap/decap, source-route pop) — this is the code Hydra checkers must
+// remain independent from.
+class ForwardingProgram {
+ public:
+  virtual ~ForwardingProgram() = default;
+
+  struct Decision {
+    bool drop = false;
+    int eg_port = -1;
+  };
+
+  virtual Decision process(p4rt::Packet& pkt, int in_port,
+                           int switch_id) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hydra::net

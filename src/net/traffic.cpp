@@ -1,0 +1,144 @@
+#include "net/traffic.hpp"
+
+namespace hydra::net {
+
+// ---------------------------------------------------------------------------
+// PingProbe
+// ---------------------------------------------------------------------------
+
+PingProbe::PingProbe(Network& net, int src_host, int dst_host,
+                     double interval_s, std::uint16_t ident)
+    : net_(net),
+      src_host_(src_host),
+      dst_host_(dst_host),
+      interval_s_(interval_s),
+      ident_(ident) {
+  net_.host(src_host_).add_sink(
+      [this](const p4rt::Packet& pkt, double now) {
+        if (!pkt.icmp || pkt.icmp->type != 0 || pkt.icmp->ident != ident_) {
+          return;
+        }
+        const std::size_t seq = pkt.icmp->seq;
+        if (seq < sent_times_.size()) {
+          samples_.push_back({sent_times_[seq], now - sent_times_[seq]});
+        }
+      });
+}
+
+void PingProbe::start(double t0, double duration_s) {
+  deadline_ = t0 + duration_s;
+  net_.events().schedule_at(t0, [this] { send_next(); });
+}
+
+void PingProbe::send_next() {
+  const double now = net_.events().now();
+  if (now > deadline_) return;
+  p4rt::Packet p = p4rt::make_icmp_echo(net_.host(src_host_).ip(),
+                                        net_.host(dst_host_).ip(), ident_,
+                                        next_seq_);
+  sent_times_.push_back(now);
+  ++next_seq_;
+  ++sent_;
+  net_.send_from_host(src_host_, std::move(p));
+  net_.events().schedule_in(interval_s_, [this] { send_next(); });
+}
+
+std::vector<double> PingProbe::rtts() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.rtt);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// UdpFlood
+// ---------------------------------------------------------------------------
+
+UdpFlood::UdpFlood(Network& net, int src_host, int dst_host,
+                   double rate_gbps, int packet_bytes, std::uint16_t sport,
+                   std::uint16_t dport)
+    : net_(net),
+      src_host_(src_host),
+      dst_host_(dst_host),
+      packet_bytes_(packet_bytes),
+      sport_(sport),
+      dport_(dport) {
+  const double pps = rate_gbps * 1e9 / (static_cast<double>(packet_bytes) * 8.0);
+  interval_s_ = 1.0 / pps;
+}
+
+void UdpFlood::start(double t0, double duration_s) {
+  deadline_ = t0 + duration_s;
+  net_.events().schedule_at(t0, [this] { send_next(); });
+}
+
+void UdpFlood::send_next() {
+  const double now = net_.events().now();
+  if (now > deadline_) return;
+  // Header bytes are accounted separately by the wire model; subtract the
+  // typical 42-byte Ethernet+IP+UDP overhead from the payload request.
+  p4rt::Packet p = p4rt::make_udp(net_.host(src_host_).ip(),
+                                  net_.host(dst_host_).ip(), sport_, dport_,
+                                  packet_bytes_ - 42);
+  ++sent_;
+  net_.send_from_host(src_host_, std::move(p));
+  const double wait =
+      poisson_ ? rng_.exponential(interval_s_) : interval_s_;
+  net_.events().schedule_in(wait, [this] { send_next(); });
+}
+
+// ---------------------------------------------------------------------------
+// CampusReplay
+// ---------------------------------------------------------------------------
+
+CampusReplay::CampusReplay(Network& net, int src_host, int dst_host,
+                           double pps, std::uint64_t seed)
+    : net_(net),
+      src_host_(src_host),
+      dst_host_(dst_host),
+      pps_(pps),
+      rng_(seed) {
+  // A fixed flow population; a Zipf-ish skew comes from quadratic index
+  // sampling in synthesize().
+  for (int i = 0; i < 512; ++i) {
+    flows_.emplace_back(static_cast<std::uint16_t>(1024 + rng_.below(60000)),
+                        static_cast<std::uint16_t>(rng_.chance(0.7)
+                                                       ? 443
+                                                       : 1024 + rng_.below(60000)));
+  }
+}
+
+p4rt::Packet CampusReplay::synthesize() {
+  // Skewed flow choice: squaring a uniform sample favours low indices.
+  const double u = rng_.uniform();
+  const auto idx = static_cast<std::size_t>(u * u *
+                                            static_cast<double>(flows_.size()));
+  const auto& [sport, dport] = flows_[std::min(idx, flows_.size() - 1)];
+  // Bimodal sizes: 60% small (64-128B), 40% near-MTU (1000-1500B).
+  const int size = rng_.chance(0.6)
+                       ? static_cast<int>(rng_.range(64, 128))
+                       : static_cast<int>(rng_.range(1000, 1500));
+  const bool tcp = rng_.chance(0.85);
+  const std::uint32_t src = net_.host(src_host_).ip();
+  const std::uint32_t dst = net_.host(dst_host_).ip();
+  return tcp ? p4rt::make_tcp(src, dst, sport, dport, size)
+             : p4rt::make_udp(src, dst, sport, dport, size);
+}
+
+void CampusReplay::start(double t0, double duration_s) {
+  deadline_ = t0 + duration_s;
+  net_.events().schedule_at(t0, [this] { send_next(); });
+}
+
+void CampusReplay::send_next() {
+  const double now = net_.events().now();
+  if (now > deadline_) return;
+  p4rt::Packet p = synthesize();
+  bytes_ += static_cast<std::uint64_t>(p.base_wire_bytes());
+  ++sent_;
+  net_.send_from_host(src_host_, std::move(p));
+  net_.events().schedule_in(rng_.exponential(1.0 / pps_),
+                            [this] { send_next(); });
+}
+
+}  // namespace hydra::net

@@ -1,0 +1,113 @@
+// Traffic generators for the evaluation harness:
+//   * PingProbe     — "fast ping" RTT measurement (Figure 12);
+//   * UdpFlood      — iperf3-style constant-bit-rate UDP load (§6.2);
+//   * CampusReplay  — synthetic stand-in for the paper's anonymized campus
+//                     trace (350 Kpps): a heavy-tailed mix of TCP/UDP flows
+//                     with empirical packet sizes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace hydra::net {
+
+struct RttSample {
+  double sent_at = 0.0;
+  double rtt = 0.0;  // seconds
+};
+
+// Sends ICMP echo requests from `src_host` to `dst_host` every `interval_s`
+// and records RTTs via the destination's automatic echo responder.
+class PingProbe {
+ public:
+  PingProbe(Network& net, int src_host, int dst_host, double interval_s,
+            std::uint16_t ident = 1);
+
+  void start(double t0, double duration_s);
+
+  const std::vector<RttSample>& samples() const { return samples_; }
+  std::vector<double> rtts() const;
+  int sent() const { return sent_; }
+  int lost() const { return sent_ - static_cast<int>(samples_.size()); }
+
+ private:
+  void send_next();
+
+  Network& net_;
+  int src_host_;
+  int dst_host_;
+  double interval_s_;
+  std::uint16_t ident_;
+  double deadline_ = 0.0;
+  int sent_ = 0;
+  std::uint16_t next_seq_ = 0;
+  std::vector<double> sent_times_;
+  std::vector<RttSample> samples_;
+};
+
+// UDP flow between two hosts: constant bit rate by default, or Poisson
+// arrivals at the same mean rate (set_poisson) for realistic queueing.
+class UdpFlood {
+ public:
+  UdpFlood(Network& net, int src_host, int dst_host, double rate_gbps,
+           int packet_bytes = 1400, std::uint16_t sport = 5001,
+           std::uint16_t dport = 5201);
+
+  // Exponentially distributed inter-arrivals with the same mean rate.
+  void set_poisson(std::uint64_t seed) {
+    poisson_ = true;
+    rng_ = Rng(seed);
+  }
+
+  void start(double t0, double duration_s);
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void send_next();
+
+  Network& net_;
+  int src_host_;
+  int dst_host_;
+  double interval_s_;
+  int packet_bytes_;
+  std::uint16_t sport_;
+  std::uint16_t dport_;
+  double deadline_ = 0.0;
+  std::uint64_t sent_ = 0;
+  bool poisson_ = false;
+  Rng rng_{0};
+};
+
+// Synthetic campus-trace replay: Poisson arrivals at `pps`, flows drawn
+// from a heavy-tailed population, bimodal packet sizes (~60% small ACK-ish,
+// ~40% MTU-ish), ~85% TCP / 15% UDP — the observable mix of a campus
+// uplink, replayed towards one leaf as in Figure 13.
+class CampusReplay {
+ public:
+  CampusReplay(Network& net, int src_host, int dst_host, double pps,
+               std::uint64_t seed = 42);
+
+  void start(double t0, double duration_s);
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  void send_next();
+  p4rt::Packet synthesize();
+
+  Network& net_;
+  int src_host_;
+  int dst_host_;
+  double pps_;
+  Rng rng_;
+  double deadline_ = 0.0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> flows_;
+};
+
+}  // namespace hydra::net

@@ -1,0 +1,62 @@
+// IR interpreter — executes a compiled checker's blocks on a simulated
+// switch. This plays the role of the Tofino pipeline running the generated
+// P4: the same CheckerIR that the P4 emitter renders is executed here
+// against per-switch table/register state.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "p4rt/packet.hpp"
+#include "p4rt/register.hpp"
+#include "p4rt/table.hpp"
+
+namespace hydra::p4rt {
+
+// Per-switch, per-checker mutable state: one table per control variable
+// (populated by the control plane) and one register per sensor.
+struct CheckerState {
+  std::vector<Table> tables;
+  std::vector<RegisterArray> registers;
+};
+
+CheckerState make_checker_state(const ir::CheckerIR& ir);
+
+// Resolves a header variable's annotation (e.g. "hdr.ipv4.src_addr" or
+// "std.last_hop") to its current value; provided by the switch model.
+using HeaderResolver =
+    std::function<BitVec(const std::string& annotation, int width)>;
+
+struct ExecOutcome {
+  bool reject = false;
+  std::vector<std::vector<BitVec>> reports;
+};
+
+class Interp {
+ public:
+  explicit Interp(const ir::CheckerIR& ir) : ir_(ir) {}
+
+  const ir::CheckerIR& ir() const { return ir_; }
+
+  // A value store holds one BitVec per IR field.
+  std::vector<BitVec> fresh_store() const;
+  void load_frame(const TeleFrame& frame, std::vector<BitVec>& vals) const;
+  void store_frame(const std::vector<BitVec>& vals, TeleFrame& frame) const;
+
+  void run(const std::vector<ir::InstrPtr>& block, std::vector<BitVec>& vals,
+           CheckerState& state, const HeaderResolver& hdr,
+           ExecOutcome& out) const;
+
+ private:
+  BitVec eval(const ir::RValue& rv, std::vector<BitVec>& vals,
+              const HeaderResolver& hdr) const;
+  void exec(const ir::Instr& instr, std::vector<BitVec>& vals,
+            CheckerState& state, const HeaderResolver& hdr,
+            ExecOutcome& out) const;
+
+  const ir::CheckerIR& ir_;
+};
+
+}  // namespace hydra::p4rt

@@ -1,0 +1,97 @@
+#include "p4rt/packet.hpp"
+
+namespace hydra::p4rt {
+
+TeleFrame* Packet::frame(int checker) {
+  for (auto& f : tele) {
+    if (f.checker == checker) return &f;
+  }
+  return nullptr;
+}
+
+const TeleFrame* Packet::frame(int checker) const {
+  for (const auto& f : tele) {
+    if (f.checker == checker) return &f;
+  }
+  return nullptr;
+}
+
+int Packet::base_wire_bytes() const {
+  int bytes = EthernetH::kBytes;
+  if (vlan) bytes += VlanH::kBytes;
+  if (has_sr) bytes += 2 * static_cast<int>(sr_stack.size()) + 1;
+  if (ipv4) bytes += Ipv4H::kBytes;
+  if (l4) {
+    bytes += ipv4 && ipv4->proto == kProtoTcp ? L4H::kTcpBytes
+                                              : L4H::kUdpBytes;
+  }
+  if (icmp) bytes += IcmpH::kBytes;
+  if (gtpu) bytes += GtpuH::kBytes;
+  if (inner_ipv4) bytes += Ipv4H::kBytes;
+  if (inner_l4) {
+    bytes += inner_ipv4 && inner_ipv4->proto == kProtoTcp ? L4H::kTcpBytes
+                                                          : L4H::kUdpBytes;
+  }
+  return bytes + payload_bytes;
+}
+
+int Packet::wire_bytes(const std::vector<int>& tele_bytes_per_checker) const {
+  int bytes = base_wire_bytes();
+  for (const auto& f : tele) {
+    if (f.checker >= 0 &&
+        f.checker < static_cast<int>(tele_bytes_per_checker.size())) {
+      bytes += tele_bytes_per_checker[static_cast<std::size_t>(f.checker)];
+    }
+  }
+  return bytes;
+}
+
+Packet make_udp(std::uint32_t src_ip, std::uint32_t dst_ip,
+                std::uint16_t sport, std::uint16_t dport, int payload_bytes) {
+  Packet p;
+  p.ipv4 = Ipv4H{src_ip, dst_ip, kProtoUdp, 64, 0};
+  p.l4 = L4H{sport, dport};
+  p.payload_bytes = payload_bytes;
+  return p;
+}
+
+Packet make_tcp(std::uint32_t src_ip, std::uint32_t dst_ip,
+                std::uint16_t sport, std::uint16_t dport, int payload_bytes) {
+  Packet p;
+  p.ipv4 = Ipv4H{src_ip, dst_ip, kProtoTcp, 64, 0};
+  p.l4 = L4H{sport, dport};
+  p.payload_bytes = payload_bytes;
+  return p;
+}
+
+Packet make_icmp_echo(std::uint32_t src_ip, std::uint32_t dst_ip,
+                      std::uint16_t ident, std::uint16_t seq) {
+  Packet p;
+  p.ipv4 = Ipv4H{src_ip, dst_ip, kProtoIcmp, 64, 0};
+  p.icmp = IcmpH{8, ident, seq};
+  p.payload_bytes = 56;  // standard ping payload
+  return p;
+}
+
+Packet gtpu_encap(const Packet& inner, std::uint32_t outer_src,
+                  std::uint32_t outer_dst, std::uint32_t teid) {
+  Packet p = inner;
+  p.inner_ipv4 = inner.ipv4;
+  p.inner_l4 = inner.l4;
+  p.ipv4 = Ipv4H{outer_src, outer_dst, kProtoUdp, 64, 0};
+  p.l4 = L4H{kGtpuPort, kGtpuPort};
+  p.gtpu = GtpuH{teid};
+  return p;
+}
+
+Packet gtpu_decap(const Packet& outer) {
+  Packet p = outer;
+  p.ipv4 = outer.inner_ipv4;
+  p.l4 = outer.inner_l4;
+  p.gtpu.reset();
+  p.inner_ipv4.reset();
+  p.inner_l4.reset();
+  return p;
+}
+
+}  // namespace hydra::p4rt

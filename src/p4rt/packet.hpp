@@ -1,0 +1,122 @@
+// Simulation packet model. Headers are typed structs rather than raw bytes
+// — the simulator never needs byte-exact serialization, but wire sizes are
+// computed faithfully (including Hydra telemetry bytes) so that
+// serialization delay and throughput numbers are meaningful.
+//
+// The header set covers everything the paper's deployments need:
+// Ethernet/VLAN, IPv4, TCP/UDP/ICMP, GTP-U encapsulation (Aether UPF), a
+// source-routing port stack (§5.1), and per-checker Hydra telemetry frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace hydra::p4rt {
+
+struct EthernetH {
+  std::uint64_t dst = 0;  // 48 bits used
+  std::uint64_t src = 0;
+  std::uint16_t ethertype = 0x0800;
+  static constexpr int kBytes = 14;
+};
+
+struct VlanH {
+  std::uint16_t vid = 0;
+  static constexpr int kBytes = 4;
+};
+
+struct Ipv4H {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint8_t proto = 17;
+  std::uint8_t ttl = 64;
+  std::uint8_t dscp = 0;
+  static constexpr int kBytes = 20;
+};
+
+// Unified TCP/UDP view; which one it is follows from ipv4.proto.
+struct L4H {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  static constexpr int kUdpBytes = 8;
+  static constexpr int kTcpBytes = 20;
+};
+
+struct IcmpH {
+  std::uint8_t type = 8;  // echo request
+  std::uint16_t ident = 0;
+  std::uint16_t seq = 0;
+  static constexpr int kBytes = 8;
+};
+
+// GTP-U tunnel header (outer UDP dport 2152 in Aether).
+struct GtpuH {
+  std::uint32_t teid = 0;
+  static constexpr int kBytes = 8;
+};
+
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint16_t kGtpuPort = 2152;
+
+// Telemetry carried for one deployed checker: values indexed by the
+// checker IR's FieldId (only kTele slots are meaningful on the wire).
+struct TeleFrame {
+  int checker = -1;  // deployment id assigned by the network
+  std::vector<BitVec> values;
+};
+
+struct Packet {
+  std::uint64_t id = 0;
+  double created_at = 0.0;  // simulation seconds
+
+  EthernetH eth;
+  std::optional<VlanH> vlan;
+  // Source-routing stack: egress ports, next hop at the back (popped).
+  std::vector<std::uint16_t> sr_stack;
+  bool has_sr = false;
+
+  std::optional<Ipv4H> ipv4;     // outer
+  std::optional<L4H> l4;         // outer L4
+  std::optional<IcmpH> icmp;
+  std::optional<GtpuH> gtpu;
+  std::optional<Ipv4H> inner_ipv4;
+  std::optional<L4H> inner_l4;
+
+  int payload_bytes = 0;
+
+  std::vector<TeleFrame> tele;  // one frame per deployed checker
+
+  // Scratch visible to checkers via `to_be_dropped`-style header vars:
+  // set by the forwarding pipeline when it decides to drop (the packet is
+  // still carried to the checker so the checker can observe the decision).
+  bool fwd_drop = false;
+
+  TeleFrame* frame(int checker);
+  const TeleFrame* frame(int checker) const;
+
+  // Total wire size, telemetry included.
+  int wire_bytes(const std::vector<int>& tele_bytes_per_checker = {}) const;
+  // Wire size given explicit per-frame telemetry byte counts is used by
+  // the network; this overload sums header structs + payload only.
+  int base_wire_bytes() const;
+};
+
+// Builders used by traffic generators and tests.
+Packet make_udp(std::uint32_t src_ip, std::uint32_t dst_ip,
+                std::uint16_t sport, std::uint16_t dport, int payload_bytes);
+Packet make_tcp(std::uint32_t src_ip, std::uint32_t dst_ip,
+                std::uint16_t sport, std::uint16_t dport, int payload_bytes);
+Packet make_icmp_echo(std::uint32_t src_ip, std::uint32_t dst_ip,
+                      std::uint16_t ident, std::uint16_t seq);
+// Wraps `inner` into a GTP-U tunnel towards the given endpoints.
+Packet gtpu_encap(const Packet& inner, std::uint32_t outer_src,
+                  std::uint32_t outer_dst, std::uint32_t teid);
+Packet gtpu_decap(const Packet& outer);
+
+}  // namespace hydra::p4rt

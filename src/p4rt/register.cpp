@@ -1,0 +1,39 @@
+#include "p4rt/register.hpp"
+
+#include <stdexcept>
+
+namespace hydra::p4rt {
+
+RegisterArray::RegisterArray(std::string name, int width, std::size_t cells,
+                             BitVec initial)
+    : name_(std::move(name)),
+      width_(width),
+      initial_(initial.resize(width)),
+      cells_(cells, initial.resize(width)) {}
+
+BitVec RegisterArray::read(std::size_t index) const {
+  if (index >= cells_.size()) {
+    throw std::out_of_range("register '" + name_ + "' index " +
+                            std::to_string(index));
+  }
+  return cells_[index];
+}
+
+void RegisterArray::write(std::size_t index, const BitVec& value) {
+  if (index >= cells_.size()) {
+    throw std::out_of_range("register '" + name_ + "' index " +
+                            std::to_string(index));
+  }
+  cells_[index] = value.resize(width_);
+}
+
+BitVec RegisterArray::add(std::size_t index, const BitVec& delta) {
+  write(index, read(index).add(delta.resize(width_)));
+  return cells_[index];
+}
+
+void RegisterArray::reset() {
+  for (auto& c : cells_) c = initial_;
+}
+
+}  // namespace hydra::p4rt

@@ -1,0 +1,35 @@
+// Register arrays — the switch-local state behind Indus sensor variables
+// and stateful forwarding features (e.g. UPF usage counters).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace hydra::p4rt {
+
+class RegisterArray {
+ public:
+  RegisterArray() = default;
+  RegisterArray(std::string name, int width, std::size_t cells,
+                BitVec initial);
+
+  const std::string& name() const { return name_; }
+  int width() const { return width_; }
+  std::size_t size() const { return cells_.size(); }
+
+  BitVec read(std::size_t index) const;
+  void write(std::size_t index, const BitVec& value);
+  // Atomic read-add-write, returns the new value.
+  BitVec add(std::size_t index, const BitVec& delta);
+  void reset();
+
+ private:
+  std::string name_;
+  int width_ = 32;
+  BitVec initial_{32, 0};
+  std::vector<BitVec> cells_;
+};
+
+}  // namespace hydra::p4rt

@@ -1,0 +1,127 @@
+#include "p4rt/table.hpp"
+
+#include <stdexcept>
+
+namespace hydra::p4rt {
+
+KeyPattern KeyPattern::exact(BitVec v) {
+  KeyPattern p;
+  p.mask = BitVec(v.width(), BitVec::mask(v.width()));
+  p.value = v;
+  return p;
+}
+
+KeyPattern KeyPattern::ternary(BitVec v, BitVec m) {
+  KeyPattern p;
+  p.value = v;
+  p.mask = m;
+  return p;
+}
+
+KeyPattern KeyPattern::wildcard(int width) {
+  KeyPattern p;
+  p.value = BitVec(width, 0);
+  p.mask = BitVec(width, 0);
+  return p;
+}
+
+KeyPattern KeyPattern::lpm(BitVec v, int prefix_len) {
+  KeyPattern p;
+  p.value = v;
+  p.prefix_len = prefix_len;
+  const int w = v.width();
+  const std::uint64_t m =
+      prefix_len == 0 ? 0 : BitVec::mask(w) << (w - prefix_len);
+  p.mask = BitVec(w, m);
+  return p;
+}
+
+KeyPattern KeyPattern::range(BitVec lo, BitVec hi) {
+  KeyPattern p;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+Table::Table(std::string name, std::vector<MatchFieldSpec> key_spec)
+    : name_(std::move(name)), key_spec_(std::move(key_spec)) {}
+
+void Table::insert(TableEntry entry) {
+  if (entry.patterns.size() != key_spec_.size()) {
+    throw std::invalid_argument("table '" + name_ + "': entry has " +
+                                std::to_string(entry.patterns.size()) +
+                                " patterns, expected " +
+                                std::to_string(key_spec_.size()));
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void Table::insert_exact(const std::vector<BitVec>& key,
+                         std::vector<BitVec> action_data,
+                         const std::string& action, int priority) {
+  TableEntry e;
+  e.priority = priority;
+  e.action = action;
+  e.action_data = std::move(action_data);
+  for (const auto& k : key) e.patterns.push_back(KeyPattern::exact(k));
+  insert(std::move(e));
+}
+
+int Table::remove_if_key_equals(const std::vector<KeyPattern>& patterns) {
+  int removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool same = it->patterns.size() == patterns.size();
+    for (std::size_t i = 0; same && i < patterns.size(); ++i) {
+      const KeyPattern& a = it->patterns[i];
+      const KeyPattern& b = patterns[i];
+      same = a.value == b.value && a.mask == b.mask &&
+             a.prefix_len == b.prefix_len && a.lo == b.lo && a.hi == b.hi;
+    }
+    if (same) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool Table::matches(const KeyPattern& p, MatchKind kind, const BitVec& v) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return v.value() == p.value.value();
+    case MatchKind::kTernary:
+    case MatchKind::kLpm:
+      return (v.value() & p.mask.value()) ==
+             (p.value.value() & p.mask.value());
+    case MatchKind::kRange:
+      return p.lo.value() <= v.value() && v.value() <= p.hi.value();
+  }
+  return false;
+}
+
+const TableEntry* Table::lookup(const std::vector<BitVec>& key) const {
+  if (key.size() != key_spec_.size()) {
+    throw std::invalid_argument("table '" + name_ + "': lookup key arity " +
+                                std::to_string(key.size()) + ", expected " +
+                                std::to_string(key_spec_.size()));
+  }
+  const TableEntry* best = nullptr;
+  for (const auto& e : entries_) {
+    bool hit = true;
+    for (std::size_t i = 0; hit && i < key.size(); ++i) {
+      hit = matches(e.patterns[i], key_spec_[i].kind, key[i]);
+    }
+    if (hit && (best == nullptr || e.priority > best->priority)) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+void Table::set_default(std::vector<BitVec> action_data) {
+  default_data_ = std::move(action_data);
+}
+
+}  // namespace hydra::p4rt

@@ -1,0 +1,86 @@
+// Match-action table runtime. Backs both the tables generated from Indus
+// control variables and the hand-written forwarding pipelines (ECMP
+// routing, UPF, VLAN bridging).
+//
+// Supports the match kinds real P4 targets offer — exact, ternary
+// (value/mask), LPM, and range — with ternary/range disambiguated by entry
+// priority (higher wins), matching Tofino TCAM semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "util/bitvec.hpp"
+
+namespace hydra::p4rt {
+
+using ir::MatchKind;
+
+struct MatchFieldSpec {
+  MatchKind kind = MatchKind::kExact;
+  int width = 32;
+};
+
+// One field's pattern within an entry.
+struct KeyPattern {
+  BitVec value{32, 0};
+  BitVec mask{32, 0};  // ternary: 1-bits must match; exact: full mask
+  int prefix_len = 0;  // lpm
+  BitVec lo{32, 0};    // range
+  BitVec hi{32, 0};
+
+  static KeyPattern exact(BitVec v);
+  static KeyPattern ternary(BitVec v, BitVec m);
+  static KeyPattern wildcard(int width);
+  static KeyPattern lpm(BitVec v, int prefix_len);
+  static KeyPattern range(BitVec lo, BitVec hi);
+};
+
+struct TableEntry {
+  int priority = 0;  // higher wins among multiple matches
+  std::vector<KeyPattern> patterns;
+  std::string action;            // action name (informational)
+  std::vector<BitVec> action_data;
+};
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<MatchFieldSpec> key_spec);
+
+  const std::string& name() const { return name_; }
+  const std::vector<MatchFieldSpec>& key_spec() const { return key_spec_; }
+
+  // Inserts an entry; throws std::invalid_argument on arity mismatch.
+  void insert(TableEntry entry);
+  // Convenience for fully-exact entries.
+  void insert_exact(const std::vector<BitVec>& key,
+                    std::vector<BitVec> action_data,
+                    const std::string& action = "hit", int priority = 0);
+  // Removes all entries whose patterns equal `entry`'s. Returns count.
+  int remove_if_key_equals(const std::vector<KeyPattern>& patterns);
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<TableEntry>& entries() const { return entries_; }
+
+  // Highest-priority matching entry, or nullptr on miss. Ties broken by
+  // insertion order (earlier wins), like most switch runtimes.
+  const TableEntry* lookup(const std::vector<BitVec>& key) const;
+
+  // For keyless "config" tables: the default action data.
+  void set_default(std::vector<BitVec> action_data);
+  const std::vector<BitVec>& default_data() const { return default_data_; }
+
+ private:
+  static bool matches(const KeyPattern& p, MatchKind kind, const BitVec& v);
+
+  std::string name_;
+  std::vector<MatchFieldSpec> key_spec_;
+  std::vector<TableEntry> entries_;
+  std::vector<BitVec> default_data_;
+};
+
+}  // namespace hydra::p4rt

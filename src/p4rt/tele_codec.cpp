@@ -1,0 +1,86 @@
+#include "p4rt/tele_codec.hpp"
+
+#include <stdexcept>
+
+namespace hydra::p4rt {
+
+namespace {
+
+// Writes `width` bits of `value` at bit offset `off` (MSB-first within the
+// payload, network order), after the preamble.
+void put_bits(std::vector<std::uint8_t>& buf, int off, int width,
+              std::uint64_t value) {
+  for (int i = 0; i < width; ++i) {
+    const int bit = off + i;
+    const std::size_t byte =
+        static_cast<std::size_t>(compiler::TelemetryLayout::kPreambleBytes) +
+        static_cast<std::size_t>(bit / 8);
+    const int shift = 7 - bit % 8;
+    const std::uint64_t v = (value >> (width - 1 - i)) & 1;
+    if (v != 0) {
+      buf[byte] = static_cast<std::uint8_t>(buf[byte] | (1u << shift));
+    }
+  }
+}
+
+std::uint64_t get_bits(const std::vector<std::uint8_t>& buf, int off,
+                       int width) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    const int bit = off + i;
+    const std::size_t byte =
+        static_cast<std::size_t>(compiler::TelemetryLayout::kPreambleBytes) +
+        static_cast<std::size_t>(bit / 8);
+    const int shift = 7 - bit % 8;
+    value = (value << 1) | ((buf[byte] >> shift) & 1u);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_frame(
+    const compiler::TelemetryLayout& layout, const ir::CheckerIR& ir,
+    const TeleFrame& frame) {
+  if (frame.values.size() != ir.fields.size()) {
+    throw std::invalid_argument("frame does not match checker IR");
+  }
+  std::vector<std::uint8_t> buf(
+      static_cast<std::size_t>(layout.wire_bytes), 0);
+  buf[0] = static_cast<std::uint8_t>(
+      compiler::TelemetryLayout::kHydraEtherType >> 8);
+  buf[1] = static_cast<std::uint8_t>(
+      compiler::TelemetryLayout::kHydraEtherType & 0xff);
+  for (const auto& e : layout.entries) {
+    const BitVec& v = frame.values[static_cast<std::size_t>(e.field.id)];
+    put_bits(buf, e.offset_bits, e.width, v.value());
+  }
+  return buf;
+}
+
+TeleFrame parse_frame(const compiler::TelemetryLayout& layout,
+                      const ir::CheckerIR& ir, int checker_id,
+                      const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() != static_cast<std::size_t>(layout.wire_bytes)) {
+    throw std::invalid_argument("telemetry frame size mismatch: got " +
+                                std::to_string(bytes.size()) + ", want " +
+                                std::to_string(layout.wire_bytes));
+  }
+  const int tag = (bytes[0] << 8) | bytes[1];
+  if (tag != compiler::TelemetryLayout::kHydraEtherType) {
+    throw std::invalid_argument("bad Hydra telemetry tag");
+  }
+  TeleFrame frame;
+  frame.checker = checker_id;
+  frame.values.reserve(ir.fields.size());
+  for (const auto& f : ir.fields) {
+    frame.values.emplace_back(f.width, 0);
+  }
+  for (const auto& e : layout.entries) {
+    frame.values[static_cast<std::size_t>(e.field.id)] =
+        BitVec(e.width, get_bits(bytes, e.offset_bits, e.width));
+  }
+  return frame;
+}
+
+}  // namespace hydra::p4rt

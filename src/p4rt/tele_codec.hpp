@@ -1,0 +1,30 @@
+// Byte-exact telemetry serialization. The simulator normally carries
+// telemetry frames as typed values; this codec implements the actual
+// parser/deparser the compiler generates — packing every tele field at its
+// layout offset into wire bytes (plus the 2-byte Hydra EtherType tag) and
+// parsing it back. Used by the wire-validation tests and by
+// Network::set_wire_validation, which round-trips every frame through the
+// codec at every hop to prove the layout is lossless.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/layout.hpp"
+#include "p4rt/packet.hpp"
+
+namespace hydra::p4rt {
+
+// Serializes the tele fields of `frame` per `layout`. The result's size is
+// exactly layout.wire_bytes (preamble + padded payload).
+std::vector<std::uint8_t> serialize_frame(const compiler::TelemetryLayout& layout,
+                                          const ir::CheckerIR& ir,
+                                          const TeleFrame& frame);
+
+// Parses bytes produced by serialize_frame back into a frame (non-tele
+// fields zeroed). Throws std::invalid_argument on size or tag mismatch.
+TeleFrame parse_frame(const compiler::TelemetryLayout& layout,
+                      const ir::CheckerIR& ir, int checker_id,
+                      const std::vector<std::uint8_t>& bytes);
+
+}  // namespace hydra::p4rt

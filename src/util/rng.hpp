@@ -1,0 +1,41 @@
+// Deterministic pseudo-random source for workload generation and property
+// tests. Wraps a SplitMix64-seeded xoshiro256** generator so experiment runs
+// are reproducible bit-for-bit across platforms (std::mt19937 distributions
+// are not portable across standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hydra {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound) — bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  bool chance(double p) { return uniform() < p; }
+
+  // Exponentially distributed with the given mean (for Poisson arrivals).
+  double exponential(double mean);
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[below(v.size())];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hydra

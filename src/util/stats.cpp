@@ -1,0 +1,198 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hydra::stats {
+
+void Online::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Online::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Online::stddev() const { return std::sqrt(variance()); }
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  Online o;
+  for (double x : samples) o.add(x);
+  s.count = o.count();
+  s.mean = o.mean();
+  s.stddev = o.stddev();
+  s.min = o.min();
+  s.max = o.max();
+  s.p50 = percentile_sorted(samples, 0.50);
+  s.p90 = percentile_sorted(samples, 0.90);
+  s.p99 = percentile_sorted(samples, 0.99);
+  return s;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::vector<double> samples, std::size_t points) {
+  std::vector<std::pair<double, double>> out;
+  if (samples.empty() || points < 2) return out;
+  std::sort(samples.begin(), samples.end());
+  const double lo = samples.front();
+  const double hi = samples.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto it = std::upper_bound(samples.begin(), samples.end(), x);
+    const double f = static_cast<double>(it - samples.begin()) /
+                     static_cast<double>(samples.size());
+    out.emplace_back(x, f);
+  }
+  return out;
+}
+
+namespace {
+
+// Lanczos approximation of log Gamma.
+double log_gamma(double x) {
+  static const double coef[6] = {76.18009172947146,  -86.50532032941677,
+                                 24.01409824083091,  -1.231739572450155,
+                                 0.1208650973866179e-2, -0.5395239384953e-5};
+  double y = x;
+  double tmp = x + 5.5;
+  tmp -= (x + 0.5) * std::log(tmp);
+  double ser = 1.000000000190015;
+  for (double c : coef) ser += c / ++y;
+  return -tmp + std::log(2.5066282746310005 * ser / x);
+}
+
+// Continued-fraction evaluation for the incomplete beta function.
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3.0e-12;
+  constexpr double kFpMin = 1.0e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_bt = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                       a * std::log(x) + b * std::log(1.0 - x);
+  const double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - bt * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) throw std::invalid_argument("t-cdf requires df > 0");
+  const double x = df / (df + t * t);
+  const double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+namespace {
+TTest finish_test(double t, double df) {
+  TTest r;
+  r.t = t;
+  r.df = df;
+  const double tail = 1.0 - student_t_cdf(std::fabs(t), df);
+  r.p_value = std::min(1.0, 2.0 * tail);
+  return r;
+}
+}  // namespace
+
+TTest welch_t_test(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("welch_t_test requires >= 2 samples per group");
+  }
+  Online oa, ob;
+  for (double x : a) oa.add(x);
+  for (double x : b) ob.add(x);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = oa.variance() / na;
+  const double vb = ob.variance() / nb;
+  const double denom = std::sqrt(va + vb);
+  if (denom == 0.0) return finish_test(0.0, na + nb - 2.0);
+  const double t = (oa.mean() - ob.mean()) / denom;
+  const double df =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  return finish_test(t, df);
+}
+
+TTest student_t_test(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument(
+        "student_t_test requires >= 2 samples per group");
+  }
+  Online oa, ob;
+  for (double x : a) oa.add(x);
+  for (double x : b) ob.add(x);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double df = na + nb - 2.0;
+  const double pooled =
+      ((na - 1.0) * oa.variance() + (nb - 1.0) * ob.variance()) / df;
+  const double denom = std::sqrt(pooled * (1.0 / na + 1.0 / nb));
+  if (denom == 0.0) return finish_test(0.0, df);
+  return finish_test((oa.mean() - ob.mean()) / denom, df);
+}
+
+}  // namespace hydra::stats

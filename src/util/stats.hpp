@@ -1,0 +1,74 @@
+// Statistics helpers used by the evaluation harness: summary statistics,
+// empirical CDFs (Figure 12b), and the Student/Welch t-test the paper uses
+// to show that Hydra checkers add no statistically significant latency.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hydra::stats {
+
+// Single-pass running mean / variance (Welford's algorithm).
+class Online {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+Summary summarize(std::vector<double> samples);
+
+// Linear-interpolated percentile over a *sorted* sample vector; q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+// Empirical CDF evaluated at `points` equally spaced x positions spanning
+// [min, max] of the samples. Returns (x, F(x)) pairs.
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::vector<double> samples, std::size_t points = 50);
+
+struct TTest {
+  double t = 0.0;        // test statistic
+  double df = 0.0;       // degrees of freedom
+  double p_value = 1.0;  // two-sided
+};
+
+// Welch's two-sample t-test (unequal variances). This is the statistically
+// safe variant of the paper's t-test; for equal-size, similar-variance RTT
+// samples it coincides with Student's test.
+TTest welch_t_test(const std::vector<double>& a, const std::vector<double>& b);
+
+// Student's pooled-variance two-sample t-test.
+TTest student_t_test(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+// CDF of the t distribution with `df` degrees of freedom (via the regularized
+// incomplete beta function).
+double student_t_cdf(double t, double df);
+
+// Regularized incomplete beta function I_x(a, b).
+double incomplete_beta(double a, double b, double x);
+
+}  // namespace hydra::stats

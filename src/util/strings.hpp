@@ -1,0 +1,26 @@
+// Small string helpers shared by the compiler and the report pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hydra::str {
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// Number of non-blank lines — the LoC metric used for Table 1.
+int count_loc(std::string_view source);
+
+// Dotted-quad rendering of a 32-bit IPv4 address.
+std::string ipv4_to_string(std::uint32_t addr);
+// Parses "a.b.c.d"; throws std::invalid_argument on malformed input.
+std::uint32_t ipv4_from_string(std::string_view s);
+
+std::string indent(std::string_view body, int spaces);
+
+}  // namespace hydra::str

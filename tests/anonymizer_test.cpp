@@ -1,0 +1,116 @@
+// Tests for the prefix-preserving anonymizer (the Figure 13 P4Campus
+// infrastructure): determinism, prefix preservation, identity hiding, and
+// integration at a mirror switch.
+#include <gtest/gtest.h>
+
+#include "forwarding/anonymizer.hpp"
+#include "forwarding/ipv4_ecmp.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace hydra::fwd {
+namespace {
+
+int common_prefix_len(std::uint32_t a, std::uint32_t b) {
+  for (int i = 31; i >= 0; --i) {
+    if (((a >> i) & 1) != ((b >> i) & 1)) return 31 - i;
+  }
+  return 32;
+}
+
+TEST(Anonymizer, Deterministic) {
+  const std::uint32_t a = str::ipv4_from_string("128.112.7.33");
+  EXPECT_EQ(anonymize_ipv4(a, 42), anonymize_ipv4(a, 42));
+  EXPECT_NE(anonymize_ipv4(a, 42), anonymize_ipv4(a, 43));  // salt matters
+}
+
+TEST(Anonymizer, HidesIdentity) {
+  Rng rng(1);
+  int unchanged = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next());
+    if (anonymize_ipv4(a, 7) == a) ++unchanged;
+  }
+  EXPECT_LE(unchanged, 2);  // fixed points are chance-level only
+}
+
+TEST(Anonymizer, PreservesExactCommonPrefixLength) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint32_t>(rng.next());
+    // Derive b sharing exactly k bits with a.
+    const int k = static_cast<int>(rng.below(32));
+    const std::uint32_t flip = 1u << (31 - k);
+    std::uint32_t b = a ^ flip;  // differs at bit k, equal above
+    b ^= static_cast<std::uint32_t>(rng.next()) & (flip - 1);  // noise below
+    ASSERT_EQ(common_prefix_len(a, b), k);
+    const std::uint32_t ea = anonymize_ipv4(a, 99);
+    const std::uint32_t eb = anonymize_ipv4(b, 99);
+    EXPECT_EQ(common_prefix_len(ea, eb), k)
+        << str::ipv4_to_string(a) << " / " << str::ipv4_to_string(b);
+  }
+}
+
+TEST(Anonymizer, MacAnonymizationIndependentOfIpv4) {
+  const std::uint64_t mac = 0x0a1b2c3d4e5fULL;
+  const auto anon = anonymize_mac(mac, 5);
+  EXPECT_NE(anon, mac);
+  EXPECT_EQ(anon >> 48, 0u);  // stays 48 bits
+  EXPECT_EQ(anonymize_mac(mac, 5), anon);
+}
+
+TEST(Anonymizer, ProgramRewritesAndForwards) {
+  // The anonymizer wraps routing at leaf1 (the broker switch). Routing is
+  // given a route for the ANONYMIZED destination so traffic still flows —
+  // as in the real deployment where anonymized traffic is delivered to
+  // the cellular testbed.
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  auto routing = install_leaf_spine_routing(net, fabric);
+  auto anon = std::make_shared<AnonymizerProgram>(routing, /*salt=*/77);
+  net.set_program(fabric.leaves[0], anon);
+
+  const std::uint32_t src = net.topo().node(fabric.hosts[0][0]).ip;
+  const std::uint32_t dst = net.topo().node(fabric.hosts[1][0]).ip;
+  const std::uint32_t anon_dst = anonymize_ipv4(dst, 77);
+  // Steer the anonymized destination out of leaf1's uplink 0 and down to
+  // a collector host (h3's port at leaf2).
+  routing->add_route(fabric.leaves[0], anon_dst, 32,
+                     {fabric.leaf_uplink_port(0)});
+  routing->add_route(fabric.spines[0], anon_dst, 32,
+                     {fabric.spine_down_port(1)});
+  routing->add_route(fabric.leaves[1], anon_dst, 32,
+                     {fabric.leaf_host_port(0)});
+
+  std::uint32_t seen_src = 0;
+  std::uint32_t seen_dst = 0;
+  net.host(fabric.hosts[1][0]).add_sink(
+      [&](const p4rt::Packet& p, double) {
+        seen_src = p.ipv4->src;
+        seen_dst = p.ipv4->dst;
+      });
+  net.send_from_host(fabric.hosts[0][0],
+                     p4rt::make_udp(src, dst, 1000, 2000, 64));
+  net.events().run();
+
+  EXPECT_EQ(anon->packets_anonymized(), 1u);
+  EXPECT_EQ(net.counters().delivered, 1u);
+  EXPECT_EQ(seen_src, anonymize_ipv4(src, 77));
+  EXPECT_EQ(seen_dst, anon_dst);
+  EXPECT_NE(seen_src, src);  // identity gone
+}
+
+TEST(Anonymizer, SameSubnetStaysSameSubnet) {
+  // Operationally important: /24 neighbours remain /24 neighbours, so
+  // routing and per-subnet analyses still work on anonymized traces.
+  const std::uint32_t a = str::ipv4_from_string("128.112.7.33");
+  const std::uint32_t b = str::ipv4_from_string("128.112.7.200");
+  const std::uint32_t ea = anonymize_ipv4(a, 123);
+  const std::uint32_t eb = anonymize_ipv4(b, 123);
+  EXPECT_EQ(ea >> 8, eb >> 8);
+  EXPECT_NE(ea & 0xff, a & 0xff);
+}
+
+}  // namespace
+}  // namespace hydra::fwd

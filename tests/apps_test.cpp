@@ -1,0 +1,130 @@
+// Tests for the report channel and the control-loop applications
+// (FirewallAgent, ReportCounter).
+#include <gtest/gtest.h>
+
+#include "forwarding/ipv4_ecmp.hpp"
+#include "hydra/apps.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+
+namespace hydra::apps {
+namespace {
+
+struct Fixture {
+  net::LeafSpine fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net{fabric.topo};
+  std::shared_ptr<fwd::Ipv4EcmpProgram> routing =
+      fwd::install_leaf_spine_routing(net, fabric);
+
+  int h(int leaf, int i) const {
+    return fabric.hosts[static_cast<std::size_t>(leaf)]
+                       [static_cast<std::size_t>(i)];
+  }
+  std::uint32_t ip(int host) const { return net.topo().node(host).ip; }
+  void send(int from, int to, std::uint16_t sport = 1000) {
+    net.send_from_host(from,
+                       p4rt::make_udp(ip(from), ip(to), sport, 2000, 64));
+    net.events().run();
+  }
+};
+
+TEST(ReportChannel, CallbackFiresAtReportTime) {
+  Fixture f;
+  f.net.deploy(compile_library_checker("stateful_firewall"));
+  double report_time = -1;
+  std::string checker_name;
+  f.net.subscribe_reports([&](const net::ReportRecord& r) {
+    report_time = r.time;
+    checker_name = r.checker;
+  });
+  f.send(f.h(0, 0), f.h(1, 0));  // unsolicited: report at the last hop
+  EXPECT_GT(report_time, 0.0);
+  EXPECT_EQ(checker_name, "stateful_firewall");
+}
+
+TEST(ReportChannel, MultipleSubscribersAllFire) {
+  Fixture f;
+  f.net.deploy(compile_library_checker("stateful_firewall"));
+  int a = 0;
+  int b = 0;
+  f.net.subscribe_reports([&](const net::ReportRecord&) { ++a; });
+  f.net.subscribe_reports([&](const net::ReportRecord&) { ++b; });
+  f.send(f.h(0, 0), f.h(1, 0));
+  EXPECT_GT(a, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FirewallAgent, InstallsReverseRulesFromReports) {
+  Fixture f;
+  const int dep = f.net.deploy(compile_library_checker("stateful_firewall"));
+  FirewallAgent agent(f.net, dep);
+  // Pre-allow the initiating direction (egress policy).
+  f.net.dict_insert_all(dep, "allowed",
+                        {BitVec(32, f.ip(f.h(0, 0))),
+                         BitVec(32, f.ip(f.h(1, 0)))},
+                        {BitVec::from_bool(true)});
+  // The inside host initiates; the checker reports the missing reverse
+  // rule and the agent installs it DURING the simulation.
+  f.send(f.h(0, 0), f.h(1, 0));
+  EXPECT_EQ(agent.rules_installed(), 1u);
+  // The response now flows without rejection.
+  f.send(f.h(1, 0), f.h(0, 0));
+  EXPECT_EQ(f.net.counters().delivered, 2u);
+  EXPECT_EQ(f.net.counters().rejected, 0u);
+}
+
+TEST(FirewallAgent, DeduplicatesRepeatedReports) {
+  Fixture f;
+  const int dep = f.net.deploy(compile_library_checker("stateful_firewall"));
+  FirewallAgent agent(f.net, dep);
+  f.net.dict_insert_all(dep, "allowed",
+                        {BitVec(32, f.ip(f.h(0, 0))),
+                         BitVec(32, f.ip(f.h(1, 0)))},
+                        {BitVec::from_bool(true)});
+  f.send(f.h(0, 0), f.h(1, 0));
+  const auto installed = agent.rules_installed();
+  // A second forward packet arrives before any reverse traffic: the
+  // reverse rule already exists, so no further report fires at all (the
+  // checker itself is quiet once the dictionary has the entry).
+  f.send(f.h(0, 0), f.h(1, 0));
+  EXPECT_EQ(agent.rules_installed(), installed);
+}
+
+TEST(FirewallAgent, IgnoresOtherCheckersReports) {
+  Fixture f;
+  const int fw = f.net.deploy(compile_library_checker("stateful_firewall"));
+  const int lb = f.net.deploy(
+      compile_library_checker("dc_uplink_load_balance"));
+  configure_load_balance(f.net, lb, f.fabric, /*threshold_bytes=*/1);
+  FirewallAgent agent(f.net, fw);
+  f.net.dict_insert_all(fw, "allowed",
+                        {BitVec(32, f.ip(f.h(0, 0))),
+                         BitVec(32, f.ip(f.h(1, 0)))},
+                        {BitVec::from_bool(true)});
+  // This packet triggers BOTH a firewall report (reverse missing) and
+  // load-balance reports (threshold 1); the agent must only act on its own.
+  f.send(f.h(0, 0), f.h(1, 0));
+  EXPECT_EQ(agent.rules_installed(), 1u);
+}
+
+TEST(ReportCounter, AggregatesBySwitchAndChecker) {
+  Fixture f;
+  const int lb = f.net.deploy(
+      compile_library_checker("dc_uplink_load_balance"));
+  configure_load_balance(f.net, lb, f.fabric, /*threshold_bytes=*/1);
+  ReportCounter counter(f.net);
+  for (int i = 0; i < 5; ++i) {
+    f.send(f.h(0, 0), f.h(1, 0), static_cast<std::uint16_t>(1000 + i));
+  }
+  EXPECT_GT(counter.total(), 0u);
+  EXPECT_EQ(counter.total(), counter.for_checker("dc_uplink_load_balance"));
+  EXPECT_EQ(counter.for_checker("nonexistent"), 0u);
+  std::uint64_t by_switch_sum = 0;
+  for (int sw = 0; sw < f.net.topo().node_count(); ++sw) {
+    by_switch_sum += counter.at_switch(sw);
+  }
+  EXPECT_EQ(by_switch_sum, counter.total());
+}
+
+}  // namespace
+}  // namespace hydra::apps

@@ -1,0 +1,480 @@
+// End-to-end deployment tests: every library checker deployed on the
+// Figure 8 leaf-spine fabric, with both conforming traffic (must pass
+// untouched) and violating traffic (must be rejected/reported).
+#include <gtest/gtest.h>
+
+#include "forwarding/ipv4_ecmp.hpp"
+#include "forwarding/source_route.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+
+namespace hydra {
+namespace {
+
+using net::LeafSpine;
+using net::Network;
+using p4rt::Packet;
+
+struct EcmpFixture {
+  LeafSpine fabric = net::make_leaf_spine(2, 2, 2);
+  Network net{fabric.topo};
+  std::shared_ptr<fwd::Ipv4EcmpProgram> routing =
+      fwd::install_leaf_spine_routing(net, fabric);
+
+  int h(int leaf, int i) const {
+    return fabric.hosts[static_cast<std::size_t>(leaf)]
+                       [static_cast<std::size_t>(i)];
+  }
+  std::uint32_t ip(int host) const { return net.topo().node(host).ip; }
+
+  void send(int from, int to, std::uint16_t sport = 1000,
+            std::uint16_t dport = 2000) {
+    net.send_from_host(from, p4rt::make_udp(ip(from), ip(to), sport, dport,
+                                            100));
+    net.events().run();
+  }
+};
+
+struct SrFixture {
+  LeafSpine fabric = net::make_leaf_spine(2, 2, 2);
+  Network net{fabric.topo};
+  std::shared_ptr<fwd::SourceRouteProgram> prog =
+      std::make_shared<fwd::SourceRouteProgram>();
+
+  SrFixture() {
+    for (int sw : fabric.leaves) net.set_program(sw, prog);
+    for (int sw : fabric.spines) net.set_program(sw, prog);
+  }
+  int h(int leaf, int i) const {
+    return fabric.hosts[static_cast<std::size_t>(leaf)]
+                       [static_cast<std::size_t>(i)];
+  }
+  void send_route(int from, const std::vector<int>& ports) {
+    Packet p = p4rt::make_udp(1, 2, 3, 4, 64);
+    fwd::set_source_route(p, ports);
+    net.send_from_host(from, std::move(p));
+    net.events().run();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Multi-tenancy (Figure 1)
+// ---------------------------------------------------------------------------
+
+TEST(E2eMultiTenancy, SameTenantPassesCrossTenantRejected) {
+  EcmpFixture f;
+  const int dep = f.net.deploy(compile_library_checker("multi_tenancy"));
+  // Leaf1's server ports belong to tenant 1, leaf2's to tenant 2.
+  std::map<std::pair<int, int>, std::uint8_t> tenants;
+  for (int i = 0; i < 2; ++i) {
+    tenants[{f.fabric.leaves[0], f.fabric.leaf_host_port(i)}] = 1;
+    tenants[{f.fabric.leaves[1], f.fabric.leaf_host_port(i)}] = 2;
+  }
+  configure_multi_tenancy(f.net, dep, tenants);
+
+  f.send(f.h(0, 0), f.h(0, 1));  // tenant 1 -> tenant 1
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+  f.send(f.h(0, 0), f.h(1, 0));  // tenant 1 -> tenant 2: isolation breach
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Valley-free source routing (Figure 7, §5.1)
+// ---------------------------------------------------------------------------
+
+TEST(E2eValleyFree, LegalPathsPass) {
+  SrFixture f;
+  const int dep = f.net.deploy(compile_library_checker("valley_free"));
+  configure_valley_free(f.net, dep, f.fabric);
+  // All valley-free paths between all host pairs, via each spine.
+  int sent = 0;
+  for (int sl = 0; sl < 2; ++sl) {
+    for (int si = 0; si < 2; ++si) {
+      for (int dl = 0; dl < 2; ++dl) {
+        for (int di = 0; di < 2; ++di) {
+          if (sl == dl && si == di) continue;
+          for (int spine = 0; spine < (sl == dl ? 1 : 2); ++spine) {
+            f.send_route(f.h(sl, si),
+                         fwd::leaf_spine_route(f.fabric, f.h(sl, si),
+                                               f.h(dl, di), spine));
+            ++sent;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(f.net.counters().delivered, static_cast<std::uint64_t>(sent));
+  EXPECT_EQ(f.net.counters().rejected, 0u);
+}
+
+TEST(E2eValleyFree, ValleyPathRejected) {
+  SrFixture f;
+  const int dep = f.net.deploy(compile_library_checker("valley_free"));
+  configure_valley_free(f.net, dep, f.fabric);
+  // Buggy sender: up to spine1, down to leaf2, up AGAIN to spine2, down to
+  // leaf2, then out — visits two spines.
+  f.send_route(f.h(0, 0), {f.fabric.leaf_uplink_port(0),
+                           f.fabric.spine_down_port(1),
+                           f.fabric.leaf_uplink_port(1),
+                           f.fabric.spine_down_port(1),
+                           f.fabric.leaf_host_port(0)});
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Loops
+// ---------------------------------------------------------------------------
+
+TEST(E2eLoops, RevisitingASwitchRejected) {
+  SrFixture f;
+  f.net.deploy(compile_library_checker("loops"));
+  // leaf1 -> spine1 -> leaf1 -> spine1 -> leaf2 -> host: leaf1 twice.
+  f.send_route(f.h(0, 0), {f.fabric.leaf_uplink_port(0),
+                           f.fabric.spine_down_port(0),
+                           f.fabric.leaf_uplink_port(0),
+                           f.fabric.spine_down_port(1),
+                           f.fabric.leaf_host_port(0)});
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+}
+
+TEST(E2eLoops, SimplePathPasses) {
+  SrFixture f;
+  f.net.deploy(compile_library_checker("loops"));
+  f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                f.h(1, 0), 0));
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+  EXPECT_EQ(f.net.counters().rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Waypointing
+// ---------------------------------------------------------------------------
+
+TEST(E2eWaypointing, PathThroughWaypointPasses) {
+  SrFixture f;
+  const int dep = f.net.deploy(compile_library_checker("waypointing"));
+  configure_waypoint(f.net, dep, f.fabric.spines[0]);
+  f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                f.h(1, 0), 0));
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+}
+
+TEST(E2eWaypointing, BypassingWaypointRejected) {
+  SrFixture f;
+  const int dep = f.net.deploy(compile_library_checker("waypointing"));
+  configure_waypoint(f.net, dep, f.fabric.spines[0]);
+  f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                f.h(1, 0), 1));  // via spine2
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Egress port validity
+// ---------------------------------------------------------------------------
+
+TEST(E2eEgressPorts, AllowedPortsPass) {
+  EcmpFixture f;
+  const int dep =
+      f.net.deploy(compile_library_checker("egress_port_validity"));
+  configure_egress_port_validity(f.net, dep);
+  f.send(f.h(0, 0), f.h(1, 0));
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+}
+
+TEST(E2eEgressPorts, DisallowedPortRejected) {
+  EcmpFixture f;
+  const int dep =
+      f.net.deploy(compile_library_checker("egress_port_validity"));
+  configure_egress_port_validity(f.net, dep);
+  // Misconfiguration: clear leaf1's allowed set entirely.
+  f.net.checker_table(dep, f.fabric.leaves[0], "allowed_eg_ports").clear();
+  f.send(f.h(0, 0), f.h(1, 0));
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Routing validity
+// ---------------------------------------------------------------------------
+
+TEST(E2eRoutingValidity, NormalPathsPass) {
+  EcmpFixture f;
+  const int dep = f.net.deploy(compile_library_checker("routing_validity"));
+  configure_routing_validity(f.net, dep, f.fabric);
+  f.send(f.h(0, 0), f.h(1, 0));
+  f.send(f.h(0, 0), f.h(0, 1));
+  EXPECT_EQ(f.net.counters().delivered, 2u);
+  EXPECT_EQ(f.net.counters().rejected, 0u);
+}
+
+TEST(E2eRoutingValidity, LeafInMiddleRejected) {
+  SrFixture f;
+  const int dep = f.net.deploy(compile_library_checker("routing_validity"));
+  configure_routing_validity(f.net, dep, f.fabric);
+  // leaf1 -> spine1 -> leaf2 -> spine2 -> leaf2 -> host: leaf2 mid-path.
+  f.send_route(f.h(0, 0), {f.fabric.leaf_uplink_port(0),
+                           f.fabric.spine_down_port(1),
+                           f.fabric.leaf_uplink_port(1),
+                           f.fabric.spine_down_port(1),
+                           f.fabric.leaf_host_port(0)});
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Service chains
+// ---------------------------------------------------------------------------
+
+TEST(E2eServiceChains, InOrderTraversalPasses) {
+  SrFixture f;
+  const int dep = f.net.deploy(compile_library_checker("service_chains"));
+  configure_service_chain(
+      f.net, dep,
+      {f.fabric.leaves[0], f.fabric.spines[0], f.fabric.leaves[1]});
+  f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                f.h(1, 0), 0));
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+}
+
+TEST(E2eServiceChains, WrongSpineRejected) {
+  SrFixture f;
+  const int dep = f.net.deploy(compile_library_checker("service_chains"));
+  configure_service_chain(
+      f.net, dep,
+      {f.fabric.leaves[0], f.fabric.spines[0], f.fabric.leaves[1]});
+  f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                f.h(1, 0), 1));  // spine2
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stateful firewall (Figure 3)
+// ---------------------------------------------------------------------------
+
+TEST(E2eFirewall, AllowedFlowPassesAndReverseIsReported) {
+  EcmpFixture f;
+  const int dep = f.net.deploy(compile_library_checker("stateful_firewall"));
+  const BitVec src(32, f.ip(f.h(0, 0)));
+  const BitVec dst(32, f.ip(f.h(1, 0)));
+  f.net.dict_insert_all(dep, "allowed", {src, dst},
+                        {BitVec::from_bool(true)});
+  f.send(f.h(0, 0), f.h(1, 0));
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+  // The reverse direction is not yet allowed: the checker reported it so
+  // the control plane can install it.
+  ASSERT_FALSE(f.net.reports().empty());
+  const auto& r = f.net.reports().back();
+  EXPECT_EQ(r.values[0].value(), dst.value());
+  EXPECT_EQ(r.values[1].value(), src.value());
+
+  // Control loop: install the reverse rule from the report, then the
+  // reverse flow passes without violation.
+  f.net.dict_insert_all(dep, "allowed", {r.values[0], r.values[1]},
+                        {BitVec::from_bool(true)});
+  f.net.clear_reports();
+  f.send(f.h(1, 0), f.h(0, 0));
+  EXPECT_EQ(f.net.counters().delivered, 2u);
+  EXPECT_EQ(f.net.counters().rejected, 0u);
+}
+
+TEST(E2eFirewall, UnsolicitedFlowRejected) {
+  EcmpFixture f;
+  f.net.deploy(compile_library_checker("stateful_firewall"));
+  f.send(f.h(1, 0), f.h(0, 0));  // nothing allowed
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Datacenter uplink load balance (Figure 2)
+// ---------------------------------------------------------------------------
+
+TEST(E2eLoadBalance, SkewedTrafficTriggersReport) {
+  SrFixture f;
+  const int dep =
+      f.net.deploy(compile_library_checker("dc_uplink_load_balance"));
+  configure_load_balance(f.net, dep, f.fabric, /*threshold_bytes=*/500);
+  // Force every packet over the LEFT uplink: the imbalance grows past the
+  // threshold and the checker reports.
+  for (int i = 0; i < 10; ++i) {
+    f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                  f.h(1, 0), 0));
+  }
+  EXPECT_EQ(f.net.counters().delivered, 10u);
+  EXPECT_FALSE(f.net.reports().empty());
+}
+
+TEST(E2eLoadBalance, BalancedTrafficStaysQuiet) {
+  SrFixture f;
+  const int dep =
+      f.net.deploy(compile_library_checker("dc_uplink_load_balance"));
+  configure_load_balance(f.net, dep, f.fabric, /*threshold_bytes=*/5000);
+  // Alternate uplinks: loads stay within the threshold.
+  for (int i = 0; i < 10; ++i) {
+    f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                  f.h(1, 0), i % 2));
+  }
+  EXPECT_EQ(f.net.counters().delivered, 10u);
+  EXPECT_TRUE(f.net.reports().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Source routing with path validation
+// ---------------------------------------------------------------------------
+
+TEST(E2ePathValidation, ValidSourceRoutePasses) {
+  SrFixture f;
+  const int dep = f.net.deploy(
+      compile_library_checker("source_routing_path_validation"));
+  configure_path_validation(f.net, dep, f.fabric);
+  f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                f.h(1, 0), 0));
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+  EXPECT_EQ(f.net.counters().rejected, 0u);
+}
+
+namespace pathval {
+// A switch that ignores the source route at one hop and forwards out a
+// port of its own choosing — the class of forwarding bug this checker
+// exists to catch (the verification is independent of the forwarding).
+class MisforwardingSwitch : public net::ForwardingProgram {
+ public:
+  MisforwardingSwitch(std::shared_ptr<net::ForwardingProgram> inner,
+                      int at_switch, int wrong_port)
+      : inner_(std::move(inner)), at_switch_(at_switch),
+        wrong_port_(wrong_port) {}
+  Decision process(p4rt::Packet& pkt, int in_port, int switch_id) override {
+    Decision d = inner_->process(pkt, in_port, switch_id);
+    if (switch_id == at_switch_ && !d.drop) d.eg_port = wrong_port_;
+    return d;
+  }
+  std::string name() const override { return "misforwarding"; }
+
+ private:
+  std::shared_ptr<net::ForwardingProgram> inner_;
+  int at_switch_;
+  int wrong_port_;
+};
+}  // namespace pathval
+
+TEST(E2ePathValidation, MisforwardingSwitchCaughtAtEdge) {
+  SrFixture f;
+  const int dep = f.net.deploy(
+      compile_library_checker("source_routing_path_validation"));
+  configure_path_validation(f.net, dep, f.fabric);
+  // The spine ignores the declared route and sends the packet down to
+  // leaf1 instead of leaf2; the remaining pops then deliver it to the
+  // WRONG host. The checker compares declared vs actual egress ports and
+  // rejects at the exit edge.
+  const int spine = f.fabric.spines[0];
+  f.net.set_program(spine, std::make_shared<pathval::MisforwardingSwitch>(
+                               f.prog, spine, f.fabric.spine_down_port(0)));
+  f.send_route(f.h(0, 0), fwd::leaf_spine_route(f.fabric, f.h(0, 0),
+                                                f.h(1, 0), 0));
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// VLAN isolation (with a buggy tag-rewriting switch)
+// ---------------------------------------------------------------------------
+
+namespace vlan {
+// A forwarding program that (wrongly) rewrites the VLAN tag mid-path.
+class RewritingForwarder : public net::ForwardingProgram {
+ public:
+  RewritingForwarder(std::shared_ptr<net::ForwardingProgram> inner,
+                     int at_switch, std::uint16_t new_vid)
+      : inner_(std::move(inner)), at_switch_(at_switch), new_vid_(new_vid) {}
+  Decision process(p4rt::Packet& pkt, int in_port, int switch_id) override {
+    if (switch_id == at_switch_ && pkt.vlan) pkt.vlan->vid = new_vid_;
+    return inner_->process(pkt, in_port, switch_id);
+  }
+  std::string name() const override { return "buggy-rewriter"; }
+
+ private:
+  std::shared_ptr<net::ForwardingProgram> inner_;
+  int at_switch_;
+  std::uint16_t new_vid_;
+};
+}  // namespace vlan
+
+TEST(E2eVlanIsolation, ConsistentVlanPasses) {
+  EcmpFixture f;
+  f.net.deploy(compile_library_checker("vlan_isolation"));
+  p4rt::Packet p =
+      p4rt::make_udp(f.ip(f.h(0, 0)), f.ip(f.h(1, 0)), 1000, 2000, 100);
+  p.vlan = p4rt::VlanH{100};
+  f.net.send_from_host(f.h(0, 0), std::move(p));
+  f.net.events().run();
+  EXPECT_EQ(f.net.counters().delivered, 1u);
+  EXPECT_EQ(f.net.counters().rejected, 0u);
+}
+
+TEST(E2eVlanIsolation, MidPathTagRewriteRejected) {
+  EcmpFixture f;
+  f.net.deploy(compile_library_checker("vlan_isolation"));
+  // Wrap both spines with the buggy rewriter.
+  for (int spine : f.fabric.spines) {
+    f.net.set_program(spine, std::make_shared<vlan::RewritingForwarder>(
+                                 f.routing, spine, 200));
+  }
+  p4rt::Packet p =
+      p4rt::make_udp(f.ip(f.h(0, 0)), f.ip(f.h(1, 0)), 1000, 2000, 100);
+  p.vlan = p4rt::VlanH{100};
+  f.net.send_from_host(f.h(0, 0), std::move(p));
+  f.net.events().run();
+  EXPECT_EQ(f.net.counters().delivered, 0u);
+  EXPECT_EQ(f.net.counters().rejected, 1u);
+  ASSERT_FALSE(f.net.reports().empty());
+}
+
+// ---------------------------------------------------------------------------
+// All checkers together (the paper's "all checkers on" configuration)
+// ---------------------------------------------------------------------------
+
+TEST(E2eAllCheckers, WellBehavedTrafficPassesEverything) {
+  EcmpFixture f;
+  std::map<std::pair<int, int>, std::uint8_t> tenants;
+  for (int leaf = 0; leaf < 2; ++leaf) {
+    for (int i = 0; i < 2; ++i) {
+      tenants[{f.fabric.leaves[static_cast<std::size_t>(leaf)],
+               f.fabric.leaf_host_port(i)}] = 1;
+    }
+  }
+  const int mt = f.net.deploy(compile_library_checker("multi_tenancy"));
+  configure_multi_tenancy(f.net, mt, tenants);
+  const int vf = f.net.deploy(compile_library_checker("valley_free"));
+  configure_valley_free(f.net, vf, f.fabric);
+  f.net.deploy(compile_library_checker("loops"));
+  const int ep = f.net.deploy(compile_library_checker("egress_port_validity"));
+  configure_egress_port_validity(f.net, ep);
+  const int rv = f.net.deploy(compile_library_checker("routing_validity"));
+  configure_routing_validity(f.net, rv, f.fabric);
+  const int fw = f.net.deploy(compile_library_checker("stateful_firewall"));
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+          f.net.dict_insert_all(fw, "allowed",
+                                {BitVec(32, f.ip(f.h(a, i))),
+                                 BitVec(32, f.ip(f.h(b, j)))},
+                                {BitVec::from_bool(true)});
+        }
+      }
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    f.send(f.h(0, 0), f.h(1, 0), static_cast<std::uint16_t>(1000 + i));
+  }
+  EXPECT_EQ(f.net.counters().delivered, 8u);
+  EXPECT_EQ(f.net.counters().rejected, 0u);
+}
+
+}  // namespace
+}  // namespace hydra

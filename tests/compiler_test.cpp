@@ -1,0 +1,326 @@
+// Unit tests for the compiler backend: lowering shapes, telemetry layout,
+// resource estimation, and P4 emission — plus Table 1 sanity for every
+// library checker.
+#include <gtest/gtest.h>
+
+#include "checkers/library.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/emit_p4.hpp"
+#include "compiler/lower.hpp"
+#include "indus/parser.hpp"
+#include "indus/typecheck.hpp"
+
+namespace hydra::compiler {
+namespace {
+
+ir::CheckerIR lower_src(const std::string& src,
+                        const std::string& name = "t") {
+  indus::Diagnostics diags;
+  indus::Program p = indus::parse_indus(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  const indus::SymbolTable syms = indus::typecheck(p, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return lower(p, syms, name);
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+TEST(Lower, TeleScalarBecomesTeleField) {
+  const auto ir = lower_src("tele bit<8> t;\n{ t = 1; } { } { }");
+  const auto f = ir.find_field("tele.t");
+  ASSERT_TRUE(f.valid());
+  EXPECT_EQ(ir.field(f).space, ir::Space::kTele);
+  EXPECT_EQ(ir.field(f).width, 8);
+}
+
+TEST(Lower, TeleTupleFlattens) {
+  const auto ir =
+      lower_src("tele (bit<32>,bool) pair;\n{ } { } { }");
+  EXPECT_TRUE(ir.find_field("tele.pair._0").valid());
+  EXPECT_TRUE(ir.find_field("tele.pair._1").valid());
+}
+
+TEST(Lower, TeleArrayBecomesListWithCounter) {
+  const auto ir = lower_src("tele bit<32>[5] xs;\n{ } { xs.push(1); } { }");
+  ASSERT_EQ(ir.lists.size(), 1u);
+  EXPECT_EQ(ir.lists[0].capacity, 5);
+  EXPECT_EQ(ir.lists[0].elem_width, 32);
+  EXPECT_TRUE(ir.lists[0].count.valid());
+  // 5 slots + counter, all on the wire.
+  EXPECT_EQ(ir.telemetry_wire_bits(), 5 * 32 + 3);
+}
+
+TEST(Lower, SensorBecomesRegisterWithInitial) {
+  const auto ir = lower_src("sensor bit<32> s = 7;\n{ } { s += 1; } { }");
+  ASSERT_EQ(ir.registers.size(), 1u);
+  EXPECT_EQ(ir.registers[0].width, 32);
+  EXPECT_EQ(ir.registers[0].initial.value(), 7u);
+}
+
+TEST(Lower, ControlDictBecomesTable) {
+  const auto ir = lower_src(
+      "control dict<(bit<32>,bit<8>),bit<16>> m;\ntele bit<16> v;\n"
+      "header bit<32> a;\nheader bit<8> b;\n{ v = m[(a, b)]; } { } { }");
+  ASSERT_EQ(ir.tables.size(), 1u);
+  EXPECT_EQ(ir.tables[0].key_widths, (std::vector<int>{32, 8}));
+  EXPECT_EQ(ir.tables[0].value_widths, (std::vector<int>{16}));
+  EXPECT_FALSE(ir.tables[0].config_scalar);
+}
+
+TEST(Lower, ControlScalarBecomesConfigTable) {
+  const auto ir = lower_src(
+      "control thresh;\ntele bool r;\n{ r = packet_length > thresh; } "
+      "{ } { }");
+  ASSERT_EQ(ir.tables.size(), 1u);
+  EXPECT_TRUE(ir.tables[0].config_scalar);
+  EXPECT_EQ(ir.tables[0].value_widths, (std::vector<int>{32}));
+}
+
+TEST(Lower, ForLoopUnrollsToCapacity) {
+  const auto ir = lower_src(
+      "tele bit<8>[4] xs;\ntele bit<8> sum;\n{ } { } "
+      "{ for (x in xs) { sum += x; } }");
+  // One guarded If per unrolled iteration.
+  int ifs = 0;
+  for (const auto& i : ir.check_block) {
+    ifs += i->kind == ir::InstrKind::kIf ? 1 : 0;
+  }
+  EXPECT_EQ(ifs, 4);
+}
+
+TEST(Lower, DictLookupPlacedBeforeUse) {
+  const auto ir = lower_src(
+      "control dict<bit<8>,bit<8>> t;\nheader bit<8> p;\ntele bit<8> v;\n"
+      "{ v = t[p]; } { } { }");
+  // Init block: tele init assign(s), then the table lookup, then the
+  // consuming assign.
+  bool saw_lookup = false;
+  bool assign_after_lookup = false;
+  for (const auto& i : ir.init_block) {
+    if (i->kind == ir::InstrKind::kTableLookup) saw_lookup = true;
+    if (saw_lookup && i->kind == ir::InstrKind::kAssign &&
+        ir.field(i->dst).name == "tele.v") {
+      assign_after_lookup = true;
+    }
+  }
+  EXPECT_TRUE(saw_lookup);
+  EXPECT_TRUE(assign_after_lookup);
+}
+
+TEST(Lower, AbsOfDifferenceUsesAbsDiff) {
+  const auto ir = lower_src(
+      "tele bit<32> a;\ntele bit<32> b;\ntele bool r;\n"
+      "{ r = abs(a - b) > 5; } { } { }");
+  // Find the AbsDiff node in the computed assign to tele.r (skipping the
+  // declaration-initializer constant assign).
+  bool found = false;
+  for (const auto& i : ir.init_block) {
+    if (i->kind != ir::InstrKind::kAssign) continue;
+    if (ir.field(i->dst).name != "tele.r") continue;
+    if (i->value->kind != ir::RKind::kBinary) continue;
+    found = i->value->args[0]->kind == ir::RKind::kAbsDiff;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lower, RejectsNonScalarTeleArrayElements) {
+  indus::Diagnostics diags;
+  indus::Program p = indus::parse_indus(
+      "tele (bit<8>,bit<8>)[4] xs;\n{ } { } { }", diags);
+  ASSERT_FALSE(diags.has_errors());
+  const auto syms = indus::typecheck(p, diags);
+  EXPECT_THROW(lower(p, syms, "bad"), indus::CompileError);
+}
+
+TEST(Lower, BuiltinHeadersGetStdAnnotations) {
+  const auto ir = lower_src("tele bool b;\n{ b = last_hop; } { } { }");
+  const auto f = ir.find_field("hdr.last_hop");
+  ASSERT_TRUE(f.valid());
+  EXPECT_EQ(ir.field(f).annotation, "std.last_hop");
+}
+
+TEST(Lower, HeaderAnnotationDefaultsToName) {
+  const auto ir = lower_src("header bit<8> eg_port;\ntele bit<8> t;\n"
+                            "{ t = eg_port; } { } { }");
+  const auto f = ir.find_field("hdr.eg_port");
+  ASSERT_TRUE(f.valid());
+  EXPECT_EQ(ir.field(f).annotation, "eg_port");
+}
+
+TEST(Lower, TeleInitializersRunInInitBlock) {
+  const auto ir = lower_src("tele bit<8> x = 42;\n{ } { } { }");
+  ASSERT_FALSE(ir.init_block.empty());
+  const auto& i = *ir.init_block[0];
+  EXPECT_EQ(i.kind, ir::InstrKind::kAssign);
+  EXPECT_EQ(ir.field(i.dst).name, "tele.x");
+  EXPECT_EQ(i.value->cval.value(), 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Layout
+// ---------------------------------------------------------------------------
+
+TEST(Layout, PackedLayoutIsDense) {
+  const auto ir = lower_src(
+      "tele bit<8> a;\ntele bool b;\ntele bit<16> c;\n{ } { } { }");
+  const auto layout = layout_telemetry(ir, /*byte_aligned=*/false);
+  EXPECT_EQ(layout.payload_bits, 8 + 1 + 16);
+  EXPECT_EQ(layout.wire_bytes, (25 + 7) / 8 + 2);
+}
+
+TEST(Layout, ByteAlignedPadsEachField) {
+  const auto ir = lower_src(
+      "tele bit<8> a;\ntele bool b;\ntele bit<16> c;\n{ } { } { }");
+  const auto layout = layout_telemetry(ir, /*byte_aligned=*/true);
+  // a at 0, b at 8, c at 16.
+  ASSERT_EQ(layout.entries.size(), 3u);
+  EXPECT_EQ(layout.entries[0].offset_bits, 0);
+  EXPECT_EQ(layout.entries[1].offset_bits, 8);
+  EXPECT_EQ(layout.entries[2].offset_bits, 16);
+}
+
+TEST(Layout, OffsetsAreDisjointAndOrdered) {
+  const auto ir = lower_src("tele bit<32>[3] xs;\ntele bit<8> y;\n"
+                            "{ } { xs.push(1); } { }");
+  const auto layout = layout_telemetry(ir, false);
+  int prev_end = 0;
+  for (const auto& e : layout.entries) {
+    EXPECT_GE(e.offset_bits, prev_end);
+    prev_end = e.offset_bits + e.width;
+  }
+  EXPECT_EQ(prev_end, layout.payload_bits);
+}
+
+// ---------------------------------------------------------------------------
+// Resources
+// ---------------------------------------------------------------------------
+
+TEST(Resources, EmptyCheckerUsesNoStages) {
+  const auto ir = lower_src("{ } { } { }");
+  const auto r = estimate_resources(ir);
+  EXPECT_EQ(r.checker_stages, 0);
+}
+
+TEST(Resources, DependentTableLookupsChainStages) {
+  // Second lookup keys on the first lookup's output: must be a later stage.
+  const auto ir = lower_src(R"(
+    control dict<bit<8>,bit<8>> t1;
+    control dict<bit<8>,bit<8>> t2;
+    header bit<8> p;
+    tele bit<8> v;
+    { v = t2[t1[p]]; } { } { }
+  )");
+  const auto r = estimate_resources(ir);
+  EXPECT_GE(r.init_stages, 2);
+}
+
+TEST(Resources, IndependentLookupsShareAStage) {
+  const auto ir = lower_src(R"(
+    control dict<bit<8>,bit<8>> t1;
+    control dict<bit<8>,bit<8>> t2;
+    header bit<8> p;
+    header bit<8> q;
+    tele bit<8> a;
+    tele bit<8> b;
+    { a = t1[p]; b = t2[q]; } { } { }
+  )");
+  const auto r = estimate_resources(ir);
+  EXPECT_LE(r.init_stages, 2);  // lookups parallel; width of block small
+}
+
+TEST(Resources, LinkingTakesMaxStages) {
+  ResourceReport checker;
+  checker.checker_stages = 5;
+  checker.phv_percent = 3.0;
+  const auto linked = link_resources(fabric_upf_profile(), checker);
+  EXPECT_EQ(linked.stages, 12);
+  EXPECT_NEAR(linked.phv_percent, 47.53, 1e-9);
+  EXPECT_TRUE(linked.fits);
+}
+
+TEST(Resources, OverBudgetDetected) {
+  ResourceReport checker;
+  checker.checker_stages = 25;
+  checker.phv_percent = 70.0;
+  const auto linked = link_resources(fabric_upf_profile(), checker);
+  EXPECT_FALSE(linked.fits);
+}
+
+// ---------------------------------------------------------------------------
+// P4 emission
+// ---------------------------------------------------------------------------
+
+TEST(EmitP4, ContainsExpectedSections) {
+  const auto c = compile_checker(
+      checkers::checker_by_name("multi_tenancy").source, "multi_tenancy");
+  EXPECT_NE(c.p4_code.find("header hydra_tele_h"), std::string::npos);
+  EXPECT_NE(c.p4_code.find("parser HydraParser"), std::string::npos);
+  EXPECT_NE(c.p4_code.find("control HydraInit"), std::string::npos);
+  EXPECT_NE(c.p4_code.find("control HydraTelemetry"), std::string::npos);
+  EXPECT_NE(c.p4_code.find("control HydraChecker"), std::string::npos);
+  EXPECT_NE(c.p4_code.find("table tenants"), std::string::npos);
+  EXPECT_NE(c.p4_code.find("setInvalid"), std::string::npos);  // strip
+}
+
+TEST(EmitP4, RegistersEmittedForSensors) {
+  const auto c = compile_checker(
+      checkers::checker_by_name("dc_uplink_load_balance").source, "lb");
+  EXPECT_NE(c.p4_code.find("Register<bit<32>"), std::string::npos);
+  EXPECT_NE(c.p4_code.find("left_load"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 sanity for the full library
+// ---------------------------------------------------------------------------
+
+class Table1 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table1, CompilesWithPlausibleResources) {
+  const auto& spec =
+      checkers::table1_checkers()[static_cast<std::size_t>(GetParam())];
+  const auto c = compile_checker(spec.source, spec.name);
+  // Indus programs are an order of magnitude smaller than generated P4.
+  EXPECT_GT(c.indus_loc, 0);
+  EXPECT_GT(c.p4_loc, 2 * c.indus_loc) << spec.name;
+  // Checkers run in parallel with the 12-stage baseline: no stage increase.
+  EXPECT_LE(c.resources.checker_stages, 12) << spec.name;
+  EXPECT_EQ(c.linked.stages, 12) << spec.name;
+  // PHV deltas are modest (the paper observes ~2-8 points).
+  EXPECT_GT(c.resources.phv_percent, 0.0);
+  EXPECT_LT(c.resources.phv_percent, 40.0) << spec.name;
+  EXPECT_TRUE(c.linked.fits) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProperties, Table1, ::testing::Range(0, 11),
+                         [](const auto& info) {
+                           return checkers::table1_checkers()
+                               [static_cast<std::size_t>(info.param)].name;
+                         });
+
+TEST(Table1, ApplicationFilteringUsesMostPhvAmongAetherCheckers) {
+  const auto app = compile_checker(
+      checkers::checker_by_name("application_filtering").source, "app");
+  const auto mt = compile_checker(
+      checkers::checker_by_name("multi_tenancy").source, "mt");
+  EXPECT_GT(app.resources.phv_bits, mt.resources.phv_bits);
+}
+
+TEST(CompileOptions, EveryHopPlacementRecorded) {
+  CompileOptions opts;
+  opts.placement = CheckPlacement::kEveryHop;
+  const auto c = compile_checker(
+      checkers::checker_by_name("valley_free").source, "vf", opts);
+  EXPECT_EQ(c.options.placement, CheckPlacement::kEveryHop);
+}
+
+TEST(Compile, BadSourceThrowsCompileError) {
+  EXPECT_THROW(compile_checker("{ oops } { } { }", "bad"),
+               indus::CompileError);
+  EXPECT_THROW(compile_checker("header bit<8> p;\n{ p = 1; } { } { }", "bad"),
+               indus::CompileError);
+}
+
+}  // namespace
+}  // namespace hydra::compiler

@@ -1,0 +1,216 @@
+// Additional frontend unit coverage: the Type API, pretty printer output,
+// diagnostics rendering, token formatting, and AST cloning.
+#include <gtest/gtest.h>
+
+#include "indus/ast.hpp"
+#include "indus/diagnostics.hpp"
+#include "indus/parser.hpp"
+#include "indus/pretty.hpp"
+#include "indus/token.hpp"
+#include "indus/types.hpp"
+
+namespace hydra::indus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+TEST(Types, ToStringForms) {
+  EXPECT_EQ(Type::bits(8)->to_string(), "bit<8>");
+  EXPECT_EQ(Type::boolean()->to_string(), "bool");
+  EXPECT_EQ(Type::array(Type::bits(32), 15)->to_string(), "bit<32>[15]");
+  EXPECT_EQ(Type::set(Type::bits(8))->to_string(), "set<bit<8>>");
+  EXPECT_EQ(Type::dict(Type::bits(8), Type::boolean())->to_string(),
+            "dict<bit<8>,bool>");
+  EXPECT_EQ(
+      Type::tuple({Type::bits(32), Type::boolean()})->to_string(),
+      "(bit<32>,bool)");
+}
+
+TEST(Types, StructuralEquality) {
+  EXPECT_TRUE(Type::bits(8)->equals(*Type::bits(8)));
+  EXPECT_FALSE(Type::bits(8)->equals(*Type::bits(9)));
+  EXPECT_FALSE(Type::bits(1)->equals(*Type::boolean()));
+  const auto d1 = Type::dict(Type::tuple({Type::bits(32), Type::bits(32)}),
+                             Type::boolean());
+  const auto d2 = Type::dict(Type::tuple({Type::bits(32), Type::bits(32)}),
+                             Type::boolean());
+  EXPECT_TRUE(d1->equals(*d2));
+  EXPECT_FALSE(d1->equals(*Type::dict(Type::bits(32), Type::boolean())));
+}
+
+TEST(Types, FlatBitsAccountsForArrayCounter) {
+  // 4 x 8-bit slots + a 3-bit counter (counts 0..4).
+  EXPECT_EQ(Type::array(Type::bits(8), 4)->flat_bits(), 4 * 8 + 3);
+  EXPECT_EQ(Type::bits(13)->flat_bits(), 13);
+  EXPECT_EQ(Type::boolean()->flat_bits(), 1);
+  EXPECT_EQ(Type::tuple({Type::bits(8), Type::boolean()})->flat_bits(), 9);
+  // Sets/dicts live in tables, not on the wire.
+  EXPECT_EQ(Type::set(Type::bits(8))->flat_bits(), 0);
+}
+
+TEST(Types, FlattenWidths) {
+  EXPECT_EQ(Type::bits(13)->flatten_widths(), (std::vector<int>{13}));
+  EXPECT_EQ(Type::tuple({Type::bits(32), Type::boolean(), Type::bits(16)})
+                ->flatten_widths(),
+            (std::vector<int>{32, 1, 16}));
+  EXPECT_EQ(Type::array(Type::bits(8), 3)->flatten_widths(),
+            (std::vector<int>{8, 8, 8}));
+}
+
+TEST(Types, InvalidConstructionsThrow) {
+  EXPECT_THROW(Type::bits(0), std::invalid_argument);
+  EXPECT_THROW(Type::bits(65), std::invalid_argument);
+  EXPECT_THROW(Type::array(Type::bits(8), 0), std::invalid_argument);
+  EXPECT_THROW(Type::tuple({Type::bits(8)}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printer specifics
+// ---------------------------------------------------------------------------
+
+std::string reprint(const std::string& src) {
+  Diagnostics d;
+  const Program p = parse_indus(src, d);
+  EXPECT_FALSE(d.has_errors()) << d.to_string();
+  return to_source(p);
+}
+
+TEST(Pretty, MinimalParenthesization) {
+  const std::string out = reprint(
+      "tele bool r;\ntele bit<8> a;\n{ r = a + 1 > 2 && a < 3; } { } { }");
+  // Precedence makes most parens redundant.
+  EXPECT_NE(out.find("r = a + 1 > 2 && a < 3;"), std::string::npos) << out;
+}
+
+TEST(Pretty, ParenthesizesWhenNeeded) {
+  const std::string out = reprint(
+      "tele bit<8> a;\n{ a = (a + 1) * 2; } { } { }");
+  EXPECT_NE(out.find("a = (a + 1) * 2;"), std::string::npos) << out;
+}
+
+TEST(Pretty, ElsifChainsStayFlat) {
+  const std::string out = reprint(R"(
+    tele bit<8> x;
+    { if (x == 1) { pass; } elsif (x == 2) { pass; } else { pass; } }
+    { } { }
+  )");
+  EXPECT_NE(out.find("elsif (x == 2)"), std::string::npos) << out;
+  // Not nested as `else { if ... }`.
+  EXPECT_EQ(out.find("else {\n    if"), std::string::npos) << out;
+}
+
+TEST(Pretty, DeclRendering) {
+  const std::string out = reprint(
+      "header bit<16> p @\"hdr.udp.dst_port\";\n"
+      "sensor bit<32> s = 7;\n{ } { } { }");
+  EXPECT_NE(out.find("header bit<16> p @\"hdr.udp.dst_port\";"),
+            std::string::npos);
+  EXPECT_NE(out.find("sensor bit<32> s = 7;"), std::string::npos);
+}
+
+TEST(Pretty, ReportForms) {
+  const std::string out = reprint(
+      "header bit<8> a;\n{ report; report((a, a)); } { } { }");
+  EXPECT_NE(out.find("report;"), std::string::npos);
+  EXPECT_NE(out.find("report((a, a));"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, RendersLocationAndSeverity) {
+  Diagnostics d;
+  d.error({3, 7}, "boom");
+  d.warning({1, 1}, "meh");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1);
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("3:7: error: boom"), std::string::npos) << s;
+  EXPECT_NE(s.find("1:1: warning: meh"), std::string::npos) << s;
+}
+
+TEST(Diagnostics, ThrowIfErrorsCarriesPhase) {
+  Diagnostics d;
+  d.error({2, 2}, "bad");
+  try {
+    d.throw_if_errors("typecheck");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("typecheck failed"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad"), std::string::npos);
+  }
+}
+
+TEST(Diagnostics, WarningsAloneDoNotThrow) {
+  Diagnostics d;
+  d.warning({1, 1}, "just a warning");
+  EXPECT_NO_THROW(d.throw_if_errors("parse"));
+}
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+TEST(Tokens, ToStringShowsPayloads) {
+  Token ident;
+  ident.kind = Tok::kIdent;
+  ident.text = "foo";
+  EXPECT_EQ(ident.to_string(), "ident(foo)");
+  Token num;
+  num.kind = Tok::kNumber;
+  num.number = 42;
+  EXPECT_EQ(num.to_string(), "num(42)");
+  Token str;
+  str.kind = Tok::kString;
+  str.text = "x.y";
+  EXPECT_EQ(str.to_string(), "str(\"x.y\")");
+  Token op;
+  op.kind = Tok::kShl;
+  EXPECT_EQ(op.to_string(), "'<<'");
+}
+
+// ---------------------------------------------------------------------------
+// AST cloning
+// ---------------------------------------------------------------------------
+
+TEST(Ast, ExprCloneIsDeep) {
+  ExprPtr e = make_binary(BinOp::kAdd, make_var("a"), make_number(1));
+  ExprPtr c = e->clone();
+  EXPECT_EQ(to_source(*e), to_source(*c));
+  // Mutating the clone must not affect the original.
+  c->args[1]->number = 99;
+  EXPECT_EQ(to_source(*e), "a + 1");
+  EXPECT_EQ(to_source(*c), "a + 99");
+}
+
+TEST(Ast, StmtCloneIsDeep) {
+  Diagnostics d;
+  const Program p = parse_indus(R"(
+    tele bit<8> x;
+    tele bit<8>[4] xs;
+    { if (x == 1) { xs.push(x); report((x)); } else { x += 2; } }
+    { for (v in xs) { x = v; } } { }
+  )", d);
+  ASSERT_FALSE(d.has_errors());
+  const StmtPtr clone = p.init_block->clone();
+  EXPECT_EQ(to_source(*p.init_block), to_source(*clone));
+  const StmtPtr loop_clone = p.tele_block->clone();
+  EXPECT_EQ(to_source(*p.tele_block), to_source(*loop_clone));
+}
+
+TEST(Ast, FindDecl) {
+  Diagnostics d;
+  const Program p =
+      parse_indus("tele bit<8> x;\nheader bit<8> y;\n{ } { } { }", d);
+  ASSERT_FALSE(d.has_errors());
+  ASSERT_NE(p.find_decl("x"), nullptr);
+  EXPECT_EQ(p.find_decl("x")->kind, VarKind::kTele);
+  EXPECT_EQ(p.find_decl("z"), nullptr);
+}
+
+}  // namespace
+}  // namespace hydra::indus

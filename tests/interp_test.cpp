@@ -1,0 +1,400 @@
+// Unit tests for the p4rt substrate: match-action tables, registers, the
+// packet model, and direct interpretation of compiled checkers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "checkers/library.hpp"
+#include "compiler/compile.hpp"
+#include "p4rt/interp.hpp"
+#include "p4rt/packet.hpp"
+#include "p4rt/register.hpp"
+#include "p4rt/table.hpp"
+
+namespace hydra::p4rt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(Table, ExactMatchHitAndMiss) {
+  Table t("t", {{MatchKind::kExact, 8}});
+  t.insert_exact({BitVec(8, 5)}, {BitVec(8, 50)});
+  const TableEntry* hit = t.lookup({BitVec(8, 5)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action_data[0].value(), 50u);
+  EXPECT_EQ(t.lookup({BitVec(8, 6)}), nullptr);
+}
+
+TEST(Table, TernaryMaskedMatch) {
+  Table t("t", {{MatchKind::kTernary, 8}});
+  TableEntry e;
+  e.patterns.push_back(KeyPattern::ternary(BitVec(8, 0xa0), BitVec(8, 0xf0)));
+  e.action_data.push_back(BitVec(8, 1));
+  t.insert(std::move(e));
+  EXPECT_NE(t.lookup({BitVec(8, 0xa5)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(8, 0xb5)}), nullptr);
+}
+
+TEST(Table, WildcardMatchesEverything) {
+  Table t("t", {{MatchKind::kTernary, 16}});
+  TableEntry e;
+  e.patterns.push_back(KeyPattern::wildcard(16));
+  e.action_data.push_back(BitVec(8, 9));
+  t.insert(std::move(e));
+  EXPECT_NE(t.lookup({BitVec(16, 0)}), nullptr);
+  EXPECT_NE(t.lookup({BitVec(16, 65535)}), nullptr);
+}
+
+TEST(Table, PriorityBreaksOverlaps) {
+  Table t("t", {{MatchKind::kTernary, 8}});
+  TableEntry low;
+  low.priority = 10;
+  low.patterns.push_back(KeyPattern::wildcard(8));
+  low.action_data.push_back(BitVec(8, 1));
+  TableEntry high;
+  high.priority = 20;
+  high.patterns.push_back(KeyPattern::exact(BitVec(8, 7)));
+  high.action_data.push_back(BitVec(8, 2));
+  t.insert(std::move(low));
+  t.insert(std::move(high));
+  EXPECT_EQ(t.lookup({BitVec(8, 7)})->action_data[0].value(), 2u);
+  EXPECT_EQ(t.lookup({BitVec(8, 8)})->action_data[0].value(), 1u);
+}
+
+TEST(Table, LpmPrefixes) {
+  Table t("t", {{MatchKind::kLpm, 32}});
+  TableEntry wide;
+  wide.priority = 8;
+  wide.patterns.push_back(KeyPattern::lpm(BitVec(32, 0x0a000000), 8));
+  wide.action_data.push_back(BitVec(8, 1));
+  TableEntry narrow;
+  narrow.priority = 24;
+  narrow.patterns.push_back(KeyPattern::lpm(BitVec(32, 0x0a000100), 24));
+  narrow.action_data.push_back(BitVec(8, 2));
+  t.insert(std::move(wide));
+  t.insert(std::move(narrow));
+  EXPECT_EQ(t.lookup({BitVec(32, 0x0a000105)})->action_data[0].value(), 2u);
+  EXPECT_EQ(t.lookup({BitVec(32, 0x0a020305)})->action_data[0].value(), 1u);
+  EXPECT_EQ(t.lookup({BitVec(32, 0x0b000000)}), nullptr);
+}
+
+TEST(Table, RangeMatch) {
+  Table t("t", {{MatchKind::kRange, 16}});
+  TableEntry e;
+  e.patterns.push_back(KeyPattern::range(BitVec(16, 81), BitVec(16, 82)));
+  e.action_data.push_back(BitVec(8, 3));
+  t.insert(std::move(e));
+  EXPECT_NE(t.lookup({BitVec(16, 81)}), nullptr);
+  EXPECT_NE(t.lookup({BitVec(16, 82)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(16, 80)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(16, 83)}), nullptr);
+}
+
+TEST(Table, ArityChecked) {
+  Table t("t", {{MatchKind::kExact, 8}, {MatchKind::kExact, 8}});
+  EXPECT_THROW(t.insert_exact({BitVec(8, 1)}, {}), std::invalid_argument);
+  EXPECT_THROW(t.lookup({BitVec(8, 1)}), std::invalid_argument);
+}
+
+TEST(Table, RemoveByKey) {
+  Table t("t", {{MatchKind::kExact, 8}});
+  t.insert_exact({BitVec(8, 1)}, {BitVec(8, 10)});
+  t.insert_exact({BitVec(8, 2)}, {BitVec(8, 20)});
+  std::vector<KeyPattern> key = {KeyPattern::exact(BitVec(8, 1))};
+  EXPECT_EQ(t.remove_if_key_equals(key), 1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup({BitVec(8, 1)}), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// RegisterArray
+// ---------------------------------------------------------------------------
+
+TEST(RegisterArray, ReadWriteAdd) {
+  RegisterArray r("r", 16, 4, BitVec(16, 100));
+  EXPECT_EQ(r.read(0).value(), 100u);
+  r.write(1, BitVec(16, 7));
+  EXPECT_EQ(r.read(1).value(), 7u);
+  EXPECT_EQ(r.add(1, BitVec(16, 3)).value(), 10u);
+  r.reset();
+  EXPECT_EQ(r.read(1).value(), 100u);
+}
+
+TEST(RegisterArray, WidthMasking) {
+  RegisterArray r("r", 8, 1, BitVec(8, 0));
+  r.write(0, BitVec(32, 0x1ff));
+  EXPECT_EQ(r.read(0).value(), 0xffu);
+}
+
+TEST(RegisterArray, OutOfRangeThrows) {
+  RegisterArray r("r", 8, 2, BitVec(8, 0));
+  EXPECT_THROW(r.read(2), std::out_of_range);
+  EXPECT_THROW(r.write(5, BitVec(8, 0)), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Packet model
+// ---------------------------------------------------------------------------
+
+TEST(Packet, WireBytesAccounting) {
+  Packet p = make_udp(1, 2, 10, 20, 100);
+  EXPECT_EQ(p.base_wire_bytes(), 14 + 20 + 8 + 100);
+  Packet t = make_tcp(1, 2, 10, 20, 100);
+  EXPECT_EQ(t.base_wire_bytes(), 14 + 20 + 20 + 100);
+}
+
+TEST(Packet, GtpuEncapDecapRoundTrip) {
+  const Packet inner = make_udp(0x0a000001, 0x0a000002, 1000, 81, 64);
+  Packet outer = gtpu_encap(inner, 0xc0000001, 0xc0000002, 42);
+  EXPECT_TRUE(outer.gtpu.has_value());
+  EXPECT_EQ(outer.gtpu->teid, 42u);
+  EXPECT_EQ(outer.ipv4->dst, 0xc0000002u);
+  EXPECT_EQ(outer.inner_ipv4->dst, 0x0a000002u);
+  EXPECT_GT(outer.base_wire_bytes(), inner.base_wire_bytes());
+  const Packet back = gtpu_decap(outer);
+  EXPECT_FALSE(back.gtpu.has_value());
+  EXPECT_EQ(back.ipv4->dst, inner.ipv4->dst);
+  EXPECT_EQ(back.l4->dport, inner.l4->dport);
+  EXPECT_EQ(back.base_wire_bytes(), inner.base_wire_bytes());
+}
+
+TEST(Packet, IcmpEcho) {
+  const Packet p = make_icmp_echo(1, 2, 7, 9);
+  EXPECT_EQ(p.ipv4->proto, kProtoIcmp);
+  EXPECT_EQ(p.icmp->ident, 7u);
+  EXPECT_EQ(p.icmp->seq, 9u);
+}
+
+TEST(Packet, TeleFrameLookup) {
+  Packet p;
+  p.tele.push_back({2, {}});
+  p.tele.push_back({5, {}});
+  EXPECT_NE(p.frame(2), nullptr);
+  EXPECT_NE(p.frame(5), nullptr);
+  EXPECT_EQ(p.frame(3), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter on compiled checkers
+// ---------------------------------------------------------------------------
+
+struct Harness {
+  compiler::CompiledChecker checker;
+  Interp interp;
+  CheckerState state;
+  std::vector<BitVec> vals;
+  ExecOutcome out;
+  std::map<std::string, BitVec> headers;
+
+  explicit Harness(const std::string& src)
+      : checker(compiler::compile_checker(src, "test")),
+        interp(checker.ir),
+        state(make_checker_state(checker.ir)),
+        vals(interp.fresh_store()) {}
+
+  HeaderResolver resolver() {
+    return [this](const std::string& ann, int width) {
+      const auto it = headers.find(ann);
+      if (it == headers.end()) return BitVec(width, 0);
+      return it->second;
+    };
+  }
+
+  void run_init() {
+    interp.run(checker.ir.init_block, vals, state, resolver(), out);
+  }
+  void run_tele() {
+    interp.run(checker.ir.tele_block, vals, state, resolver(), out);
+  }
+  void run_check() {
+    interp.run(checker.ir.check_block, vals, state, resolver(), out);
+  }
+  BitVec field(const std::string& name) const {
+    const auto f = checker.ir.find_field(name);
+    EXPECT_TRUE(f.valid()) << name;
+    return vals[static_cast<std::size_t>(f.id)];
+  }
+};
+
+TEST(Interp, MultiTenancyAcceptsSameTenant) {
+  Harness h(checkers::checker_by_name("multi_tenancy").source);
+  h.state.tables[0].insert_exact({BitVec(8, 1)}, {BitVec(8, 7)});
+  h.state.tables[0].insert_exact({BitVec(8, 2)}, {BitVec(8, 7)});
+  h.headers.emplace("in_port", BitVec(8, 1));
+  h.headers.emplace("eg_port", BitVec(8, 2));
+  h.run_init();
+  EXPECT_EQ(h.field("tele.tenant").value(), 7u);
+  h.run_check();
+  EXPECT_FALSE(h.out.reject);
+}
+
+TEST(Interp, MultiTenancyRejectsCrossTenant) {
+  Harness h(checkers::checker_by_name("multi_tenancy").source);
+  h.state.tables[0].insert_exact({BitVec(8, 1)}, {BitVec(8, 7)});
+  h.state.tables[0].insert_exact({BitVec(8, 2)}, {BitVec(8, 9)});
+  h.headers.emplace("in_port", BitVec(8, 1));
+  h.headers.emplace("eg_port", BitVec(8, 2));
+  h.run_init();
+  h.run_check();
+  EXPECT_TRUE(h.out.reject);
+}
+
+TEST(Interp, DictMissYieldsZeroValue) {
+  Harness h(R"(
+    control dict<bit<8>,bit<8>> m;
+    tele bit<8> v;
+    header bit<8> p;
+    { v = m[p]; } { } { }
+  )");
+  h.headers.emplace("p", BitVec(8, 3));
+  h.run_init();
+  EXPECT_EQ(h.field("tele.v").value(), 0u);
+}
+
+TEST(Interp, ConfigScalarReadsDefault) {
+  Harness h(R"(
+    control thresh;
+    tele bool r;
+    { r = packet_length > thresh; } { } { }
+  )");
+  h.state.tables[0].set_default({BitVec(32, 100)});
+  h.headers.emplace("std.packet_length", BitVec(32, 150));
+  h.run_init();
+  EXPECT_TRUE(h.field("tele.r").as_bool());
+}
+
+TEST(Interp, PushSaturatesAtCapacity) {
+  Harness h(R"(
+    tele bit<8>[2] xs;
+    header bit<8> v;
+    { } { xs.push(v); } { }
+  )");
+  h.run_init();
+  for (int i = 1; i <= 5; ++i) {
+    h.headers["v"] = BitVec(8, static_cast<std::uint64_t>(i));
+    h.run_tele();
+  }
+  EXPECT_EQ(h.field("tele.xs.cnt").value(), 2u);
+  EXPECT_EQ(h.field("tele.xs[0]").value(), 1u);
+  EXPECT_EQ(h.field("tele.xs[1]").value(), 2u);
+}
+
+TEST(Interp, SensorAccumulatesAcrossPackets) {
+  Harness h(R"(
+    sensor bit<32> total = 0;
+    { } { total += packet_length; } { }
+  )");
+  h.headers.emplace("std.packet_length", BitVec(32, 100));
+  h.run_tele();
+  h.run_tele();
+  h.run_tele();
+  EXPECT_EQ(h.state.registers[0].read(0).value(), 300u);
+}
+
+TEST(Interp, InOperatorOnTeleArray) {
+  Harness h(R"(
+    tele bit<32>[4] seen;
+    tele bool dup;
+    header bit<32> id;
+    { } {
+      if (id in seen) { dup = true; }
+      seen.push(id);
+    } { if (dup) { reject; } }
+  )");
+  h.run_init();
+  h.headers["id"] = BitVec(32, 10);
+  h.run_tele();
+  h.headers["id"] = BitVec(32, 20);
+  h.run_tele();
+  h.headers["id"] = BitVec(32, 10);  // revisit
+  h.run_tele();
+  h.run_check();
+  EXPECT_TRUE(h.out.reject);
+}
+
+TEST(Interp, InOperatorNoFalsePositiveFromEmptySlots) {
+  Harness h(R"(
+    tele bit<32>[4] seen;
+    tele bool dup;
+    header bit<32> id;
+    { } {
+      if (id in seen) { dup = true; }
+      seen.push(id);
+    } { if (dup) { reject; } }
+  )");
+  h.run_init();
+  // Id 0 equals the uninitialized slot value; the fill-count guard must
+  // prevent a false positive on the first visit.
+  h.headers["id"] = BitVec(32, 0);
+  h.run_tele();
+  h.run_check();
+  EXPECT_FALSE(h.out.reject);
+}
+
+TEST(Interp, ReportCarriesPayload) {
+  Harness h(R"(
+    header bit<32> a;
+    header bit<16> b;
+    { } { report((a, b)); } { }
+  )");
+  h.headers.emplace("a", BitVec(32, 1234));
+  h.headers.emplace("b", BitVec(16, 56));
+  h.run_tele();
+  ASSERT_EQ(h.out.reports.size(), 1u);
+  ASSERT_EQ(h.out.reports[0].size(), 2u);
+  EXPECT_EQ(h.out.reports[0][0].value(), 1234u);
+  EXPECT_EQ(h.out.reports[0][1].value(), 56u);
+}
+
+TEST(Interp, ShortCircuitAvoidsSpuriousEvaluation) {
+  // (false && X) never evaluates X; with eager evaluation the dict lookup
+  // would still be fine, but short-circuit semantics must hold for values.
+  Harness h(R"(
+    tele bool r;
+    tele bit<8> x;
+    { r = false && x / x == 1; } { } { }
+  )");
+  h.run_init();
+  EXPECT_FALSE(h.field("tele.r").as_bool());
+}
+
+TEST(Interp, DynamicArrayIndexSelectsSlot) {
+  Harness h(R"(
+    tele bit<8>[4] xs;
+    tele bit<8> v;
+    header bit<8> i;
+    { } { xs.push(10); xs.push(20); xs.push(30); v = xs[i]; } { }
+  )");
+  h.run_init();
+  h.headers["i"] = BitVec(8, 1);
+  h.run_tele();
+  EXPECT_EQ(h.field("tele.v").value(), 20u);
+}
+
+TEST(Interp, StoreFrameZeroesLocals) {
+  Harness h(R"(
+    control dict<bit<8>,bit<8>> m;
+    tele bit<8> v;
+    header bit<8> p;
+    { v = m[p]; } { } { }
+  )");
+  h.state.tables[0].insert_exact({BitVec(8, 1)}, {BitVec(8, 99)});
+  h.headers.emplace("p", BitVec(8, 1));
+  h.run_init();
+  TeleFrame frame;
+  frame.checker = 0;
+  h.interp.store_frame(h.vals, frame);
+  // The tele field survives; the table-lookup temporary is zeroed.
+  const auto tele_v = h.checker.ir.find_field("tele.v");
+  EXPECT_EQ(frame.values[static_cast<std::size_t>(tele_v.id)].value(), 99u);
+  for (std::size_t i = 0; i < frame.values.size(); ++i) {
+    if (h.checker.ir.fields[i].space != ir::Space::kTele) {
+      EXPECT_EQ(frame.values[i].value(), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hydra::p4rt

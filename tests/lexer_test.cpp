@@ -1,0 +1,120 @@
+// Unit tests for the Indus lexer.
+#include <gtest/gtest.h>
+
+#include "indus/lexer.hpp"
+
+namespace hydra::indus {
+namespace {
+
+std::vector<Token> lex(const std::string& src, Diagnostics* diags = nullptr) {
+  Diagnostics local;
+  Diagnostics& d = diags != nullptr ? *diags : local;
+  Lexer lexer(src, d);
+  auto tokens = lexer.lex_all();
+  if (diags == nullptr) {
+    EXPECT_FALSE(local.has_errors()) << local.to_string();
+  }
+  return tokens;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEof);
+}
+
+TEST(Lexer, Keywords) {
+  const auto toks = lex("tele sensor header control if elsif else for in "
+                        "reject report pass true false bit bool set dict");
+  const Tok expected[] = {
+      Tok::kTele, Tok::kSensor, Tok::kHeader, Tok::kControl, Tok::kIf,
+      Tok::kElsif, Tok::kElse, Tok::kFor, Tok::kIn, Tok::kReject,
+      Tok::kReport, Tok::kPass, Tok::kTrue, Tok::kFalse, Tok::kBitKw,
+      Tok::kBoolKw, Tok::kSetKw, Tok::kDictKw, Tok::kEof};
+  ASSERT_EQ(toks.size(), std::size(expected));
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, IdentifiersMayContainKeywordPrefixes) {
+  const auto toks = lex("telemetry reporter iff in_port");
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "telemetry");
+  EXPECT_EQ(toks[1].text, "reporter");
+  EXPECT_EQ(toks[2].text, "iff");
+  EXPECT_EQ(toks[3].text, "in_port");
+}
+
+TEST(Lexer, DecimalHexBinaryLiterals) {
+  const auto toks = lex("42 0x2A 0b101010");
+  EXPECT_EQ(toks[0].number, 42u);
+  EXPECT_EQ(toks[1].number, 42u);
+  EXPECT_EQ(toks[2].number, 42u);
+}
+
+TEST(Lexer, CompoundOperators) {
+  const auto toks = lex("== != <= >= && || << >> += -=");
+  const Tok expected[] = {Tok::kEq, Tok::kNe, Tok::kLe, Tok::kGe,
+                          Tok::kAndAnd, Tok::kOrOr, Tok::kShl, Tok::kShr,
+                          Tok::kPlusAssign, Tok::kMinusAssign, Tok::kEof};
+  ASSERT_EQ(toks.size(), std::size(expected));
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  const auto toks = lex("a // comment with * tokens\nb /* multi\nline */ c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  Diagnostics diags;
+  lex("a /* never closed", &diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, AnnotationString) {
+  const auto toks = lex("@\"hdr.ipv4.src_addr\"");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kAt);
+  EXPECT_EQ(toks[1].kind, Tok::kString);
+  EXPECT_EQ(toks[1].text, "hdr.ipv4.src_addr");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  Diagnostics diags;
+  lex("@\"oops", &diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnknownCharacterIsErrorButLexingContinues) {
+  Diagnostics diags;
+  const auto toks = lex("a $ b", &diags);
+  EXPECT_TRUE(diags.has_errors());
+  ASSERT_EQ(toks.size(), 3u);  // a, b, eof
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.col, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+TEST(Lexer, NestedGenericsProduceShiftToken) {
+  // The raw lexer sees '>>'; the parser splits it in type context.
+  const auto toks = lex("dict<bit<8>,bit<8>>");
+  bool saw_shr = false;
+  for (const auto& t : toks) saw_shr = saw_shr || t.kind == Tok::kShr;
+  EXPECT_TRUE(saw_shr);
+}
+
+}  // namespace
+}  // namespace hydra::indus

@@ -1,0 +1,130 @@
+// Tests for the automatic §4.2 linker: block placement per switch role,
+// ordering within the pipeline, and placement-mode interaction.
+#include <gtest/gtest.h>
+
+#include "checkers/library.hpp"
+#include "compiler/link_p4.hpp"
+
+namespace hydra::compiler {
+namespace {
+
+CompiledChecker compile(const std::string& name,
+                        CheckPlacement placement = CheckPlacement::kLastHop) {
+  CompileOptions opts;
+  opts.placement = placement;
+  return compile_checker(checkers::checker_by_name(name).source,
+                         std::string(name), opts);
+}
+
+std::size_t pos_of(const std::string& hay, const std::string& needle) {
+  const auto p = hay.find(needle);
+  EXPECT_NE(p, std::string::npos) << "missing: " << needle;
+  return p;
+}
+
+TEST(LinkP4, EdgeRunsAllThreeBlocks) {
+  const auto c = compile("multi_tenancy");
+  const auto linked =
+      link_p4(c, ForwardingSkeleton::fabric_upf(), SwitchRole::kEdge);
+  EXPECT_TRUE(linked.runs_init);
+  EXPECT_TRUE(linked.runs_checker);
+  EXPECT_NE(linked.p4_code.find("HydraInit.apply"), std::string::npos);
+  EXPECT_NE(linked.p4_code.find("HydraTelemetry.apply"), std::string::npos);
+  EXPECT_NE(linked.p4_code.find("HydraChecker.apply"), std::string::npos);
+}
+
+TEST(LinkP4, CoreRunsTelemetryOnly) {
+  const auto c = compile("multi_tenancy");
+  const auto linked =
+      link_p4(c, ForwardingSkeleton::fabric_upf(), SwitchRole::kCore);
+  EXPECT_FALSE(linked.runs_init);
+  EXPECT_FALSE(linked.runs_checker);
+  EXPECT_EQ(linked.p4_code.find("HydraInit.apply"), std::string::npos);
+  EXPECT_NE(linked.p4_code.find("HydraTelemetry.apply"), std::string::npos);
+  EXPECT_EQ(linked.p4_code.find("HydraChecker.apply"), std::string::npos);
+}
+
+TEST(LinkP4, InitPrecedesForwardingIngress) {
+  const auto c = compile("multi_tenancy");
+  const auto linked =
+      link_p4(c, ForwardingSkeleton::fabric_upf(), SwitchRole::kEdge);
+  // The init block must run before forwarding can rewrite headers (e.g.
+  // before GTP decap in the UPF ingress).
+  EXPECT_LT(pos_of(linked.p4_code, "HydraInit.apply"),
+            pos_of(linked.p4_code, "bridging.apply()"));
+}
+
+TEST(LinkP4, TelemetryAfterForwardingEgressCheckerLast) {
+  const auto c = compile("loops");
+  const auto linked =
+      link_p4(c, ForwardingSkeleton::fabric_upf(), SwitchRole::kEdge);
+  const auto egress_fwd = pos_of(linked.p4_code, "vlan_rewrite.apply()");
+  const auto tele = pos_of(linked.p4_code, "HydraTelemetry.apply");
+  const auto check = pos_of(linked.p4_code, "HydraChecker.apply");
+  EXPECT_LT(egress_fwd, tele);
+  EXPECT_LT(tele, check);
+}
+
+TEST(LinkP4, EveryHopPlacementLinksCheckerIntoCore) {
+  const auto c = compile("valley_free", CheckPlacement::kEveryHop);
+  const auto linked =
+      link_p4(c, ForwardingSkeleton::fabric_upf(), SwitchRole::kCore);
+  EXPECT_TRUE(linked.runs_checker);
+  EXPECT_NE(linked.p4_code.find("HydraChecker.apply"), std::string::npos);
+  // Per-hop checkers are unconditional, not gated on last_hop.
+  EXPECT_NE(linked.p4_code.find("per-hop placement"), std::string::npos);
+}
+
+TEST(LinkP4, LastHopCheckerIsGated) {
+  const auto c = compile("valley_free");
+  const auto linked =
+      link_p4(c, ForwardingSkeleton::fabric_upf(), SwitchRole::kEdge);
+  EXPECT_NE(linked.p4_code.find("if (meta.hydra_last_hop)"),
+            std::string::npos);
+}
+
+TEST(LinkP4, LinkedProgramIsBiggerThanItsParts) {
+  const auto c = compile("application_filtering");
+  const auto fwd = ForwardingSkeleton::fabric_upf();
+  const auto linked = link_p4(c, fwd, SwitchRole::kEdge);
+  EXPECT_GT(linked.p4_loc, c.p4_loc);
+  EXPECT_NE(linked.p4_code.find("sessions_uplink"), std::string::npos);
+  EXPECT_NE(linked.p4_code.find("filtering_actions"), std::string::npos);
+}
+
+TEST(LinkP4, SimpleRouterSkeletonLinksToo) {
+  const auto c = compile("valley_free");
+  const auto linked =
+      link_p4(c, ForwardingSkeleton::simple_router(), SwitchRole::kEdge);
+  EXPECT_NE(linked.p4_code.find("routing_v4.apply()"), std::string::npos);
+  EXPECT_NE(linked.p4_code.find("HydraChecker.apply"), std::string::npos);
+}
+
+// Every library checker links against both skeletons in both roles.
+class LinkAll : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkAll, LinksCleanly) {
+  const auto& spec =
+      checkers::all_checkers()[static_cast<std::size_t>(GetParam())];
+  const auto c = compile_checker(spec.source, spec.name);
+  for (const auto& skel : {ForwardingSkeleton::fabric_upf(),
+                           ForwardingSkeleton::simple_router()}) {
+    for (auto role : {SwitchRole::kEdge, SwitchRole::kCore}) {
+      const auto linked = link_p4(c, skel, role);
+      EXPECT_GT(linked.p4_loc, 0);
+      EXPECT_NE(linked.p4_code.find("control Ingress"), std::string::npos);
+      EXPECT_NE(linked.p4_code.find("control Egress"), std::string::npos);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, LinkAll,
+                         ::testing::Range(0, static_cast<int>(
+                             checkers::all_checkers().size())),
+                         [](const auto& info) {
+                           return checkers::all_checkers()
+                               [static_cast<std::size_t>(info.param)].name;
+                         });
+
+}  // namespace
+}  // namespace hydra::compiler

@@ -1,0 +1,184 @@
+// LTLf tests: the reference evaluator, the LTLf -> Indus translation, and
+// the Theorem 3.1 equivalence property (random formulas x random traces,
+// the compiled Indus checker agrees with the reference semantics).
+#include <gtest/gtest.h>
+
+#include "ltlf/eval.hpp"
+#include "ltlf/random_formula.hpp"
+#include "ltlf/to_indus.hpp"
+
+namespace hydra::ltlf {
+namespace {
+
+using F = Formula;
+
+Trace make_trace(std::initializer_list<std::initializer_list<bool>> rows) {
+  Trace t;
+  for (const auto& r : rows) t.emplace_back(r);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Reference evaluator
+// ---------------------------------------------------------------------------
+
+TEST(LtlfEval, Atom) {
+  const auto f = F::make_atom(0);
+  EXPECT_TRUE(eval(*f, make_trace({{true}})));
+  EXPECT_FALSE(eval(*f, make_trace({{false}})));
+}
+
+TEST(LtlfEval, BooleanConnectives) {
+  const auto a = F::make_atom(0);
+  const auto b = F::make_atom(1);
+  const Trace t = make_trace({{true, false}});
+  EXPECT_FALSE(eval(*F::make_and(a, b), t));
+  EXPECT_TRUE(eval(*F::make_or(a, b), t));
+  EXPECT_TRUE(eval(*F::make_not(b), t));
+}
+
+TEST(LtlfEval, NextRequiresSuccessor) {
+  const auto f = F::make_next(F::make_atom(0));
+  EXPECT_TRUE(eval(*f, make_trace({{false}, {true}})));
+  EXPECT_FALSE(eval(*f, make_trace({{false}, {false}})));
+  // No successor at the last event: X phi is false (finite-trace rule).
+  EXPECT_FALSE(eval(*f, make_trace({{true}})));
+}
+
+TEST(LtlfEval, UntilSemantics) {
+  const auto f = F::make_until(F::make_atom(0), F::make_atom(1));
+  // a holds until b at index 2.
+  EXPECT_TRUE(eval(*f, make_trace({{true, false},
+                                   {true, false},
+                                   {false, true}})));
+  // b immediately: true regardless of a.
+  EXPECT_TRUE(eval(*f, make_trace({{false, true}})));
+  // a fails before b appears.
+  EXPECT_FALSE(eval(*f, make_trace({{true, false},
+                                    {false, false},
+                                    {false, true}})));
+  // b never appears.
+  EXPECT_FALSE(eval(*f, make_trace({{true, false}, {true, false}})));
+}
+
+TEST(LtlfEval, GloballyAndEventually) {
+  const auto g = F::make_globally(F::make_atom(0));
+  const auto e = F::make_eventually(F::make_atom(0));
+  EXPECT_TRUE(eval(*g, make_trace({{true}, {true}, {true}})));
+  EXPECT_FALSE(eval(*g, make_trace({{true}, {false}, {true}})));
+  EXPECT_TRUE(eval(*e, make_trace({{false}, {false}, {true}})));
+  EXPECT_FALSE(eval(*e, make_trace({{false}, {false}})));
+}
+
+TEST(LtlfEval, PaperLoopFormula) {
+  // The paper's "no revisit of A": G !(A && X F A).
+  const auto a = [] { return F::make_atom(0); };
+  const auto f = F::make_globally(F::make_not(F::make_and(
+      a(), F::make_next(F::make_eventually(a())))));
+  EXPECT_TRUE(eval(*f, make_trace({{true}, {false}, {false}})));
+  EXPECT_TRUE(eval(*f, make_trace({{false}, {true}, {false}})));
+  EXPECT_FALSE(eval(*f, make_trace({{true}, {false}, {true}})));
+}
+
+TEST(LtlfFormula, Metadata) {
+  const auto f = F::make_until(F::make_atom(2), F::make_next(F::make_atom(0)));
+  EXPECT_EQ(f->max_atom(), 2);
+  EXPECT_EQ(f->depth(), 3);
+  EXPECT_EQ(f->to_string(), "(a2 U Xa0)");
+}
+
+// ---------------------------------------------------------------------------
+// Translation
+// ---------------------------------------------------------------------------
+
+TEST(LtlfTranslate, ProducesCompilableIndus) {
+  const auto f = F::make_globally(
+      F::make_or(F::make_atom(0), F::make_next(F::make_atom(1))));
+  const Translation t = to_indus(*f, 6);
+  EXPECT_EQ(t.num_atoms, 2);
+  // Must compile cleanly.
+  const auto compiled = compiler::compile_checker(t.indus_source, "ltlf");
+  EXPECT_GT(compiled.p4_loc, 0);
+}
+
+TEST(LtlfTranslate, AtomAgreesWithEval) {
+  const auto f = F::make_atom(0);
+  EXPECT_TRUE(check_trace(*f, make_trace({{true}, {false}})));
+  EXPECT_FALSE(check_trace(*f, make_trace({{false}, {true}})));
+}
+
+TEST(LtlfTranslate, NextAgreesWithEval) {
+  const auto f = F::make_next(F::make_atom(0));
+  EXPECT_TRUE(check_trace(*f, make_trace({{false}, {true}})));
+  EXPECT_FALSE(check_trace(*f, make_trace({{true}})));
+}
+
+TEST(LtlfTranslate, UntilAgreesWithEval) {
+  const auto f = F::make_until(F::make_atom(0), F::make_atom(1));
+  EXPECT_TRUE(check_trace(*f, make_trace({{true, false},
+                                          {true, false},
+                                          {false, true}})));
+  EXPECT_FALSE(check_trace(*f, make_trace({{true, false},
+                                           {false, false},
+                                           {false, true}})));
+}
+
+TEST(LtlfTranslate, NestedTemporalOperators) {
+  // F(a && X b): somewhere, a is immediately followed by b.
+  const auto f = F::make_eventually(
+      F::make_and(F::make_atom(0), F::make_next(F::make_atom(1))));
+  EXPECT_TRUE(check_trace(*f, make_trace({{false, false},
+                                          {true, false},
+                                          {false, true}})));
+  EXPECT_FALSE(check_trace(*f, make_trace({{true, false},
+                                           {false, false},
+                                           {true, false}})));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1 property: reference evaluator == compiled Indus checker.
+// ---------------------------------------------------------------------------
+
+struct PropertyCase {
+  std::uint64_t seed;
+};
+
+class Theorem31 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem31, EvalAndCompiledCheckerAgree) {
+  Rng rng(GetParam());
+  const int num_atoms = 2;
+  const auto f = random_formula(rng, num_atoms, 3);
+  const Translation t = to_indus(*f, 6);
+  const auto compiled =
+      compiler::compile_checker(t.indus_source, "ltlf-prop");
+  for (int len = 1; len <= 5; ++len) {
+    const Trace trace = random_trace(rng, num_atoms, len);
+    const bool expected = eval(*f, trace);
+    const bool actual = run_translation(compiled, trace);
+    ASSERT_EQ(actual, expected)
+        << "formula " << f->to_string() << " trace length " << len
+        << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, Theorem31,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(Theorem31, DeeperFormulasAgreeOnFixedSeeds) {
+  for (std::uint64_t seed : {100u, 200u, 300u, 400u, 500u}) {
+    Rng rng(seed);
+    const auto f = random_formula(rng, 3, 4);
+    const Translation t = to_indus(*f, 5);
+    const auto compiled =
+        compiler::compile_checker(t.indus_source, "ltlf-deep");
+    for (int rep = 0; rep < 3; ++rep) {
+      const Trace trace = random_trace(rng, 3, 4);
+      ASSERT_EQ(run_translation(compiled, trace), eval(*f, trace))
+          << f->to_string() << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hydra::ltlf

@@ -1,0 +1,205 @@
+// The §3.2 non-interference property, tested end to end: "for packets that
+// do not trigger a property violation, the final output packet(s) will be
+// identical to the packet(s) that would have been produced had the Indus
+// program not been running at all."
+//
+// Strategy: run the same randomized traffic twice — once on a bare network
+// and once with checkers deployed (configured so nothing violates) — and
+// compare the delivered packets field by field, their receiving hosts, and
+// their paths (ECMP choices must be unaffected because checkers cannot
+// touch forwarding state).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "forwarding/ipv4_ecmp.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace hydra {
+namespace {
+
+// Everything observable about a delivered packet from the receiver's side.
+struct Observed {
+  int host;
+  std::uint32_t src, dst;
+  std::uint8_t proto;
+  std::uint16_t sport, dport;
+  std::uint8_t ttl;  // encodes the path length actually taken
+  int payload;
+  bool has_telemetry;
+  auto key() const {
+    return std::tie(host, src, dst, proto, sport, dport, ttl, payload,
+                    has_telemetry);
+  }
+  bool operator==(const Observed& o) const { return key() == o.key(); }
+  bool operator<(const Observed& o) const { return key() < o.key(); }
+};
+
+struct World {
+  net::LeafSpine fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net{fabric.topo};
+  std::shared_ptr<fwd::Ipv4EcmpProgram> routing =
+      fwd::install_leaf_spine_routing(net, fabric);
+  std::vector<Observed> delivered;
+
+  World() {
+    for (const auto& hs : fabric.hosts) {
+      for (int h : hs) {
+        net.host(h).set_auto_icmp_reply(false);
+        net.host(h).add_sink([this, h](const p4rt::Packet& p, double) {
+          Observed o;
+          o.host = h;
+          o.src = p.ipv4 ? p.ipv4->src : 0;
+          o.dst = p.ipv4 ? p.ipv4->dst : 0;
+          o.proto = p.ipv4 ? p.ipv4->proto : 0;
+          o.sport = p.l4 ? p.l4->sport : 0;
+          o.dport = p.l4 ? p.l4->dport : 0;
+          o.ttl = p.ipv4 ? p.ipv4->ttl : 0;
+          o.payload = p.payload_bytes;
+          o.has_telemetry = !p.tele.empty();
+          delivered.push_back(o);
+        });
+      }
+    }
+  }
+
+  void deploy_clean_checkers() {
+    const int mt = net.deploy(compile_library_checker("multi_tenancy"));
+    std::map<std::pair<int, int>, std::uint8_t> tenants;
+    for (std::size_t leaf = 0; leaf < fabric.leaves.size(); ++leaf) {
+      for (int i = 0; i < fabric.hosts_per_leaf; ++i) {
+        tenants[{fabric.leaves[leaf], fabric.leaf_host_port(i)}] = 1;
+      }
+    }
+    configure_multi_tenancy(net, mt, tenants);
+    const int vf = net.deploy(compile_library_checker("valley_free"));
+    configure_valley_free(net, vf, fabric);
+    net.deploy(compile_library_checker("loops"));
+    const int ep = net.deploy(compile_library_checker("egress_port_validity"));
+    configure_egress_port_validity(net, ep);
+    const int rv = net.deploy(compile_library_checker("routing_validity"));
+    configure_routing_validity(net, rv, fabric);
+    const int fw = net.deploy(compile_library_checker("stateful_firewall"));
+    for (const auto& hs1 : fabric.hosts) {
+      for (int a : hs1) {
+        for (const auto& hs2 : fabric.hosts) {
+          for (int b : hs2) {
+            if (a == b) continue;
+            net.dict_insert_all(
+                fw, "allowed",
+                {BitVec(32, net.topo().node(a).ip),
+                 BitVec(32, net.topo().node(b).ip)},
+                {BitVec::from_bool(true)});
+          }
+        }
+      }
+    }
+    net.deploy(compile_library_checker("application_filtering"));
+    const int lb = net.deploy(
+        compile_library_checker("dc_uplink_load_balance"));
+    configure_load_balance(net, lb, fabric, 0xffffffffu);
+  }
+
+  void send_random_traffic(std::uint64_t seed, int packets) {
+    Rng rng(seed);
+    std::vector<int> all_hosts;
+    for (const auto& hs : fabric.hosts) {
+      for (int h : hs) all_hosts.push_back(h);
+    }
+    for (int i = 0; i < packets; ++i) {
+      const int src = all_hosts[rng.below(all_hosts.size())];
+      int dst = src;
+      while (dst == src) dst = all_hosts[rng.below(all_hosts.size())];
+      const auto sport = static_cast<std::uint16_t>(rng.range(1024, 60000));
+      const auto dport = static_cast<std::uint16_t>(rng.range(1, 1000));
+      const int size = static_cast<int>(rng.range(0, 1400));
+      p4rt::Packet p =
+          rng.chance(0.5)
+              ? p4rt::make_udp(net.topo().node(src).ip,
+                               net.topo().node(dst).ip, sport, dport, size)
+              : p4rt::make_tcp(net.topo().node(src).ip,
+                               net.topo().node(dst).ip, sport, dport, size);
+      net.send_from_host(src, std::move(p));
+    }
+    net.events().run();
+  }
+};
+
+class NonInterference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NonInterference, CleanTrafficIsBitIdenticalWithCheckersOn) {
+  constexpr int kPackets = 200;
+  World bare;
+  bare.send_random_traffic(GetParam(), kPackets);
+  World checked;
+  checked.deploy_clean_checkers();
+  checked.send_random_traffic(GetParam(), kPackets);
+
+  ASSERT_EQ(bare.net.counters().delivered, static_cast<std::uint64_t>(kPackets));
+  ASSERT_EQ(checked.net.counters().rejected, 0u)
+      << "a checker rejected clean traffic";
+  ASSERT_EQ(checked.net.counters().delivered,
+            static_cast<std::uint64_t>(kPackets));
+
+  // Deterministic simulation + read-only checkers: the delivered multiset
+  // must be identical — same receiving hosts, same header fields, same
+  // TTLs (i.e. same ECMP paths), no telemetry residue. Arrival *order* may
+  // differ microscopically because telemetry bytes shift serialization
+  // times, so compare sorted.
+  std::sort(bare.delivered.begin(), bare.delivered.end());
+  std::sort(checked.delivered.begin(), checked.delivered.end());
+  ASSERT_EQ(bare.delivered.size(), checked.delivered.size());
+  for (std::size_t i = 0; i < bare.delivered.size(); ++i) {
+    EXPECT_TRUE(bare.delivered[i] == checked.delivered[i])
+        << "packet " << i << " differs";
+    EXPECT_FALSE(checked.delivered[i].has_telemetry)
+        << "telemetry leaked to a host";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NonInterference,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(NonInterference, ViolatingTrafficOnlyAffectsViolators) {
+  // Mix clean cross-leaf packets with cross-tenant violations: the clean
+  // half must be delivered exactly as before, the violating half rejected.
+  World w;
+  const int mt = w.net.deploy(compile_library_checker("multi_tenancy"));
+  std::map<std::pair<int, int>, std::uint8_t> tenants;
+  tenants[{w.fabric.leaves[0], w.fabric.leaf_host_port(0)}] = 1;  // h1: t1
+  tenants[{w.fabric.leaves[0], w.fabric.leaf_host_port(1)}] = 2;  // h2: t2
+  tenants[{w.fabric.leaves[1], w.fabric.leaf_host_port(0)}] = 1;  // h3: t1
+  tenants[{w.fabric.leaves[1], w.fabric.leaf_host_port(1)}] = 2;  // h4: t2
+  configure_multi_tenancy(w.net, mt, tenants);
+
+  auto ip = [&](int h) { return w.net.topo().node(h).ip; };
+  const int h1 = w.fabric.hosts[0][0];
+  const int h2 = w.fabric.hosts[0][1];
+  const int h3 = w.fabric.hosts[1][0];
+  const int h4 = w.fabric.hosts[1][1];
+  for (int i = 0; i < 10; ++i) {
+    w.net.send_from_host(h1, p4rt::make_udp(ip(h1), ip(h3),
+                                            static_cast<std::uint16_t>(i + 1),
+                                            80, 64));  // clean t1 -> t1
+    w.net.send_from_host(h2, p4rt::make_udp(ip(h2), ip(h3),
+                                            static_cast<std::uint16_t>(i + 1),
+                                            80, 64));  // violating t2 -> t1
+    w.net.send_from_host(h2, p4rt::make_udp(ip(h2), ip(h4),
+                                            static_cast<std::uint16_t>(i + 1),
+                                            80, 64));  // clean t2 -> t2
+  }
+  w.net.events().run();
+  EXPECT_EQ(w.net.counters().delivered, 20u);
+  EXPECT_EQ(w.net.counters().rejected, 10u);
+  for (const auto& o : w.delivered) {
+    EXPECT_NE(o.host, -1);
+    EXPECT_FALSE(o.has_telemetry);
+  }
+}
+
+}  // namespace
+}  // namespace hydra

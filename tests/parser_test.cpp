@@ -1,0 +1,239 @@
+// Unit tests for the Indus parser: declarations, statements, expressions,
+// the paper's figures verbatim, and the print->parse->print round trip.
+#include <gtest/gtest.h>
+
+#include "checkers/library.hpp"
+#include "indus/parser.hpp"
+#include "indus/pretty.hpp"
+
+namespace hydra::indus {
+namespace {
+
+Program parse_ok(const std::string& src) {
+  Diagnostics diags;
+  Program p = parse_indus(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return p;
+}
+
+void parse_err(const std::string& src) {
+  Diagnostics diags;
+  parse_indus(src, diags);
+  EXPECT_TRUE(diags.has_errors()) << "expected a parse error for:\n" << src;
+}
+
+TEST(Parser, MinimalProgram) {
+  const Program p = parse_ok("{ } { } { }");
+  EXPECT_TRUE(p.decls.empty());
+  ASSERT_NE(p.init_block, nullptr);
+  ASSERT_NE(p.tele_block, nullptr);
+  ASSERT_NE(p.check_block, nullptr);
+}
+
+TEST(Parser, Declarations) {
+  const Program p = parse_ok(R"(
+    tele bit<8> a;
+    sensor bit<32> b = 7;
+    header bit<16> c @"hdr.udp.dst_port";
+    control dict<bit<8>,bool> d;
+    control e;
+    { } { } { }
+  )");
+  ASSERT_EQ(p.decls.size(), 5u);
+  EXPECT_EQ(p.decls[0].kind, VarKind::kTele);
+  EXPECT_EQ(p.decls[0].type->bit_width(), 8);
+  ASSERT_NE(p.decls[1].init, nullptr);
+  EXPECT_EQ(p.decls[2].annotation, "hdr.udp.dst_port");
+  EXPECT_TRUE(p.decls[3].type->is_dict());
+  // Untyped control defaults to bit<32>.
+  EXPECT_EQ(p.decls[4].type->bit_width(), 32);
+}
+
+TEST(Parser, NestedGenericTypeSplitsShiftToken) {
+  const Program p = parse_ok(
+      "control dict<bit<8>,bit<8>> t;\n{ } { } { }");
+  ASSERT_EQ(p.decls.size(), 1u);
+  EXPECT_EQ(p.decls[0].type->to_string(), "dict<bit<8>,bit<8>>");
+}
+
+TEST(Parser, TupleKeyDictType) {
+  const Program p = parse_ok(
+      "control dict<(bit<32>,bit<32>),bool> allowed;\n{ } { } { }");
+  const TypePtr key = p.decls[0].type->key();
+  ASSERT_TRUE(key->is_tuple());
+  EXPECT_EQ(key->members().size(), 2u);
+}
+
+TEST(Parser, ArrayTypePostfix) {
+  const Program p = parse_ok("tele bit<32>[15] loads;\n{ } { } { }");
+  ASSERT_TRUE(p.decls[0].type->is_array());
+  EXPECT_EQ(p.decls[0].type->array_size(), 15);
+  EXPECT_EQ(p.decls[0].type->element()->bit_width(), 32);
+}
+
+TEST(Parser, StatementsKinds) {
+  const Program p = parse_ok(R"(
+    tele bit<8> x;
+    tele bit<8>[4] xs;
+    { pass; x = 1; x += 2; x -= 1; }
+    { xs.push(x); report; report((x, x)); }
+    { if (x == 1) { reject; } elsif (x == 2) { pass; } else { pass; } }
+  )");
+  ASSERT_EQ(p.init_block->body.size(), 4u);
+  EXPECT_EQ(p.init_block->body[0]->kind, StmtKind::kPass);
+  EXPECT_EQ(p.init_block->body[1]->kind, StmtKind::kAssign);
+  EXPECT_EQ(p.init_block->body[2]->assign_op, AssignOp::kAdd);
+  EXPECT_EQ(p.init_block->body[3]->assign_op, AssignOp::kSub);
+  EXPECT_EQ(p.tele_block->body[0]->kind, StmtKind::kPush);
+  EXPECT_EQ(p.tele_block->body[1]->kind, StmtKind::kReport);
+  EXPECT_EQ(p.tele_block->body[2]->report_args.size(), 2u);
+  const Stmt& ifs = *p.check_block->body[0];
+  ASSERT_EQ(ifs.arms.size(), 2u);
+  ASSERT_NE(ifs.else_body, nullptr);
+}
+
+TEST(Parser, ElseIfSugarsToElsif) {
+  const Program p = parse_ok(R"(
+    tele bit<8> x;
+    { } { }
+    { if (x == 1) { pass; } else if (x == 2) { pass; } }
+  )");
+  EXPECT_EQ(p.check_block->body[0]->arms.size(), 2u);
+}
+
+TEST(Parser, MultiVarForLoop) {
+  const Program p = parse_ok(R"(
+    tele bit<32>[4] a;
+    tele bit<32>[4] b;
+    { } { }
+    { for (x, y in a, b) { report; } }
+  )");
+  const Stmt& f = *p.check_block->body[0];
+  EXPECT_EQ(f.kind, StmtKind::kFor);
+  ASSERT_EQ(f.loop_vars.size(), 2u);
+  EXPECT_EQ(f.loop_vars[0], "x");
+  EXPECT_EQ(f.iterables.size(), 2u);
+}
+
+TEST(Parser, PrecedenceArithOverComparison) {
+  Diagnostics diags;
+  Parser parser({}, diags);
+  (void)parser;
+  const Program p = parse_ok(R"(
+    tele bool r;
+    tele bit<8> a;
+    { r = a + 1 > 2 && a < 3 || !r; } { } { }
+  )");
+  // (((a + 1) > 2) && (a < 3)) || (!r)
+  const Expr& e = *p.init_block->body[0]->value;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.binop, BinOp::kOr);
+  EXPECT_EQ(e.args[0]->binop, BinOp::kAnd);
+  EXPECT_EQ(e.args[0]->args[0]->binop, BinOp::kGt);
+  EXPECT_EQ(e.args[0]->args[0]->args[0]->binop, BinOp::kAdd);
+}
+
+TEST(Parser, InBindsLikeComparison) {
+  const Program p = parse_ok(R"(
+    tele bit<8>[4] xs;
+    tele bool r;
+    header bit<8> v;
+    { r = v in xs && r; } { } { }
+  )");
+  const Expr& e = *p.init_block->body[0]->value;
+  EXPECT_EQ(e.binop, BinOp::kAnd);
+  EXPECT_EQ(e.args[0]->kind, ExprKind::kIn);
+}
+
+TEST(Parser, DictIndexWithTupleKey) {
+  const Program p = parse_ok(R"(
+    control dict<(bit<32>,bit<32>),bool> allowed;
+    header bit<32> s;
+    header bit<32> d;
+    tele bool r;
+    { r = allowed[(s, d)]; } { } { }
+  )");
+  const Expr& e = *p.init_block->body[0]->value;
+  ASSERT_EQ(e.kind, ExprKind::kIndex);
+  EXPECT_EQ(e.args[1]->kind, ExprKind::kTuple);
+}
+
+TEST(Parser, ReportTuplePayloadFlattens) {
+  const Program p = parse_ok(R"(
+    header bit<32> a;
+    header bit<32> b;
+    { } { report((a, b)); } { }
+  )");
+  EXPECT_EQ(p.tele_block->body[0]->report_args.size(), 2u);
+}
+
+TEST(Parser, CallExpressions) {
+  const Program p = parse_ok(R"(
+    tele bit<32>[4] xs;
+    tele bit<32> r;
+    { r = abs(r - 1) + length(xs); } { } { }
+  )");
+  const Expr& e = *p.init_block->body[0]->value;
+  EXPECT_EQ(e.args[0]->kind, ExprKind::kCall);
+  EXPECT_EQ(e.args[0]->name, "abs");
+  EXPECT_EQ(e.args[1]->name, "length");
+}
+
+TEST(Parser, ErrorMissingSemicolon) { parse_err("tele bit<8> a\n{ } { } { }"); }
+TEST(Parser, ErrorMissingBlock) { parse_err("{ } { }"); }
+TEST(Parser, ErrorTrailingInput) { parse_err("{ } { } { } extra"); }
+TEST(Parser, ErrorBadBitWidth) { parse_err("tele bit<0> a;\n{ } { } { }"); }
+TEST(Parser, ErrorUnknownMethod) {
+  parse_err("tele bit<8>[4] xs;\n{ xs.pop(); } { } { }");
+}
+TEST(Parser, ErrorForArityMismatch) {
+  parse_err("tele bit<8>[4] a;\ntele bit<8>[4] b;\n{ for (x in a, b) { } } "
+            "{ } { }");
+}
+
+// Every figure from the paper must parse verbatim (as shipped in the
+// checker library).
+class PaperFigures : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperFigures, Parses) {
+  const auto& spec =
+      checkers::all_checkers()[static_cast<std::size_t>(GetParam())];
+  Diagnostics diags;
+  parse_indus(spec.source, diags);
+  EXPECT_FALSE(diags.has_errors())
+      << spec.name << ":\n" << diags.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCheckers, PaperFigures,
+                         ::testing::Range(0, static_cast<int>(checkers::all_checkers().size())),
+                         [](const auto& info) {
+                           return checkers::all_checkers()
+                               [static_cast<std::size_t>(info.param)].name;
+                         });
+
+// Round-trip: pretty-printing a parsed program and re-parsing it yields a
+// print-identical program (a fixed point after one normalization).
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  const auto& spec =
+      checkers::all_checkers()[static_cast<std::size_t>(GetParam())];
+  Diagnostics d1;
+  const Program p1 = parse_indus(spec.source, d1);
+  ASSERT_FALSE(d1.has_errors()) << d1.to_string();
+  const std::string printed1 = to_source(p1);
+  Diagnostics d2;
+  const Program p2 = parse_indus(printed1, d2);
+  ASSERT_FALSE(d2.has_errors()) << spec.name << ":\n"
+                                << d2.to_string() << "\n---\n" << printed1;
+  EXPECT_EQ(printed1, to_source(p2)) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCheckers, RoundTrip, ::testing::Range(0, static_cast<int>(checkers::all_checkers().size())),
+                         [](const auto& info) {
+                           return checkers::all_checkers()
+                               [static_cast<std::size_t>(info.param)].name;
+                         });
+
+}  // namespace
+}  // namespace hydra::indus

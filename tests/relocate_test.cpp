@@ -1,0 +1,250 @@
+// Tests for the §4.3 check-relocation analysis: which library checkers can
+// soundly run per-hop, that kAuto resolves correctly, and that relocated
+// checkers behave identically on end-to-end traffic while rejecting
+// violations earlier.
+#include <gtest/gtest.h>
+
+#include "checkers/library.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/relocate.hpp"
+#include "forwarding/source_route.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+
+namespace hydra::compiler {
+namespace {
+
+RelocationAnalysis analyze(const std::string& name) {
+  const auto c = compile_checker(checkers::checker_by_name(name).source,
+                                 std::string(name));
+  return analyze_relocation(c.ir);
+}
+
+RelocationAnalysis analyze_src(const std::string& src) {
+  const auto c = compile_checker(src, "inline");
+  return analyze_relocation(c.ir);
+}
+
+// --- Library checker verdicts ---------------------------------------------
+
+TEST(Relocate, ValleyFreeIsRelocatable) {
+  const auto r = analyze("valley_free");
+  EXPECT_TRUE(r.relocatable) << r.reason;
+}
+
+TEST(Relocate, LoopsIsRelocatable) {
+  const auto r = analyze("loops");
+  EXPECT_TRUE(r.relocatable) << r.reason;
+}
+
+TEST(Relocate, VlanIsolationIsRelocatable) {
+  const auto r = analyze("vlan_isolation");
+  EXPECT_TRUE(r.relocatable) << r.reason;
+}
+
+TEST(Relocate, EgressPortValidityIsRelocatable) {
+  const auto r = analyze("egress_port_validity");
+  EXPECT_TRUE(r.relocatable) << r.reason;
+}
+
+TEST(Relocate, RoutingValidityIsRelocatable) {
+  const auto r = analyze("routing_validity");
+  EXPECT_TRUE(r.relocatable) << r.reason;
+}
+
+TEST(Relocate, StatefulFirewallIsRelocatable) {
+  // `violated` is written only by the init block: stable along the path.
+  const auto r = analyze("stateful_firewall");
+  EXPECT_TRUE(r.relocatable) << r.reason;
+}
+
+TEST(Relocate, WaypointingIsNotRelocatable) {
+  // `if (!seen) reject` — seen latches true later; early hops would
+  // reject packets that reach the waypoint downstream.
+  const auto r = analyze("waypointing");
+  EXPECT_FALSE(r.relocatable);
+  EXPECT_NE(r.reason.find("negation"), std::string::npos) << r.reason;
+}
+
+TEST(Relocate, MultiTenancyIsNotRelocatable) {
+  // The check block applies the tenants table (per-switch state).
+  const auto r = analyze("multi_tenancy");
+  EXPECT_FALSE(r.relocatable);
+}
+
+TEST(Relocate, ServiceChainsIsNotRelocatable) {
+  // progress != chain_len is not monotone.
+  const auto r = analyze("service_chains");
+  EXPECT_FALSE(r.relocatable);
+}
+
+TEST(Relocate, ApplicationFilteringIsNotRelocatable) {
+  // Conditions read the to_be_dropped header, which differs per hop.
+  const auto r = analyze("application_filtering");
+  EXPECT_FALSE(r.relocatable);
+}
+
+TEST(Relocate, PathValidationIsNotRelocatable) {
+  const auto r = analyze("source_routing_path_validation");
+  EXPECT_FALSE(r.relocatable);
+}
+
+// --- Analysis corner cases --------------------------------------------------
+
+TEST(Relocate, EmptyCheckIsRelocatable) {
+  EXPECT_TRUE(analyze_src("{ } { } { }").relocatable);
+}
+
+TEST(Relocate, LatchResetMakesFieldOther) {
+  // The tele block can also RESET the flag: not a latch.
+  const auto r = analyze_src(R"(
+    tele bool flag = false;
+    header bool cond;
+    { }
+    { if (cond) { flag = true; } else { flag = false; } }
+    { if (flag) { reject; } }
+  )");
+  EXPECT_FALSE(r.relocatable);
+  EXPECT_NE(r.reason.find("non-monotonically"), std::string::npos)
+      << r.reason;
+}
+
+TEST(Relocate, ElseBranchRequiresBothPolarities) {
+  const auto r = analyze_src(R"(
+    tele bool ok = true;
+    header bool cond;
+    { }
+    { if (cond) { ok = true; } }
+    { if (ok) { pass; } else { reject; } }
+  )");
+  EXPECT_FALSE(r.relocatable);
+}
+
+TEST(Relocate, StableFieldMayBeNegated) {
+  // Assigned only in init: same value at every hop, any polarity is fine.
+  const auto r = analyze_src(R"(
+    tele bool allowed = false;
+    header bool cond;
+    { if (cond) { allowed = true; } }
+    { }
+    { if (!allowed) { reject; } }
+  )");
+  EXPECT_TRUE(r.relocatable) << r.reason;
+}
+
+TEST(Relocate, ComparisonOnLatchBlocksRelocation) {
+  const auto r = analyze_src(R"(
+    tele bit<8> count = 0;
+    { }
+    { count += 1; }
+    { if (count == 3) { reject; } }
+  )");
+  EXPECT_FALSE(r.relocatable);
+}
+
+TEST(Relocate, AssignmentInCheckBlocksRelocation) {
+  const auto r = analyze_src(R"(
+    tele bool a = false;
+    tele bool b = false;
+    { } { }
+    { b = a; if (b) { reject; } }
+  )");
+  EXPECT_FALSE(r.relocatable);
+  EXPECT_NE(r.reason.find("mutates"), std::string::npos) << r.reason;
+}
+
+// --- kAuto resolution --------------------------------------------------------
+
+TEST(Relocate, AutoPlacementResolvesPerCheckder) {
+  CompileOptions opts;
+  opts.placement = CheckPlacement::kAuto;
+  const auto vf = compile_checker(
+      checkers::checker_by_name("valley_free").source, "vf", opts);
+  EXPECT_EQ(vf.options.placement, CheckPlacement::kEveryHop);
+  EXPECT_TRUE(vf.relocatable);
+
+  const auto wp = compile_checker(
+      checkers::checker_by_name("waypointing").source, "wp", opts);
+  EXPECT_EQ(wp.options.placement, CheckPlacement::kLastHop);
+  EXPECT_FALSE(wp.relocatable);
+}
+
+// --- Behavioural equivalence end to end -------------------------------------
+
+struct SrNet {
+  net::LeafSpine fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net{fabric.topo};
+  std::shared_ptr<fwd::SourceRouteProgram> prog =
+      std::make_shared<fwd::SourceRouteProgram>();
+  SrNet() {
+    for (int sw : fabric.leaves) net.set_program(sw, prog);
+    for (int sw : fabric.spines) net.set_program(sw, prog);
+  }
+};
+
+TEST(Relocate, RelocatedValleyFreeRejectsSameTraffic) {
+  for (auto placement :
+       {CheckPlacement::kLastHop, CheckPlacement::kAuto}) {
+    SrNet s;
+    CompileOptions opts;
+    opts.placement = placement;
+    auto checker = compile_shared(
+        checkers::checker_by_name("valley_free").source, "vf", opts);
+    const int dep = s.net.deploy(checker);
+    configure_valley_free(s.net, dep, s.fabric);
+    // 3 legal, 2 errant.
+    auto send = [&](const std::vector<int>& ports) {
+      p4rt::Packet p = p4rt::make_udp(1, 2, 3, 4, 64);
+      fwd::set_source_route(p, ports);
+      s.net.send_from_host(s.fabric.hosts[0][0], std::move(p));
+    };
+    for (int i = 0; i < 3; ++i) {
+      send(fwd::leaf_spine_route(s.fabric, s.fabric.hosts[0][0],
+                                 s.fabric.hosts[1][0], i % 2));
+    }
+    for (int i = 0; i < 2; ++i) {
+      send({s.fabric.leaf_uplink_port(0), s.fabric.spine_down_port(1),
+            s.fabric.leaf_uplink_port(1), s.fabric.spine_down_port(1),
+            s.fabric.leaf_host_port(0)});
+    }
+    s.net.events().run();
+    EXPECT_EQ(s.net.counters().delivered, 3u);
+    EXPECT_EQ(s.net.counters().rejected, 2u);
+  }
+}
+
+TEST(Relocate, PerHopRejectionSavesFabricTraffic) {
+  auto run = [](CheckPlacement placement) {
+    SrNet s;
+    CompileOptions opts;
+    opts.placement = placement;
+    auto checker = compile_shared(
+        checkers::checker_by_name("valley_free").source, "vf", opts);
+    const int dep = s.net.deploy(checker);
+    configure_valley_free(s.net, dep, s.fabric);
+    for (int i = 0; i < 10; ++i) {
+      p4rt::Packet p = p4rt::make_udp(1, 2, 3, 4, 400);
+      fwd::set_source_route(p, {s.fabric.leaf_uplink_port(0),
+                                s.fabric.spine_down_port(1),
+                                s.fabric.leaf_uplink_port(1),
+                                s.fabric.spine_down_port(1),
+                                s.fabric.leaf_host_port(0)});
+      s.net.send_from_host(s.fabric.hosts[0][0], std::move(p));
+    }
+    s.net.events().run();
+    std::uint64_t bytes = 0;
+    for (std::size_t li = 0; li < s.net.link_count(); ++li) {
+      bytes += s.net.link(static_cast<int>(li)).stats(0).bytes +
+               s.net.link(static_cast<int>(li)).stats(1).bytes;
+    }
+    return std::pair{s.net.counters().rejected, bytes};
+  };
+  const auto [rej_last, bytes_last] = run(CheckPlacement::kLastHop);
+  const auto [rej_auto, bytes_auto] = run(CheckPlacement::kAuto);
+  EXPECT_EQ(rej_last, 10u);
+  EXPECT_EQ(rej_auto, 10u);
+  EXPECT_LT(bytes_auto, bytes_last);  // rejected at the second spine visit
+}
+
+}  // namespace
+}  // namespace hydra::compiler

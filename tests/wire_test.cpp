@@ -1,0 +1,165 @@
+// Tests for the byte-exact telemetry wire codec and the network's
+// wire-validation mode (serialize -> parse round trip at every hop).
+#include <gtest/gtest.h>
+
+#include "checkers/library.hpp"
+#include "forwarding/ipv4_ecmp.hpp"
+#include "forwarding/source_route.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+#include "p4rt/tele_codec.hpp"
+#include "util/rng.hpp"
+
+namespace hydra::p4rt {
+namespace {
+
+compiler::CompiledChecker compile(const std::string& src,
+                                  bool byte_aligned = false) {
+  compiler::CompileOptions opts;
+  opts.byte_aligned_layout = byte_aligned;
+  return compiler::compile_checker(src, "wire", opts);
+}
+
+TeleFrame random_frame(const compiler::CompiledChecker& c, Rng& rng) {
+  TeleFrame f;
+  f.checker = 0;
+  for (const auto& field : c.ir.fields) {
+    if (field.space == ir::Space::kTele) {
+      f.values.emplace_back(field.width, rng.next());
+    } else {
+      f.values.emplace_back(field.width, 0);
+    }
+  }
+  return f;
+}
+
+void expect_roundtrip(const compiler::CompiledChecker& c,
+                      const TeleFrame& f) {
+  const auto bytes = serialize_frame(c.layout, c.ir, f);
+  ASSERT_EQ(bytes.size(), static_cast<std::size_t>(c.layout.wire_bytes));
+  const TeleFrame back = parse_frame(c.layout, c.ir, 0, bytes);
+  for (std::size_t i = 0; i < f.values.size(); ++i) {
+    if (c.ir.fields[i].space != ir::Space::kTele) continue;
+    EXPECT_EQ(back.values[i].value(), f.values[i].value())
+        << c.ir.fields[i].name;
+  }
+}
+
+TEST(TeleCodec, ScalarRoundTrip) {
+  const auto c = compile(
+      "tele bit<8> a;\ntele bit<32> b;\ntele bool f;\n{ } { } { }");
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) expect_roundtrip(c, random_frame(c, rng));
+}
+
+TEST(TeleCodec, UnalignedWidthsRoundTrip) {
+  const auto c = compile(
+      "tele bit<3> a;\ntele bit<13> b;\ntele bit<7> d;\ntele bit<33> e;\n"
+      "{ } { } { }");
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) expect_roundtrip(c, random_frame(c, rng));
+}
+
+TEST(TeleCodec, ArraysAndCounterRoundTrip) {
+  const auto c = compile(
+      "tele bit<32>[5] xs;\ntele bool[3] flags;\n{ } { xs.push(1); "
+      "flags.push(true); } { }");
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) expect_roundtrip(c, random_frame(c, rng));
+}
+
+TEST(TeleCodec, ByteAlignedLayoutRoundTrip) {
+  const auto c = compile(
+      "tele bit<3> a;\ntele bit<13> b;\ntele bool f;\n{ } { } { }",
+      /*byte_aligned=*/true);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) expect_roundtrip(c, random_frame(c, rng));
+}
+
+TEST(TeleCodec, PreambleCarriesHydraEtherType) {
+  const auto c = compile("tele bit<8> a;\n{ } { } { }");
+  TeleFrame f;
+  f.checker = 0;
+  for (const auto& field : c.ir.fields) f.values.emplace_back(field.width, 0);
+  const auto bytes = serialize_frame(c.layout, c.ir, f);
+  EXPECT_EQ((bytes[0] << 8) | bytes[1],
+            compiler::TelemetryLayout::kHydraEtherType);
+}
+
+TEST(TeleCodec, ParseRejectsBadInput) {
+  const auto c = compile("tele bit<8> a;\n{ } { } { }");
+  EXPECT_THROW(parse_frame(c.layout, c.ir, 0, {1, 2}),
+               std::invalid_argument);
+  std::vector<std::uint8_t> bad(static_cast<std::size_t>(c.layout.wire_bytes),
+                                0);
+  EXPECT_THROW(parse_frame(c.layout, c.ir, 0, bad), std::invalid_argument);
+}
+
+TEST(TeleCodec, SerializeRejectsWrongFrame) {
+  const auto c = compile("tele bit<8> a;\n{ } { } { }");
+  TeleFrame f;
+  f.checker = 0;  // wrong size
+  EXPECT_THROW(serialize_frame(c.layout, c.ir, f), std::invalid_argument);
+}
+
+// Every library checker's layout must round-trip random frames.
+class CodecAllCheckers : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecAllCheckers, RandomFramesRoundTrip) {
+  const auto& spec =
+      checkers::all_checkers()[static_cast<std::size_t>(GetParam())];
+  const auto c = compiler::compile_checker(spec.source, spec.name);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  for (int i = 0; i < 20; ++i) expect_roundtrip(c, random_frame(c, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, CodecAllCheckers,
+                         ::testing::Range(0, static_cast<int>(
+                             checkers::all_checkers().size())),
+                         [](const auto& info) {
+                           return checkers::all_checkers()
+                               [static_cast<std::size_t>(info.param)].name;
+                         });
+
+// End to end: the network's wire-validation mode round-trips frames at
+// every hop and must stay silent for real traffic through real checkers.
+TEST(WireValidation, EndToEndWithCheckersDeployed) {
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  fwd::install_leaf_spine_routing(net, fabric);
+  net.set_wire_validation(true);
+  net.deploy(compile_library_checker("loops"));
+  const int vf = net.deploy(compile_library_checker("valley_free"));
+  configure_valley_free(net, vf, fabric);
+  net.deploy(compile_library_checker("application_filtering"));
+  for (int i = 0; i < 20; ++i) {
+    net.send_from_host(
+        fabric.hosts[0][0],
+        p4rt::make_udp(net.topo().node(fabric.hosts[0][0]).ip,
+                       net.topo().node(fabric.hosts[1][0]).ip,
+                       static_cast<std::uint16_t>(1000 + i), 2000, 100));
+  }
+  EXPECT_NO_THROW(net.events().run());
+  EXPECT_EQ(net.counters().delivered, 20u);
+}
+
+TEST(WireValidation, SourceRoutedTrafficWithPathValidation) {
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  auto prog = std::make_shared<fwd::SourceRouteProgram>();
+  for (int sw : fabric.leaves) net.set_program(sw, prog);
+  for (int sw : fabric.spines) net.set_program(sw, prog);
+  net.set_wire_validation(true);
+  const int pv = net.deploy(
+      compile_library_checker("source_routing_path_validation"));
+  configure_path_validation(net, pv, fabric);
+  p4rt::Packet p = p4rt::make_udp(1, 2, 3, 4, 64);
+  fwd::set_source_route(p, fwd::leaf_spine_route(fabric, fabric.hosts[0][0],
+                                                 fabric.hosts[1][0], 0));
+  net.send_from_host(fabric.hosts[0][0], std::move(p));
+  EXPECT_NO_THROW(net.events().run());
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+}  // namespace
+}  // namespace hydra::p4rt

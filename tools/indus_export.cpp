@@ -1,0 +1,26 @@
+// indus_export — writes every library checker to <dir>/<name>.indus so the
+// shipped properties can be edited and recompiled with induscc.
+//
+//   indus_export [dir]        (default: current directory)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "checkers/library.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  int written = 0;
+  for (const auto& spec : hydra::checkers::all_checkers()) {
+    const std::string path = dir + "/" + spec.name + ".indus";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "indus_export: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+    out << "// " << spec.description << "\n" << spec.source;
+    ++written;
+  }
+  std::printf("wrote %d checkers to %s\n", written, dir.c_str());
+  return 0;
+}
