@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_check_placement.dir/ablation_check_placement.cpp.o"
+  "CMakeFiles/ablation_check_placement.dir/ablation_check_placement.cpp.o.d"
+  "ablation_check_placement"
+  "ablation_check_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_check_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_header_layout.dir/ablation_header_layout.cpp.o"
+  "CMakeFiles/ablation_header_layout.dir/ablation_header_layout.cpp.o.d"
+  "ablation_header_layout"
+  "ablation_header_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_header_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

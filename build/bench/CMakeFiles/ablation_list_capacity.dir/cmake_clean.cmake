@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_list_capacity.dir/ablation_list_capacity.cpp.o"
+  "CMakeFiles/ablation_list_capacity.dir/ablation_list_capacity.cpp.o.d"
+  "ablation_list_capacity"
+  "ablation_list_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_list_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

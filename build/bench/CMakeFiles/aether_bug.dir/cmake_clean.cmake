@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aether_bug.dir/aether_bug.cpp.o"
+  "CMakeFiles/aether_bug.dir/aether_bug.cpp.o.d"
+  "aether_bug"
+  "aether_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aether_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

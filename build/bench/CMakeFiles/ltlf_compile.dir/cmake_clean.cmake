@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_compile.dir/ltlf_compile.cpp.o"
+  "CMakeFiles/ltlf_compile.dir/ltlf_compile.cpp.o.d"
+  "ltlf_compile"
+  "ltlf_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

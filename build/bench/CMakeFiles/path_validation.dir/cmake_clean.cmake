@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_validation.dir/path_validation.cpp.o"
+  "CMakeFiles/path_validation.dir/path_validation.cpp.o.d"
+  "path_validation"
+  "path_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

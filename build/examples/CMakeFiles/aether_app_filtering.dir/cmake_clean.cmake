@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aether_app_filtering.dir/aether_app_filtering.cpp.o"
+  "CMakeFiles/aether_app_filtering.dir/aether_app_filtering.cpp.o.d"
+  "aether_app_filtering"
+  "aether_app_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aether_app_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_properties.dir/ltlf_properties.cpp.o"
+  "CMakeFiles/ltlf_properties.dir/ltlf_properties.cpp.o.d"
+  "ltlf_properties"
+  "ltlf_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

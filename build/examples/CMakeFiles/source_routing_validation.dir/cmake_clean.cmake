@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_routing_validation.dir/source_routing_validation.cpp.o"
+  "CMakeFiles/source_routing_validation.dir/source_routing_validation.cpp.o.d"
+  "source_routing_validation"
+  "source_routing_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_routing_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for source_routing_validation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateful_firewall.dir/stateful_firewall.cpp.o"
+  "CMakeFiles/stateful_firewall.dir/stateful_firewall.cpp.o.d"
+  "stateful_firewall"
+  "stateful_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateful_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aether/controller.cpp" "src/CMakeFiles/hydra_aether.dir/aether/controller.cpp.o" "gcc" "src/CMakeFiles/hydra_aether.dir/aether/controller.cpp.o.d"
+  "/root/repo/src/aether/slice.cpp" "src/CMakeFiles/hydra_aether.dir/aether/slice.cpp.o" "gcc" "src/CMakeFiles/hydra_aether.dir/aether/slice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_forwarding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_p4rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_indus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

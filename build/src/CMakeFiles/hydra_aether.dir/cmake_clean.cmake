@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_aether.dir/aether/controller.cpp.o"
+  "CMakeFiles/hydra_aether.dir/aether/controller.cpp.o.d"
+  "CMakeFiles/hydra_aether.dir/aether/slice.cpp.o"
+  "CMakeFiles/hydra_aether.dir/aether/slice.cpp.o.d"
+  "libhydra_aether.a"
+  "libhydra_aether.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_aether.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_api.dir/hydra/apps.cpp.o"
+  "CMakeFiles/hydra_api.dir/hydra/apps.cpp.o.d"
+  "CMakeFiles/hydra_api.dir/hydra/hydra.cpp.o"
+  "CMakeFiles/hydra_api.dir/hydra/hydra.cpp.o.d"
+  "libhydra_api.a"
+  "libhydra_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_checkers.dir/checkers/library.cpp.o"
+  "CMakeFiles/hydra_checkers.dir/checkers/library.cpp.o.d"
+  "libhydra_checkers.a"
+  "libhydra_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

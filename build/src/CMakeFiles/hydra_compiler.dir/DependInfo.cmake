@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compile.cpp" "src/CMakeFiles/hydra_compiler.dir/compiler/compile.cpp.o" "gcc" "src/CMakeFiles/hydra_compiler.dir/compiler/compile.cpp.o.d"
+  "/root/repo/src/compiler/emit_p4.cpp" "src/CMakeFiles/hydra_compiler.dir/compiler/emit_p4.cpp.o" "gcc" "src/CMakeFiles/hydra_compiler.dir/compiler/emit_p4.cpp.o.d"
+  "/root/repo/src/compiler/layout.cpp" "src/CMakeFiles/hydra_compiler.dir/compiler/layout.cpp.o" "gcc" "src/CMakeFiles/hydra_compiler.dir/compiler/layout.cpp.o.d"
+  "/root/repo/src/compiler/link_p4.cpp" "src/CMakeFiles/hydra_compiler.dir/compiler/link_p4.cpp.o" "gcc" "src/CMakeFiles/hydra_compiler.dir/compiler/link_p4.cpp.o.d"
+  "/root/repo/src/compiler/lower.cpp" "src/CMakeFiles/hydra_compiler.dir/compiler/lower.cpp.o" "gcc" "src/CMakeFiles/hydra_compiler.dir/compiler/lower.cpp.o.d"
+  "/root/repo/src/compiler/relocate.cpp" "src/CMakeFiles/hydra_compiler.dir/compiler/relocate.cpp.o" "gcc" "src/CMakeFiles/hydra_compiler.dir/compiler/relocate.cpp.o.d"
+  "/root/repo/src/compiler/resources.cpp" "src/CMakeFiles/hydra_compiler.dir/compiler/resources.cpp.o" "gcc" "src/CMakeFiles/hydra_compiler.dir/compiler/resources.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/CMakeFiles/hydra_compiler.dir/ir/ir.cpp.o" "gcc" "src/CMakeFiles/hydra_compiler.dir/ir/ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_indus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_compiler.dir/compiler/compile.cpp.o"
+  "CMakeFiles/hydra_compiler.dir/compiler/compile.cpp.o.d"
+  "CMakeFiles/hydra_compiler.dir/compiler/emit_p4.cpp.o"
+  "CMakeFiles/hydra_compiler.dir/compiler/emit_p4.cpp.o.d"
+  "CMakeFiles/hydra_compiler.dir/compiler/layout.cpp.o"
+  "CMakeFiles/hydra_compiler.dir/compiler/layout.cpp.o.d"
+  "CMakeFiles/hydra_compiler.dir/compiler/link_p4.cpp.o"
+  "CMakeFiles/hydra_compiler.dir/compiler/link_p4.cpp.o.d"
+  "CMakeFiles/hydra_compiler.dir/compiler/lower.cpp.o"
+  "CMakeFiles/hydra_compiler.dir/compiler/lower.cpp.o.d"
+  "CMakeFiles/hydra_compiler.dir/compiler/relocate.cpp.o"
+  "CMakeFiles/hydra_compiler.dir/compiler/relocate.cpp.o.d"
+  "CMakeFiles/hydra_compiler.dir/compiler/resources.cpp.o"
+  "CMakeFiles/hydra_compiler.dir/compiler/resources.cpp.o.d"
+  "CMakeFiles/hydra_compiler.dir/ir/ir.cpp.o"
+  "CMakeFiles/hydra_compiler.dir/ir/ir.cpp.o.d"
+  "libhydra_compiler.a"
+  "libhydra_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forwarding/anonymizer.cpp" "src/CMakeFiles/hydra_forwarding.dir/forwarding/anonymizer.cpp.o" "gcc" "src/CMakeFiles/hydra_forwarding.dir/forwarding/anonymizer.cpp.o.d"
+  "/root/repo/src/forwarding/ipv4_ecmp.cpp" "src/CMakeFiles/hydra_forwarding.dir/forwarding/ipv4_ecmp.cpp.o" "gcc" "src/CMakeFiles/hydra_forwarding.dir/forwarding/ipv4_ecmp.cpp.o.d"
+  "/root/repo/src/forwarding/source_route.cpp" "src/CMakeFiles/hydra_forwarding.dir/forwarding/source_route.cpp.o" "gcc" "src/CMakeFiles/hydra_forwarding.dir/forwarding/source_route.cpp.o.d"
+  "/root/repo/src/forwarding/upf.cpp" "src/CMakeFiles/hydra_forwarding.dir/forwarding/upf.cpp.o" "gcc" "src/CMakeFiles/hydra_forwarding.dir/forwarding/upf.cpp.o.d"
+  "/root/repo/src/forwarding/vlan_bridge.cpp" "src/CMakeFiles/hydra_forwarding.dir/forwarding/vlan_bridge.cpp.o" "gcc" "src/CMakeFiles/hydra_forwarding.dir/forwarding/vlan_bridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_p4rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_indus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_forwarding.dir/forwarding/anonymizer.cpp.o"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/anonymizer.cpp.o.d"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/ipv4_ecmp.cpp.o"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/ipv4_ecmp.cpp.o.d"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/source_route.cpp.o"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/source_route.cpp.o.d"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/upf.cpp.o"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/upf.cpp.o.d"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/vlan_bridge.cpp.o"
+  "CMakeFiles/hydra_forwarding.dir/forwarding/vlan_bridge.cpp.o.d"
+  "libhydra_forwarding.a"
+  "libhydra_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/indus/ast.cpp" "src/CMakeFiles/hydra_indus.dir/indus/ast.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/ast.cpp.o.d"
+  "/root/repo/src/indus/diagnostics.cpp" "src/CMakeFiles/hydra_indus.dir/indus/diagnostics.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/diagnostics.cpp.o.d"
+  "/root/repo/src/indus/eval_ref.cpp" "src/CMakeFiles/hydra_indus.dir/indus/eval_ref.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/eval_ref.cpp.o.d"
+  "/root/repo/src/indus/lexer.cpp" "src/CMakeFiles/hydra_indus.dir/indus/lexer.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/lexer.cpp.o.d"
+  "/root/repo/src/indus/parser.cpp" "src/CMakeFiles/hydra_indus.dir/indus/parser.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/parser.cpp.o.d"
+  "/root/repo/src/indus/pretty.cpp" "src/CMakeFiles/hydra_indus.dir/indus/pretty.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/pretty.cpp.o.d"
+  "/root/repo/src/indus/token.cpp" "src/CMakeFiles/hydra_indus.dir/indus/token.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/token.cpp.o.d"
+  "/root/repo/src/indus/typecheck.cpp" "src/CMakeFiles/hydra_indus.dir/indus/typecheck.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/typecheck.cpp.o.d"
+  "/root/repo/src/indus/types.cpp" "src/CMakeFiles/hydra_indus.dir/indus/types.cpp.o" "gcc" "src/CMakeFiles/hydra_indus.dir/indus/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_indus.dir/indus/ast.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/ast.cpp.o.d"
+  "CMakeFiles/hydra_indus.dir/indus/diagnostics.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/diagnostics.cpp.o.d"
+  "CMakeFiles/hydra_indus.dir/indus/eval_ref.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/eval_ref.cpp.o.d"
+  "CMakeFiles/hydra_indus.dir/indus/lexer.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/lexer.cpp.o.d"
+  "CMakeFiles/hydra_indus.dir/indus/parser.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/parser.cpp.o.d"
+  "CMakeFiles/hydra_indus.dir/indus/pretty.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/pretty.cpp.o.d"
+  "CMakeFiles/hydra_indus.dir/indus/token.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/token.cpp.o.d"
+  "CMakeFiles/hydra_indus.dir/indus/typecheck.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/typecheck.cpp.o.d"
+  "CMakeFiles/hydra_indus.dir/indus/types.cpp.o"
+  "CMakeFiles/hydra_indus.dir/indus/types.cpp.o.d"
+  "libhydra_indus.a"
+  "libhydra_indus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_indus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ltlf/eval.cpp" "src/CMakeFiles/hydra_ltlf.dir/ltlf/eval.cpp.o" "gcc" "src/CMakeFiles/hydra_ltlf.dir/ltlf/eval.cpp.o.d"
+  "/root/repo/src/ltlf/formula.cpp" "src/CMakeFiles/hydra_ltlf.dir/ltlf/formula.cpp.o" "gcc" "src/CMakeFiles/hydra_ltlf.dir/ltlf/formula.cpp.o.d"
+  "/root/repo/src/ltlf/random_formula.cpp" "src/CMakeFiles/hydra_ltlf.dir/ltlf/random_formula.cpp.o" "gcc" "src/CMakeFiles/hydra_ltlf.dir/ltlf/random_formula.cpp.o.d"
+  "/root/repo/src/ltlf/to_indus.cpp" "src/CMakeFiles/hydra_ltlf.dir/ltlf/to_indus.cpp.o" "gcc" "src/CMakeFiles/hydra_ltlf.dir/ltlf/to_indus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_p4rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_indus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_ltlf.dir/ltlf/eval.cpp.o"
+  "CMakeFiles/hydra_ltlf.dir/ltlf/eval.cpp.o.d"
+  "CMakeFiles/hydra_ltlf.dir/ltlf/formula.cpp.o"
+  "CMakeFiles/hydra_ltlf.dir/ltlf/formula.cpp.o.d"
+  "CMakeFiles/hydra_ltlf.dir/ltlf/random_formula.cpp.o"
+  "CMakeFiles/hydra_ltlf.dir/ltlf/random_formula.cpp.o.d"
+  "CMakeFiles/hydra_ltlf.dir/ltlf/to_indus.cpp.o"
+  "CMakeFiles/hydra_ltlf.dir/ltlf/to_indus.cpp.o.d"
+  "libhydra_ltlf.a"
+  "libhydra_ltlf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_ltlf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event.cpp" "src/CMakeFiles/hydra_net.dir/net/event.cpp.o" "gcc" "src/CMakeFiles/hydra_net.dir/net/event.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/hydra_net.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/hydra_net.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/hydra_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/hydra_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/hydra_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/hydra_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/switch_node.cpp" "src/CMakeFiles/hydra_net.dir/net/switch_node.cpp.o" "gcc" "src/CMakeFiles/hydra_net.dir/net/switch_node.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/hydra_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/hydra_net.dir/net/topology.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/CMakeFiles/hydra_net.dir/net/traffic.cpp.o" "gcc" "src/CMakeFiles/hydra_net.dir/net/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_p4rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_indus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_net.dir/net/event.cpp.o"
+  "CMakeFiles/hydra_net.dir/net/event.cpp.o.d"
+  "CMakeFiles/hydra_net.dir/net/host.cpp.o"
+  "CMakeFiles/hydra_net.dir/net/host.cpp.o.d"
+  "CMakeFiles/hydra_net.dir/net/link.cpp.o"
+  "CMakeFiles/hydra_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/hydra_net.dir/net/network.cpp.o"
+  "CMakeFiles/hydra_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/hydra_net.dir/net/switch_node.cpp.o"
+  "CMakeFiles/hydra_net.dir/net/switch_node.cpp.o.d"
+  "CMakeFiles/hydra_net.dir/net/topology.cpp.o"
+  "CMakeFiles/hydra_net.dir/net/topology.cpp.o.d"
+  "CMakeFiles/hydra_net.dir/net/traffic.cpp.o"
+  "CMakeFiles/hydra_net.dir/net/traffic.cpp.o.d"
+  "libhydra_net.a"
+  "libhydra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

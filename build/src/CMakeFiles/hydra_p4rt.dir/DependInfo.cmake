@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4rt/interp.cpp" "src/CMakeFiles/hydra_p4rt.dir/p4rt/interp.cpp.o" "gcc" "src/CMakeFiles/hydra_p4rt.dir/p4rt/interp.cpp.o.d"
+  "/root/repo/src/p4rt/packet.cpp" "src/CMakeFiles/hydra_p4rt.dir/p4rt/packet.cpp.o" "gcc" "src/CMakeFiles/hydra_p4rt.dir/p4rt/packet.cpp.o.d"
+  "/root/repo/src/p4rt/register.cpp" "src/CMakeFiles/hydra_p4rt.dir/p4rt/register.cpp.o" "gcc" "src/CMakeFiles/hydra_p4rt.dir/p4rt/register.cpp.o.d"
+  "/root/repo/src/p4rt/table.cpp" "src/CMakeFiles/hydra_p4rt.dir/p4rt/table.cpp.o" "gcc" "src/CMakeFiles/hydra_p4rt.dir/p4rt/table.cpp.o.d"
+  "/root/repo/src/p4rt/tele_codec.cpp" "src/CMakeFiles/hydra_p4rt.dir/p4rt/tele_codec.cpp.o" "gcc" "src/CMakeFiles/hydra_p4rt.dir/p4rt/tele_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hydra_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_indus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hydra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

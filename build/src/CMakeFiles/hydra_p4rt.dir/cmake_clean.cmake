@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_p4rt.dir/p4rt/interp.cpp.o"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/interp.cpp.o.d"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/packet.cpp.o"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/packet.cpp.o.d"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/register.cpp.o"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/register.cpp.o.d"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/table.cpp.o"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/table.cpp.o.d"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/tele_codec.cpp.o"
+  "CMakeFiles/hydra_p4rt.dir/p4rt/tele_codec.cpp.o.d"
+  "libhydra_p4rt.a"
+  "libhydra_p4rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_p4rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

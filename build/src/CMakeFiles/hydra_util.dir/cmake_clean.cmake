@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_util.dir/util/bitvec.cpp.o"
+  "CMakeFiles/hydra_util.dir/util/bitvec.cpp.o.d"
+  "CMakeFiles/hydra_util.dir/util/rng.cpp.o"
+  "CMakeFiles/hydra_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/hydra_util.dir/util/stats.cpp.o"
+  "CMakeFiles/hydra_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/hydra_util.dir/util/strings.cpp.o"
+  "CMakeFiles/hydra_util.dir/util/strings.cpp.o.d"
+  "libhydra_util.a"
+  "libhydra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aether_test.dir/aether_test.cpp.o"
+  "CMakeFiles/aether_test.dir/aether_test.cpp.o.d"
+  "aether_test"
+  "aether_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aether_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkers_e2e_test.dir/checkers_e2e_test.cpp.o"
+  "CMakeFiles/checkers_e2e_test.dir/checkers_e2e_test.cpp.o.d"
+  "checkers_e2e_test"
+  "checkers_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkers_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

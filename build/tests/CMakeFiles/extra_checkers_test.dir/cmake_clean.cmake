@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_checkers_test.dir/extra_checkers_test.cpp.o"
+  "CMakeFiles/extra_checkers_test.dir/extra_checkers_test.cpp.o.d"
+  "extra_checkers_test"
+  "extra_checkers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_checkers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fat_tree_test.dir/fat_tree_test.cpp.o"
+  "CMakeFiles/fat_tree_test.dir/fat_tree_test.cpp.o.d"
+  "fat_tree_test"
+  "fat_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fat_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_p4_test.dir/link_p4_test.cpp.o"
+  "CMakeFiles/link_p4_test.dir/link_p4_test.cpp.o.d"
+  "link_p4_test"
+  "link_p4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_p4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_test.dir/ltlf_test.cpp.o"
+  "CMakeFiles/ltlf_test.dir/ltlf_test.cpp.o.d"
+  "ltlf_test"
+  "ltlf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

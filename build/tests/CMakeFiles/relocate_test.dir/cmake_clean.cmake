@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relocate_test.dir/relocate_test.cpp.o"
+  "CMakeFiles/relocate_test.dir/relocate_test.cpp.o.d"
+  "relocate_test"
+  "relocate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relocate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

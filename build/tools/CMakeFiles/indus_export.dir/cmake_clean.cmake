@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indus_export.dir/indus_export.cpp.o"
+  "CMakeFiles/indus_export.dir/indus_export.cpp.o.d"
+  "indus_export"
+  "indus_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indus_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

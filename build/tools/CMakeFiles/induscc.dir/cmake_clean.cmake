@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/induscc.dir/induscc.cpp.o"
+  "CMakeFiles/induscc.dir/induscc.cpp.o.d"
+  "induscc"
+  "induscc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/induscc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
