@@ -2,9 +2,11 @@
 // and without Hydra, plus the campus-trace replay at 350 Kpps (Figure 13's
 // workload) through leaf1.
 //
-//   $ ./throughput
+//   $ ./throughput [--json BENCH_throughput.json]
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
 
 #include "forwarding/anonymizer.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
@@ -101,9 +103,45 @@ Result campus_run(bool with_checkers, double duration) {
   return r;
 }
 
+void write_result(std::FILE* f, const char* name, const Result& r,
+                  const char* trailer) {
+  std::fprintf(f,
+               "    \"%s\": {\"offered_gbps\": %.4f, \"delivered_gbps\": "
+               "%.4f, \"sent\": %llu, \"delivered\": %llu, \"pps\": %.1f}%s\n",
+               name, r.offered_gbps, r.delivered_gbps,
+               static_cast<unsigned long long>(r.sent),
+               static_cast<unsigned long long>(r.delivered), r.pps, trailer);
+}
+
+void write_json(const std::string& path, const Result& iperf_base,
+                const Result& iperf_hydra, const Result& campus_base,
+                const Result& campus_hydra, double delta_pct) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"iperf\": {\n");
+  write_result(f, "baseline", iperf_base, ",");
+  write_result(f, "all_checkers", iperf_hydra, ",");
+  std::fprintf(f, "    \"delta_pct\": %.4f\n  },\n  \"campus\": {\n",
+               delta_pct);
+  write_result(f, "baseline", campus_base, ",");
+  write_result(f, "all_checkers", campus_hydra, "");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   std::printf("Throughput comparison (paper §6.2: 'almost identical with "
               "around 20 Gb/s')\n\n");
 
@@ -137,5 +175,7 @@ int main() {
               cb.offered_gbps, cb.delivered_gbps);
   std::printf("  %-14s %10.0f %10.2f G %10.2f G\n", "all-checkers", ch.pps,
               ch.offered_gbps, ch.delivered_gbps);
+
+  write_json(json_path, b, h, cb, ch, delta);
   return 0;
 }

@@ -77,38 +77,39 @@ void AetherController::install_hydra_policy(const SliceState& s,
                                          << (32 - rule.prefix_len));
     const auto action_code =
         BitVec(8, static_cast<std::uint64_t>(rule.action));
-    std::vector<std::uint16_t> ports;
     const bool any_port = rule.port_lo == 0 && rule.port_hi == 0xffff;
-    if (!any_port) {
+    // The entry set is identical on every switch, so build it once and
+    // install copies — the per-port expansion of a range rule would
+    // otherwise be re-derived per switch.
+    auto make_entry = [&](std::optional<std::uint16_t> port) {
+      p4rt::TableEntry e;
+      e.priority = rule.priority;
+      e.patterns.push_back(
+          p4rt::KeyPattern::exact(BitVec(32, client.ue_ip)));
+      e.patterns.push_back(rule.proto
+                               ? p4rt::KeyPattern::exact(
+                                     BitVec(8, *rule.proto))
+                               : p4rt::KeyPattern::wildcard(8));
+      e.patterns.push_back(p4rt::KeyPattern::ternary(
+          BitVec(32, rule.app_prefix), BitVec(32, mask32)));
+      e.patterns.push_back(port ? p4rt::KeyPattern::exact(BitVec(16, *port))
+                                : p4rt::KeyPattern::wildcard(16));
+      e.action_data.push_back(action_code);
+      return e;
+    };
+    std::vector<p4rt::TableEntry> entries;
+    if (any_port) {
+      entries.push_back(make_entry(std::nullopt));
+    } else {
       for (std::uint32_t p = rule.port_lo; p <= rule.port_hi; ++p) {
-        ports.push_back(static_cast<std::uint16_t>(p));
+        entries.push_back(make_entry(static_cast<std::uint16_t>(p)));
       }
     }
     for (int sw = 0; sw < net_.topo().node_count(); ++sw) {
       if (net_.topo().node(sw).kind != net::NodeKind::kSwitch) continue;
       auto& table =
           net_.checker_table(hydra_deployment_, sw, "filtering_actions");
-      auto make_entry = [&](std::optional<std::uint16_t> port) {
-        p4rt::TableEntry e;
-        e.priority = rule.priority;
-        e.patterns.push_back(
-            p4rt::KeyPattern::exact(BitVec(32, client.ue_ip)));
-        e.patterns.push_back(rule.proto
-                                 ? p4rt::KeyPattern::exact(
-                                       BitVec(8, *rule.proto))
-                                 : p4rt::KeyPattern::wildcard(8));
-        e.patterns.push_back(p4rt::KeyPattern::ternary(
-            BitVec(32, rule.app_prefix), BitVec(32, mask32)));
-        e.patterns.push_back(port ? p4rt::KeyPattern::exact(BitVec(16, *port))
-                                  : p4rt::KeyPattern::wildcard(16));
-        e.action_data.push_back(action_code);
-        return e;
-      };
-      if (any_port) {
-        table.insert(make_entry(std::nullopt));
-      } else {
-        for (std::uint16_t p : ports) table.insert(make_entry(p));
-      }
+      for (const auto& e : entries) table.insert(e);
     }
   }
 }

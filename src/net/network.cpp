@@ -204,8 +204,11 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
   if (ctx.first_hop) {
     for (std::size_t di = 0; di < deployments_.size(); ++di) {
       Deployment& d = deployments_[di];
-      auto vals = d.interp->fresh_store();
-      p4rt::ExecOutcome out;
+      d.interp->reset_store(d.scratch_vals);
+      std::vector<BitVec>& vals = d.scratch_vals;
+      p4rt::ExecOutcome& out = d.scratch_out;
+      out.reject = false;
+      out.reports.clear();
       d.interp->run(d.checker->ir.init_block, vals,
                     d.per_switch[static_cast<std::size_t>(sw)], resolver,
                     out);
@@ -244,9 +247,12 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
     Deployment& d = deployments_[di];
     p4rt::TeleFrame* frame = pkt.frame(static_cast<int>(di));
     if (frame == nullptr) continue;  // entered before deployment; skip
-    auto vals = d.interp->fresh_store();
+    d.interp->reset_store(d.scratch_vals);
+    std::vector<BitVec>& vals = d.scratch_vals;
     d.interp->load_frame(*frame, vals);
-    p4rt::ExecOutcome out;
+    p4rt::ExecOutcome& out = d.scratch_out;
+    out.reject = false;
+    out.reports.clear();
     auto& state = d.per_switch[static_cast<std::size_t>(sw)];
     d.interp->run(d.checker->ir.tele_block, vals, state, resolver, out);
     const bool run_check =

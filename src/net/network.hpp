@@ -118,6 +118,10 @@ class Network {
     std::unique_ptr<p4rt::Interp> interp;
     std::vector<p4rt::CheckerState> per_switch;  // indexed by node id
     int tele_wire_bytes = 0;
+    // Per-packet scratch reused across hops so the hot path does not
+    // allocate (packets are processed one at a time per deployment).
+    std::vector<BitVec> scratch_vals;
+    p4rt::ExecOutcome scratch_out;
   };
 
   void node_receive(int node, int port, p4rt::Packet pkt);

@@ -39,6 +39,13 @@ std::vector<BitVec> Interp::fresh_store() const {
   return vals;
 }
 
+void Interp::reset_store(std::vector<BitVec>& vals) const {
+  vals.resize(ir_.fields.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = BitVec(ir_.fields[i].width, 0);
+  }
+}
+
 void Interp::load_frame(const TeleFrame& frame,
                         std::vector<BitVec>& vals) const {
   if (frame.values.size() != vals.size()) {
@@ -144,28 +151,28 @@ void Interp::exec(const ir::Instr& instr, std::vector<BitVec>& vals,
     case ir::InstrKind::kTableLookup: {
       const ir::Table& spec = ir_.tables[static_cast<std::size_t>(instr.table)];
       Table& table = state.tables[static_cast<std::size_t>(instr.table)];
-      std::vector<BitVec> action_data;
+      const std::vector<BitVec>* action_data = nullptr;
       bool hit = false;
       if (spec.config_scalar) {
-        action_data = table.default_data();
+        action_data = &table.default_data();
         hit = true;
       } else {
-        std::vector<BitVec> key;
-        key.reserve(instr.keys.size());
+        key_scratch_.clear();
         for (std::size_t k = 0; k < instr.keys.size(); ++k) {
-          key.push_back(eval(*instr.keys[k], vals, hdr)
-                            .resize(spec.key_widths[k]));
+          key_scratch_.push_back(eval(*instr.keys[k], vals, hdr)
+                                     .resize(spec.key_widths[k]));
         }
-        const TableEntry* entry = table.lookup(key);
+        const TableEntry* entry = table.lookup(key_scratch_);
         if (entry != nullptr) {
-          action_data = entry->action_data;
+          action_data = &entry->action_data;
           hit = true;
         }
       }
       for (std::size_t d = 0; d < instr.dsts.size(); ++d) {
         const ir::Field& f = ir_.field(instr.dsts[d]);
-        const BitVec v = d < action_data.size() ? action_data[d]
-                                                : BitVec(f.width, 0);
+        const BitVec v = action_data != nullptr && d < action_data->size()
+                             ? (*action_data)[d]
+                             : BitVec(f.width, 0);
         vals[static_cast<std::size_t>(instr.dsts[d].id)] = v.resize(f.width);
       }
       if (instr.hit_dst.valid()) {

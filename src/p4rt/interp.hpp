@@ -42,6 +42,10 @@ class Interp {
 
   // A value store holds one BitVec per IR field.
   std::vector<BitVec> fresh_store() const;
+  // Re-initializes `vals` to the zeroed per-field layout without giving up
+  // its capacity — the allocation-free equivalent of `vals = fresh_store()`
+  // for per-packet reuse on the hot path.
+  void reset_store(std::vector<BitVec>& vals) const;
   void load_frame(const TeleFrame& frame, std::vector<BitVec>& vals) const;
   void store_frame(const std::vector<BitVec>& vals, TeleFrame& frame) const;
 
@@ -57,6 +61,11 @@ class Interp {
             ExecOutcome& out) const;
 
   const ir::CheckerIR& ir_;
+  // Scratch key buffer reused across table lookups so the per-packet hot
+  // path does not allocate. Table-lookup instructions never nest (keys are
+  // pure rvalues), so a single buffer is safe. The interpreter is
+  // single-threaded per deployment, like the pipeline it models.
+  mutable std::vector<BitVec> key_scratch_;
 };
 
 }  // namespace hydra::p4rt

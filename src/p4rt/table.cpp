@@ -1,5 +1,6 @@
 #include "p4rt/table.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hydra::p4rt {
@@ -44,7 +45,17 @@ KeyPattern KeyPattern::range(BitVec lo, BitVec hi) {
 }
 
 Table::Table(std::string name, std::vector<MatchFieldSpec> key_spec)
-    : name_(std::move(name)), key_spec_(std::move(key_spec)) {}
+    : name_(std::move(name)), key_spec_(std::move(key_spec)) {
+  for (std::size_t i = 0; i < key_spec_.size(); ++i) {
+    if (key_spec_[i].kind == MatchKind::kLpm) {
+      // The LPM fast path handles tables with exactly one LPM field (the
+      // shape every real pipeline here uses); multi-LPM entries fall back
+      // to the residue scan.
+      lpm_field_ = lpm_field_ < 0 ? static_cast<int>(i) : -2;
+    }
+  }
+  if (lpm_field_ == -2) lpm_field_ = -1;
+}
 
 void Table::insert(TableEntry entry) {
   if (entry.patterns.size() != key_spec_.size()) {
@@ -54,6 +65,8 @@ void Table::insert(TableEntry entry) {
                                 std::to_string(key_spec_.size()));
   }
   entries_.push_back(std::move(entry));
+  index_entry(static_cast<std::uint32_t>(entries_.size() - 1));
+  invalidate_cache();
 }
 
 void Table::insert_exact(const std::vector<BitVec>& key,
@@ -67,15 +80,32 @@ void Table::insert_exact(const std::vector<BitVec>& key,
   insert(std::move(e));
 }
 
+bool Table::pattern_equal(MatchKind kind, const KeyPattern& a,
+                          const KeyPattern& b) {
+  switch (kind) {
+    case MatchKind::kExact:
+      // Only the value is consulted by the match; mask/prefix/bounds are
+      // incidental to how the pattern was constructed.
+      return a.value == b.value;
+    case MatchKind::kTernary:
+    case MatchKind::kLpm:
+      // Same mask and same value under that mask describe the same match
+      // set, regardless of don't-care value bits or a stale prefix_len.
+      return a.mask == b.mask &&
+             (a.value.value() & a.mask.value()) ==
+                 (b.value.value() & b.mask.value());
+    case MatchKind::kRange:
+      return a.lo == b.lo && a.hi == b.hi;
+  }
+  return false;
+}
+
 int Table::remove_if_key_equals(const std::vector<KeyPattern>& patterns) {
   int removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     bool same = it->patterns.size() == patterns.size();
     for (std::size_t i = 0; same && i < patterns.size(); ++i) {
-      const KeyPattern& a = it->patterns[i];
-      const KeyPattern& b = patterns[i];
-      same = a.value == b.value && a.mask == b.mask &&
-             a.prefix_len == b.prefix_len && a.lo == b.lo && a.hi == b.hi;
+      same = pattern_equal(key_spec_[i].kind, it->patterns[i], patterns[i]);
     }
     if (same) {
       it = entries_.erase(it);
@@ -84,7 +114,19 @@ int Table::remove_if_key_equals(const std::vector<KeyPattern>& patterns) {
       ++it;
     }
   }
+  if (removed > 0) {
+    rebuild_index();
+    invalidate_cache();
+  }
   return removed;
+}
+
+void Table::clear() {
+  entries_.clear();
+  exact_.clear();
+  lpm_.clear();
+  residue_.clear();
+  invalidate_cache();
 }
 
 bool Table::matches(const KeyPattern& p, MatchKind kind, const BitVec& v) {
@@ -101,7 +143,200 @@ bool Table::matches(const KeyPattern& p, MatchKind kind, const BitVec& v) {
   return false;
 }
 
+std::uint64_t Table::prefix_mask(int width, int len) {
+  if (len <= 0) return 0;
+  if (len >= width) return BitVec::mask(width);
+  return (BitVec::mask(width) << (width - len)) & BitVec::mask(width);
+}
+
+std::size_t Table::FlatKeyHash::operator()(
+    const std::vector<std::uint64_t>& v) const {
+  // SplitMix64-style mixing, folded across the flattened key words.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL + v.size();
+  for (std::uint64_t x : v) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    h = (h ^ x) * 0xff51afd7ed558ccdULL;
+  }
+  return static_cast<std::size_t>(h ^ (h >> 33));
+}
+
+Table::FieldClass Table::classify_field(const KeyPattern& p,
+                                        const MatchFieldSpec& spec) {
+  FieldClass c;
+  const std::uint64_t full = BitVec::mask(spec.width);
+  switch (spec.kind) {
+    case MatchKind::kExact:
+      // The reference compares raw values, so the flattened bits are the
+      // raw pattern value.
+      c.pins_single_key = true;
+      c.bits = p.value.value();
+      break;
+    case MatchKind::kTernary:
+      if (p.mask.value() == full) {
+        c.pins_single_key = true;
+        c.bits = p.value.value() & full;
+      }
+      break;
+    case MatchKind::kLpm: {
+      const std::uint64_t m = p.mask.value();
+      if (m == full) {
+        c.pins_single_key = true;
+        c.bits = p.value.value() & full;
+        break;
+      }
+      for (int len = 0; len < spec.width; ++len) {
+        if (m == prefix_mask(spec.width, len)) {
+          c.lpm_general = true;
+          c.prefix = len;
+          c.bits = p.value.value() & m;
+          break;
+        }
+      }
+      // Non-contiguous hand-built masks fall through to the residue.
+      break;
+    }
+    case MatchKind::kRange:
+      if (p.lo.value() == p.hi.value()) {
+        c.pins_single_key = true;
+        c.bits = p.lo.value();
+      }
+      break;
+  }
+  return c;
+}
+
+bool Table::better(std::uint32_t a, std::uint32_t b) const {
+  const int pa = entries_[a].priority;
+  const int pb = entries_[b].priority;
+  return pa > pb || (pa == pb && a < b);
+}
+
+bool Table::could_beat(std::uint32_t a, std::uint32_t b) const {
+  // Identical to better(); kept separate for readability at call sites
+  // where `a` has not been matched yet.
+  return better(a, b);
+}
+
+void Table::index_entry(std::uint32_t idx) {
+  const TableEntry& e = entries_[idx];
+  bool all_pinned = true;
+  int lpm_prefix = -1;  // >= 0 when the LPM field has a general prefix
+  std::vector<std::uint64_t> flat(e.patterns.size(), 0);
+  for (std::size_t i = 0; i < e.patterns.size(); ++i) {
+    const FieldClass c = classify_field(e.patterns[i], key_spec_[i]);
+    flat[i] = c.bits;
+    if (c.pins_single_key) continue;
+    all_pinned = false;
+    if (c.lpm_general && static_cast<int>(i) == lpm_field_ &&
+        lpm_prefix == -1) {
+      lpm_prefix = c.prefix;
+    } else {
+      lpm_prefix = -2;  // a second unpinned field disqualifies the LPM path
+    }
+  }
+
+  if (all_pinned) {
+    auto [it, fresh] = exact_.emplace(std::move(flat), idx);
+    if (!fresh && better(idx, it->second)) it->second = idx;
+    return;
+  }
+  if (lpm_prefix >= 0) {
+    auto [it, fresh] = lpm_[lpm_prefix].emplace(std::move(flat), idx);
+    if (!fresh && better(idx, it->second)) it->second = idx;
+    return;
+  }
+  // Residue stays sorted by (priority desc, insertion order asc) so the
+  // scan can stop as soon as the best hit dominates the remainder.
+  const auto pos = std::upper_bound(
+      residue_.begin(), residue_.end(), idx,
+      [this](std::uint32_t a, std::uint32_t b) { return better(a, b); });
+  residue_.insert(pos, idx);
+}
+
+void Table::rebuild_index() {
+  exact_.clear();
+  lpm_.clear();
+  residue_.clear();
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) index_entry(i);
+}
+
+void Table::flatten_key(const std::vector<BitVec>& key) const {
+  raw_scratch_.clear();
+  flat_scratch_.clear();
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const std::uint64_t raw = key[i].value();
+    raw_scratch_.push_back(raw);
+    switch (key_spec_[i].kind) {
+      case MatchKind::kExact:
+      case MatchKind::kRange:
+        flat_scratch_.push_back(raw);
+        break;
+      case MatchKind::kTernary:
+      case MatchKind::kLpm:
+        flat_scratch_.push_back(raw & BitVec::mask(key_spec_[i].width));
+        break;
+    }
+  }
+}
+
 const TableEntry* Table::lookup(const std::vector<BitVec>& key) const {
+  if (key.size() != key_spec_.size()) {
+    throw std::invalid_argument("table '" + name_ + "': lookup key arity " +
+                                std::to_string(key.size()) + ", expected " +
+                                std::to_string(key_spec_.size()));
+  }
+  flatten_key(key);
+  if (cache_state_ == CacheState::kValid && raw_scratch_ == cache_key_) {
+    return cache_idx_ < 0
+               ? nullptr
+               : &entries_[static_cast<std::size_t>(cache_idx_)];
+  }
+
+  std::int64_t best = -1;
+  if (!exact_.empty()) {
+    const auto it = exact_.find(flat_scratch_);
+    if (it != exact_.end()) best = it->second;
+  }
+  if (!lpm_.empty()) {
+    const std::uint64_t raw =
+        raw_scratch_[static_cast<std::size_t>(lpm_field_)];
+    const int w = key_spec_[static_cast<std::size_t>(lpm_field_)].width;
+    for (const auto& [len, map] : lpm_) {
+      flat_scratch_[static_cast<std::size_t>(lpm_field_)] =
+          raw & prefix_mask(w, len);
+      const auto it = map.find(flat_scratch_);
+      if (it != map.end() &&
+          (best < 0 || better(it->second, static_cast<std::uint32_t>(best)))) {
+        best = it->second;
+      }
+    }
+  }
+  for (const std::uint32_t idx : residue_) {
+    if (best >= 0 && !could_beat(idx, static_cast<std::uint32_t>(best))) {
+      break;  // sorted residue: nothing later can win either
+    }
+    const TableEntry& e = entries_[idx];
+    bool hit = true;
+    for (std::size_t i = 0; hit && i < key.size(); ++i) {
+      hit = matches(e.patterns[i], key_spec_[i].kind, key[i]);
+    }
+    if (hit) {
+      best = idx;  // first residue match dominates the rest of the residue
+      break;
+    }
+  }
+
+  cache_key_ = raw_scratch_;
+  cache_idx_ = best;
+  cache_state_ = CacheState::kValid;
+  return best < 0 ? nullptr : &entries_[static_cast<std::size_t>(best)];
+}
+
+const TableEntry* Table::lookup_linear_reference(
+    const std::vector<BitVec>& key) const {
   if (key.size() != key_spec_.size()) {
     throw std::invalid_argument("table '" + name_ + "': lookup key arity " +
                                 std::to_string(key.size()) + ", expected " +

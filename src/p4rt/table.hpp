@@ -5,11 +5,27 @@
 // Supports the match kinds real P4 targets offer — exact, ternary
 // (value/mask), LPM, and range — with ternary/range disambiguated by entry
 // priority (higher wins), matching Tofino TCAM semantics.
+//
+// Lookup is served by a kind-aware index, mirroring how hardware splits a
+// table across SRAM hash units and TCAM:
+//   * entries whose every field pins a single key value (exact fields,
+//     full-mask ternary, full-length LPM, single-point ranges) live in a
+//     hash map over the concatenated key bits — O(1) per packet;
+//   * entries with one true LPM field and otherwise pinned fields live in
+//     per-prefix-length hash maps, probed for every installed length;
+//   * everything else (partial ternary masks, wildcards, real ranges) stays
+//     in a priority-sorted residue scanned with an early exit once the best
+//     hit so far dominates all remaining residue priorities.
+// A per-table last-hit cache short-circuits the flow-skewed traffic the
+// benches generate. All paths return the same winner as the reference
+// linear scan: highest priority, ties broken by insertion order.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/ir.hpp"
@@ -60,15 +76,23 @@ class Table {
   void insert_exact(const std::vector<BitVec>& key,
                     std::vector<BitVec> action_data,
                     const std::string& action = "hit", int priority = 0);
-  // Removes all entries whose patterns equal `entry`'s. Returns count.
+  // Removes all entries whose patterns match `patterns` on the fields the
+  // table's match kinds actually consult (exact: value; ternary/lpm:
+  // mask and masked value; range: bounds). Returns count.
   int remove_if_key_equals(const std::vector<KeyPattern>& patterns);
-  void clear() { entries_.clear(); }
+  void clear();
   std::size_t size() const { return entries_.size(); }
   const std::vector<TableEntry>& entries() const { return entries_; }
 
   // Highest-priority matching entry, or nullptr on miss. Ties broken by
-  // insertion order (earlier wins), like most switch runtimes.
+  // insertion order (earlier wins), like most switch runtimes. Served by
+  // the index; bit-identical to lookup_linear_reference().
   const TableEntry* lookup(const std::vector<BitVec>& key) const;
+
+  // The original O(entries) scan, kept as the semantic reference for
+  // differential testing and as the baseline in bench/table_scale.
+  const TableEntry* lookup_linear_reference(
+      const std::vector<BitVec>& key) const;
 
   // For keyless "config" tables: the default action data.
   void set_default(std::vector<BitVec> action_data);
@@ -76,11 +100,57 @@ class Table {
 
  private:
   static bool matches(const KeyPattern& p, MatchKind kind, const BitVec& v);
+  static bool pattern_equal(MatchKind kind, const KeyPattern& a,
+                            const KeyPattern& b);
+  // Top-`len` bits of a `width`-bit field.
+  static std::uint64_t prefix_mask(int width, int len);
+
+  struct FlatKeyHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& v) const;
+  };
+  using FlatMap = std::unordered_map<std::vector<std::uint64_t>, std::uint32_t,
+                                     FlatKeyHash>;
+
+  // Per-field classification of an entry's pattern against the table spec.
+  struct FieldClass {
+    bool pins_single_key = false;  // matches exactly one flattened key value
+    bool lpm_general = false;      // contiguous partial prefix on an LPM field
+    int prefix = 0;                // valid when lpm_general
+    std::uint64_t bits = 0;        // valid when pins_single_key
+  };
+  static FieldClass classify_field(const KeyPattern& p,
+                                   const MatchFieldSpec& spec);
+
+  // True when entry `a` beats entry `b` under the reference semantics
+  // (higher priority, ties to the earlier-inserted = lower index).
+  bool better(std::uint32_t a, std::uint32_t b) const;
+  bool could_beat(std::uint32_t a, std::uint32_t b) const;
+  void index_entry(std::uint32_t idx);
+  void rebuild_index();
+  void invalidate_cache() const { cache_state_ = CacheState::kInvalid; }
+  // Flattens `key` into raw_scratch_ (raw values, for the cache) and
+  // flat_scratch_ (per-spec-masked values, for the hash probes).
+  void flatten_key(const std::vector<BitVec>& key) const;
 
   std::string name_;
   std::vector<MatchFieldSpec> key_spec_;
   std::vector<TableEntry> entries_;
   std::vector<BitVec> default_data_;
+
+  // ---- index (maintained by insert; rebuilt after removal) --------------
+  int lpm_field_ = -1;  // position of the table's single LPM field, or -1
+  FlatMap exact_;
+  // prefix length -> hash map over (pinned fields ++ masked LPM field).
+  std::map<int, FlatMap, std::greater<int>> lpm_;
+  std::vector<std::uint32_t> residue_;  // sorted: priority desc, index asc
+
+  // ---- per-lookup scratch + last-hit cache (single-threaded sim) --------
+  enum class CacheState { kInvalid, kValid };
+  mutable std::vector<std::uint64_t> raw_scratch_;
+  mutable std::vector<std::uint64_t> flat_scratch_;
+  mutable std::vector<std::uint64_t> cache_key_;
+  mutable std::int64_t cache_idx_ = -1;  // entry index, or -1 for miss
+  mutable CacheState cache_state_ = CacheState::kInvalid;
 };
 
 }  // namespace hydra::p4rt
