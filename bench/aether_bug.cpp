@@ -5,6 +5,7 @@
 //
 //   $ ./aether_bug
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "aether/controller.hpp"
@@ -22,6 +23,8 @@ struct Outcome {
   std::uint64_t silently_dropped = 0;
   std::uint64_t hydra_reports = 0;
   std::uint64_t new_client_ok = 0;
+  // One representative report, showing the flow identity Hydra attaches.
+  std::string sample_report;
 };
 
 Outcome run(int old_clients) {
@@ -81,6 +84,13 @@ Outcome run(int old_clients) {
   for (const auto& [ue, teid] : ues) uplink(ue, teid, 81);
   out.silently_dropped = upf->termination_drops() - drops0;
   out.hydra_reports = net.reports().size() - reports0;
+  if (net.reports().size() > reports0) {
+    const net::ReportRecord& r = net.reports()[reports0];
+    out.sample_report = "checker=" + r.checker +
+                        " switch=" + net.topo().node(r.switch_id).name +
+                        " flow=" + r.flow.to_string() +
+                        " hop=" + std::to_string(r.hop_count);
+  }
   return out;
 }
 
@@ -93,15 +103,20 @@ int main() {
   std::printf("%12s %14s %18s %14s\n", "old clients", "new client ok",
               "silently dropped", "Hydra reports");
   bool all_detected = true;
+  std::string sample;
   for (int n : {1, 2, 4, 8, 16}) {
     const Outcome o = run(n);
     std::printf("%12d %14llu %18llu %14llu\n", o.old_clients,
                 static_cast<unsigned long long>(o.new_client_ok),
                 static_cast<unsigned long long>(o.silently_dropped),
                 static_cast<unsigned long long>(o.hydra_reports));
+    if (sample.empty()) sample = o.sample_report;
     all_detected = all_detected &&
                    o.silently_dropped == static_cast<std::uint64_t>(n) &&
                    o.hydra_reports == o.silently_dropped;
+  }
+  if (!sample.empty()) {
+    std::printf("\nsample report: %s\n", sample.c_str());
   }
   std::printf("\n%s\n",
               all_detected

@@ -8,9 +8,11 @@
 // to 1 s of simulated time with a 2 ms ping interval (500 samples) under
 // the same kind of bidirectional UDP background load over ECMP.
 //
-//   $ ./fig12_latency
+//   $ ./fig12_latency [--json BENCH_fig12.json]
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "forwarding/ipv4_ecmp.hpp"
@@ -158,9 +160,44 @@ void print_cdf(const char* label, const std::vector<double>& rtts_ms) {
   std::printf("\n");
 }
 
+void write_summary(std::FILE* f, const char* name, const stats::Summary& s,
+                   std::uint64_t background_pkts, const char* trailer) {
+  std::fprintf(f,
+               "    \"%s\": {\"samples\": %zu, \"mean_ms\": %.4f, "
+               "\"stddev_ms\": %.4f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, "
+               "\"p99_ms\": %.4f, \"background_pkts\": %llu}%s\n",
+               name, s.count, s.mean, s.stddev, s.p50, s.p90, s.p99,
+               static_cast<unsigned long long>(background_pkts), trailer);
+}
+
+void write_json(const std::string& path, const stats::Summary& sb,
+                const stats::Summary& sf, std::uint64_t base_pkts,
+                std::uint64_t full_pkts, const stats::TTest& t) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig12_latency\",\n  \"rtt\": {\n");
+  write_summary(f, "baseline", sb, base_pkts, ",");
+  write_summary(f, "all_checkers", sf, full_pkts, "");
+  std::fprintf(f,
+               "  },\n  \"t_test\": {\"t\": %.4f, \"df\": %.2f, "
+               "\"p_value\": %.4f, \"significant\": %s}\n}\n",
+               t.t, t.df, t.p_value, t.p_value <= 0.05 ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   std::printf("Figure 12: performance overhead of Hydra (simulated "
               "testbed; %g s, ping every %g ms, %g Gb/s x4 background)\n\n",
               kDuration, kPingInterval * 1e3, kFlowGbps);
@@ -201,5 +238,9 @@ int main() {
                   ? "no statistically significant latency difference "
                     "(matches the paper)"
                   : "SIGNIFICANT DIFFERENCE (paper reports none)");
+  if (!json_path.empty()) {
+    write_json(json_path, sb, sf, base.background_pkts, full.background_pkts,
+               t);
+  }
   return 0;
 }

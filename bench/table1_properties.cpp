@@ -2,14 +2,23 @@
 // LoC, and the Tofino-model resource estimate (pipeline stages and PHV%)
 // when linked against the Aether fabric-upf baseline.
 //
-//   $ ./table1_properties
+//   $ ./table1_properties [--json BENCH_table1.json]
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "checkers/library.hpp"
 #include "compiler/compile.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   const auto baseline = compiler::fabric_upf_profile();
 
   std::printf("Table 1: Hydra properties (baseline: Aether %s profile)\n\n",
@@ -19,12 +28,23 @@ int main() {
   std::printf("%-32s %12s %12s %8d %9.2f\n", "Baseline", "-", "-",
               baseline.stages, baseline.phv_percent);
 
+  struct Row {
+    std::string name;
+    int indus_loc;
+    int p4_loc;
+    int stages;
+    double phv;
+    bool fits;
+  };
+  std::vector<Row> rows;
   bool all_fit = true;
   for (const auto& spec : checkers::table1_checkers()) {
     const auto c = compiler::compile_checker(spec.source, spec.name);
     std::printf("%-32s %12d %12d %8d %9.2f\n", spec.name.c_str(),
                 c.indus_loc, c.p4_loc, c.linked.stages,
                 c.linked.phv_percent);
+    rows.push_back({spec.name, c.indus_loc, c.p4_loc, c.linked.stages,
+                    c.linked.phv_percent, c.linked.fits});
     all_fit = all_fit && c.linked.fits;
   }
 
@@ -33,13 +53,40 @@ int main() {
               "(parallel placement): %s\n",
               all_fit ? "yes" : "NO");
   double min_ratio = 1e9;
-  for (const auto& spec : checkers::table1_checkers()) {
-    const auto c = compiler::compile_checker(spec.source, spec.name);
+  for (const auto& r : rows) {
     min_ratio = std::min(
-        min_ratio, static_cast<double>(c.p4_loc) /
-                       static_cast<double>(c.indus_loc));
+        min_ratio,
+        static_cast<double>(r.p4_loc) / static_cast<double>(r.indus_loc));
   }
   std::printf("  * Indus is consistently more concise than generated P4 "
               "(min expansion %.1fx)\n", min_ratio);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"table1_properties\",\n"
+                 "  \"baseline\": {\"name\": \"%s\", \"stages\": %d, "
+                 "\"phv_percent\": %.2f},\n  \"checkers\": [\n",
+                 baseline.name.c_str(), baseline.stages,
+                 baseline.phv_percent);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"indus_loc\": %d, \"p4_loc\": "
+                   "%d, \"stages\": %d, \"phv_percent\": %.2f, \"fits\": "
+                   "%s}%s\n",
+                   r.name.c_str(), r.indus_loc, r.p4_loc, r.stages, r.phv,
+                   r.fits ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"all_fit\": %s,\n  \"min_expansion\": %.2f\n}\n",
+                 all_fit ? "true" : "false", min_ratio);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return all_fit ? 0 : 1;
 }

@@ -2,7 +2,12 @@
 // and without Hydra, plus the campus-trace replay at 350 Kpps (Figure 13's
 // workload) through leaf1.
 //
-//   $ ./throughput [--json BENCH_throughput.json]
+//   $ ./throughput [--json BENCH_throughput.json] [--obs]
+//
+// --obs enables the observability layer (metrics registry wired through
+// every table/interpreter/switch) for all runs; the output schema is
+// unchanged, so comparing a --obs run against a plain run measures the
+// instrumentation overhead.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -37,12 +42,15 @@ void deploy_everything(net::Network& net, const net::LeafSpine& fabric) {
   net.deploy(compile_library_checker("application_filtering"));
 }
 
+bool g_obs = false;  // --obs: run with the observability layer enabled
+
 Result iperf_run(bool with_checkers, double duration) {
   auto fabric = net::make_leaf_spine(2, 2, 2);
   net::Network net(fabric.topo);
   fwd::install_leaf_spine_routing(net, fabric);
   net.set_baseline_profile(compiler::fabric_upf_profile());
   if (with_checkers) deploy_everything(net, fabric);
+  if (g_obs) net.set_observability(true);
 
   // Two 10 Gb/s flows (one per host pair): 20 Gb/s offered in aggregate,
   // the rate the paper's microbenchmark reaches.
@@ -68,6 +76,7 @@ Result campus_run(bool with_checkers, double duration) {
   net::Network net(fabric.topo);
   auto routing = fwd::install_leaf_spine_routing(net, fabric);
   if (with_checkers) deploy_everything(net, fabric);
+  if (g_obs) net.set_observability(true);
 
   // Figure 13 pipeline: the mirrored traffic passes a line-rate
   // prefix-preserving anonymizer at the broker switch (leaf1) before
@@ -140,10 +149,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      g_obs = true;
     }
   }
   std::printf("Throughput comparison (paper §6.2: 'almost identical with "
-              "around 20 Gb/s')\n\n");
+              "around 20 Gb/s')%s\n\n",
+              g_obs ? " [observability ON]" : "");
 
   const double dur = 0.05;
   const Result b = iperf_run(false, dur);

@@ -124,6 +124,8 @@ int main() {
                   static_cast<std::uint32_t>(r.values[2].value())).c_str(),
               static_cast<unsigned long long>(r.values[3].value()),
               r.values[4].value() == 2 ? "allow" : "deny");
+  std::printf("  flow=%s  (reported at hop %d of the packet's journey)\n",
+              r.flow.to_string().c_str(), r.hop_count);
   std::printf("\nthe checker saw 'intended allow' + 'to_be_dropped' and "
               "reported the inconsistency in real time -- a bug that is\n"
               "invisible to static checking because every individual table "

@@ -10,6 +10,7 @@ void Ipv4EcmpProgram::add_route(int switch_id, std::uint32_t prefix,
     throw std::invalid_argument("ECMP group must have at least one port");
   }
   PerSwitch& sw = switches_[switch_id];
+  if (sw.groups.empty()) sw.routes.attach_metrics(route_metrics_);
   const auto group_id = static_cast<std::uint64_t>(sw.groups.size());
   sw.groups.push_back(std::move(ports));
   p4rt::TableEntry e;
@@ -18,6 +19,18 @@ void Ipv4EcmpProgram::add_route(int switch_id, std::uint32_t prefix,
   e.action = "set_group";
   e.action_data.push_back(BitVec(32, group_id));
   sw.routes.insert(std::move(e));
+}
+
+void Ipv4EcmpProgram::attach_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    route_metrics_ = {};
+  } else {
+    route_metrics_.hits = registry->counter("fwd.ipv4_ecmp.routes.hits");
+    route_metrics_.misses = registry->counter("fwd.ipv4_ecmp.routes.misses");
+    route_metrics_.cache_hits =
+        registry->counter("fwd.ipv4_ecmp.routes.cache_hits");
+  }
+  for (auto& [id, sw] : switches_) sw.routes.attach_metrics(route_metrics_);
 }
 
 std::uint64_t Ipv4EcmpProgram::flow_hash(const p4rt::Packet& pkt) {

@@ -27,6 +27,9 @@ class Ipv4EcmpProgram : public net::ForwardingProgram {
 
   Decision process(p4rt::Packet& pkt, int in_port, int switch_id) override;
   std::string name() const override { return "ipv4-ecmp"; }
+  // Aggregates route-table lookups across every switch this program
+  // serves under fwd.ipv4_ecmp.routes.*.
+  void attach_metrics(obs::Registry* registry) override;
 
   // 5-tuple hash used for ECMP member selection (exposed for tests).
   static std::uint64_t flow_hash(const p4rt::Packet& pkt);
@@ -41,6 +44,7 @@ class Ipv4EcmpProgram : public net::ForwardingProgram {
     std::vector<std::vector<int>> groups;
   };
   std::map<int, PerSwitch> switches_;
+  p4rt::TableMetrics route_metrics_;  // shared by all per-switch tables
   std::uint64_t ttl_drops_ = 0;
   std::uint64_t miss_drops_ = 0;
 };

@@ -53,6 +53,23 @@ void UpfProgram::add_termination(std::uint32_t client_id,
       {BitVec::from_bool(allow)}, allow ? "forward" : "drop");
 }
 
+void UpfProgram::attach_metrics(obs::Registry* registry) {
+  const auto wire = [registry](p4rt::Table& table) {
+    p4rt::TableMetrics tm;
+    if (registry != nullptr) {
+      const std::string base = "fwd.upf." + table.name();
+      tm.hits = registry->counter(base + ".hits");
+      tm.misses = registry->counter(base + ".misses");
+      tm.cache_hits = registry->counter(base + ".cache_hits");
+    }
+    table.attach_metrics(tm);
+  };
+  wire(sessions_ul_);
+  wire(sessions_dl_);
+  wire(applications_);
+  wire(terminations_);
+}
+
 UpfProgram::Decision UpfProgram::process(p4rt::Packet& pkt, int in_port,
                                          int switch_id) {
   Decision d;

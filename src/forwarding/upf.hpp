@@ -53,6 +53,8 @@ class UpfProgram : public net::ForwardingProgram {
 
   Decision process(p4rt::Packet& pkt, int in_port, int switch_id) override;
   std::string name() const override { return "aether-upf"; }
+  // Registers all four UPF tables under fwd.upf.<table>.*.
+  void attach_metrics(obs::Registry* registry) override;
 
   std::uint64_t termination_drops() const { return termination_drops_; }
   std::uint64_t session_miss_drops() const { return session_miss_drops_; }

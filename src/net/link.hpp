@@ -33,6 +33,12 @@ class Link {
   // Mean offered load in Gb/s over [0, now].
   double throughput_gbps(int dir, double now) const;
 
+  // Fraction of [0, now] this direction spent serializing (0..1); the
+  // utilization figure the metrics snapshot exports per link.
+  double utilization(int dir, double now) const {
+    return now > 0.0 ? dirs_[dir].busy_time / now : 0.0;
+  }
+
   // Buffer capacity per direction; default 1 MiB, typical of a shallow
   // switch port buffer.
   void set_buffer_bytes(double bytes) { buffer_bytes_ = bytes; }

@@ -32,6 +32,9 @@ void Network::set_program(int switch_id,
     throw std::invalid_argument("node " + std::to_string(switch_id) +
                                 " is not a switch");
   }
+  if (obs_ != nullptr && prog != nullptr) {
+    prog->attach_metrics(&obs_->registry);
+  }
   programs_[static_cast<std::size_t>(switch_id)] = std::move(prog);
 }
 
@@ -54,6 +57,7 @@ int Network::deploy(
     }
   }
   deployments_.push_back(std::move(d));
+  if (obs_ != nullptr) wire_deployment_obs(deployments_.back());
   return static_cast<int>(deployments_.size()) - 1;
 }
 
@@ -150,6 +154,11 @@ void Network::send_from_host(int host_id, p4rt::Packet pkt) {
   pkt.created_at = events_.now();
   if (pkt.eth.src == 0) pkt.eth.src = h.mac();
   ++counters_.injected;
+  if (obs_ != nullptr && obs_->sampler && obs_->traces.has_capacity() &&
+      obs_->sampler(pkt)) {
+    obs_->traces.begin(pkt.id, events_.now(),
+                       p4rt::flow_of(pkt).to_string());
+  }
   transmit({host_id, 0}, std::move(pkt));
 }
 
@@ -164,6 +173,10 @@ void Network::transmit(PortRef from, p4rt::Packet pkt) {
       link.transmit(dir, events_.now(), packet_wire_bytes(pkt));
   if (!arrival) {
     ++counters_.queue_dropped;
+    if (obs_ != nullptr && obs_->traces.tracing()) {
+      obs_->traces.finish(pkt.id, obs::PacketFate::kQueueDropped,
+                          events_.now());
+    }
     return;
   }
   events_.schedule_at(*arrival,
@@ -176,6 +189,13 @@ void Network::node_receive(int node, int port, p4rt::Packet pkt) {
   const NodeSpec& spec = topo_.node(node);
   if (spec.kind == NodeKind::kHost) {
     ++counters_.delivered;
+    if (obs_ != nullptr) {
+      obs_->delivered_hops.observe(pkt.hops);
+      if (obs_->traces.tracing()) {
+        obs_->traces.finish(pkt.id, obs::PacketFate::kDelivered,
+                            events_.now());
+      }
+    }
     Host& h = hosts_[static_cast<std::size_t>(node)];
     auto reply = h.deliver(pkt, events_.now());
     if (reply) send_from_host(node, std::move(*reply));
@@ -189,12 +209,31 @@ void Network::node_receive(int node, int port, p4rt::Packet pkt) {
 }
 
 void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
+  ++pkt.hops;
   HopContext ctx;
   ctx.switch_id = sw;
   ctx.switch_tag = switch_tag(sw);
   ctx.in_port = in_port;
   ctx.first_hop = topo_.host_facing({sw, in_port});
   ctx.wire_bytes = packet_wire_bytes(pkt);
+
+  // Hop trace, recorded only for sampled packets (null otherwise; the
+  // untraced cost is one null check plus, while any trace is live, one
+  // hash probe on the packet id).
+  obs::TraceHop* hop = nullptr;
+  if (obs_ != nullptr && obs_->traces.tracing()) {
+    if (obs::PacketTrace* tr = obs_->traces.active(pkt.id)) {
+      tr->hops.emplace_back();
+      hop = &tr->hops.back();
+      hop->hop = pkt.hops;
+      hop->switch_id = sw;
+      hop->switch_name = topo_.node(sw).name;
+      hop->time = events_.now();
+      hop->in_port = in_port;
+      hop->first_hop = ctx.first_hop;
+      hop->wire_bytes = ctx.wire_bytes;
+    }
+  }
 
   auto resolver = [&pkt, &ctx](const std::string& ann, int width) {
     return resolve_header(pkt, ctx, ann, width);
@@ -204,6 +243,7 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
   if (ctx.first_hop) {
     for (std::size_t di = 0; di < deployments_.size(); ++di) {
       Deployment& d = deployments_[di];
+      d.init_runs.inc();
       d.interp->reset_store(d.scratch_vals);
       std::vector<BitVec>& vals = d.scratch_vals;
       p4rt::ExecOutcome& out = d.scratch_out;
@@ -215,10 +255,20 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
       p4rt::TeleFrame frame;
       frame.checker = static_cast<int>(di);
       d.interp->store_frame(vals, frame);
+      if (hop != nullptr) {
+        hop->checkers.push_back(
+            trace_checker_record(d, &frame, /*before=*/nullptr, out,
+                                 /*init=*/true, /*tele=*/false,
+                                 /*check=*/false));
+      }
       pkt.tele.push_back(std::move(frame));
+      d.reports.inc(out.reports.size());
       for (auto& r : out.reports) {
-        emit_report({static_cast<int>(di), d.checker->name, sw,
-                     events_.now(), std::move(r)});
+        ReportRecord rec{static_cast<int>(di), d.checker->name, sw,
+                         events_.now(), std::move(r)};
+        rec.flow = p4rt::flow_of(pkt);
+        rec.hop_count = pkt.hops;
+        emit_report(std::move(rec));
       }
     }
   }
@@ -247,6 +297,9 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
     Deployment& d = deployments_[di];
     p4rt::TeleFrame* frame = pkt.frame(static_cast<int>(di));
     if (frame == nullptr) continue;  // entered before deployment; skip
+    d.tele_runs.inc();
+    std::vector<BitVec> trace_before;  // traced packets only
+    if (hop != nullptr) trace_before = frame->values;
     d.interp->reset_store(d.scratch_vals);
     std::vector<BitVec>& vals = d.scratch_vals;
     d.interp->load_frame(*frame, vals);
@@ -259,9 +312,15 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
         ctx.last_hop ||
         d.checker->options.placement == compiler::CheckPlacement::kEveryHop;
     if (run_check) {
+      d.check_runs.inc();
       d.interp->run(d.checker->ir.check_block, vals, state, resolver, out);
     }
     d.interp->store_frame(vals, *frame);
+    if (hop != nullptr) {
+      hop->checkers.push_back(
+          trace_checker_record(d, frame, &trace_before, out,
+                               /*init=*/false, /*tele=*/true, run_check));
+    }
     if (wire_validation_) {
       const auto bytes = p4rt::serialize_frame(d.checker->layout,
                                                d.checker->ir, *frame);
@@ -277,9 +336,14 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
         }
       }
     }
+    if (out.reject) d.rejects.inc();
+    d.reports.inc(out.reports.size());
     for (auto& r : out.reports) {
-      emit_report({static_cast<int>(di), d.checker->name, sw, events_.now(),
-                   std::move(r)});
+      ReportRecord rec{static_cast<int>(di), d.checker->name, sw,
+                       events_.now(), std::move(r)};
+      rec.flow = p4rt::flow_of(pkt);
+      rec.hop_count = pkt.hops;
+      emit_report(std::move(rec));
     }
     rejected = rejected || out.reject;
   }
@@ -287,15 +351,235 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
   // Strip telemetry before the packet exits the network.
   if (ctx.last_hop) pkt.tele.clear();
 
+  if (hop != nullptr) {
+    hop->eg_port = ctx.eg_port;
+    hop->last_hop = ctx.last_hop;
+    hop->fwd_drop = ctx.fwd_drop;
+    hop->rejected = rejected;
+    hop->forwarding = prog != nullptr ? prog->name() : "none";
+  }
+
   if (decision.drop) {
     ++counters_.fwd_dropped;
+    if (obs_ != nullptr) {
+      obs_->switches[static_cast<std::size_t>(sw)].fwd_dropped.inc();
+      if (obs_->traces.tracing()) {
+        obs_->traces.finish(pkt.id, obs::PacketFate::kFwdDropped,
+                            events_.now());
+      }
+    }
     return;
   }
   if (rejected) {
     ++counters_.rejected;
+    if (obs_ != nullptr) {
+      obs_->switches[static_cast<std::size_t>(sw)].rejected.inc();
+      if (obs_->traces.tracing()) {
+        obs_->traces.finish(pkt.id, obs::PacketFate::kRejected,
+                            events_.now());
+      }
+    }
     return;
   }
+  if (obs_ != nullptr) {
+    obs_->switches[static_cast<std::size_t>(sw)].forwarded.inc();
+  }
   transmit({sw, decision.eg_port}, std::move(pkt));
+}
+
+// ---- observability --------------------------------------------------------
+
+obs::CheckerHopRecord Network::trace_checker_record(
+    const Deployment& d, const p4rt::TeleFrame* after,
+    const std::vector<BitVec>* before, const p4rt::ExecOutcome& out,
+    bool init, bool tele, bool check) const {
+  obs::CheckerHopRecord rec;
+  rec.checker = d.checker->name;
+  rec.ran_init = init;
+  rec.ran_tele = tele;
+  rec.ran_check = check;
+  rec.reject = out.reject;
+  for (const auto& r : out.reports) {
+    std::vector<std::uint64_t> payload;
+    payload.reserve(r.size());
+    for (const auto& v : r) payload.push_back(v.value());
+    rec.reports.push_back(std::move(payload));
+  }
+  const ir::CheckerIR& ir = d.checker->ir;
+  for (std::size_t i = 0; i < ir.fields.size(); ++i) {
+    if (ir.fields[i].space != ir::Space::kTele) continue;
+    obs::TraceFieldValue fv;
+    fv.name = ir.fields[i].name;
+    fv.before = before != nullptr && i < before->size()
+                    ? (*before)[i].value()
+                    : 0;
+    fv.after = after != nullptr && i < after->values.size()
+                   ? after->values[i].value()
+                   : 0;
+    rec.tele.push_back(std::move(fv));
+  }
+  return rec;
+}
+
+void Network::wire_deployment_obs(Deployment& d) {
+  obs::Registry& reg = obs_->registry;
+  const std::string& cn = d.checker->name;
+  d.init_runs = reg.counter("checker." + cn + ".init_runs");
+  d.tele_runs = reg.counter("checker." + cn + ".tele_runs");
+  d.check_runs = reg.counter("checker." + cn + ".check_runs");
+  d.rejects = reg.counter("checker." + cn + ".rejects");
+  d.reports = reg.counter("checker." + cn + ".reports");
+
+  p4rt::InterpMetrics im;
+  im.instructions = reg.counter("p4rt.interp." + cn + ".instructions");
+  im.table_lookups = reg.counter("p4rt.interp." + cn + ".table_lookups");
+  im.reg_reads = reg.counter("p4rt.interp." + cn + ".reg_reads");
+  im.reg_writes = reg.counter("p4rt.interp." + cn + ".reg_writes");
+  d.interp->attach_metrics(im);
+
+  // One aggregate counter set per checker table, shared by every switch's
+  // instance of that table.
+  for (std::size_t t = 0; t < d.checker->ir.tables.size(); ++t) {
+    const std::string base =
+        "p4rt.table." + cn + "." + d.checker->ir.tables[t].name;
+    p4rt::TableMetrics tm;
+    tm.hits = reg.counter(base + ".hits");
+    tm.misses = reg.counter(base + ".misses");
+    tm.cache_hits = reg.counter(base + ".cache_hits");
+    for (auto& state : d.per_switch) {
+      if (t < state.tables.size()) state.tables[t].attach_metrics(tm);
+    }
+  }
+}
+
+void Network::detach_deployment_obs(Deployment& d) {
+  d.init_runs = {};
+  d.tele_runs = {};
+  d.check_runs = {};
+  d.rejects = {};
+  d.reports = {};
+  d.interp->attach_metrics({});
+  for (auto& state : d.per_switch) {
+    for (auto& table : state.tables) table.attach_metrics({});
+  }
+}
+
+void Network::set_observability(bool enabled) {
+  if (enabled == (obs_ != nullptr)) return;
+  if (!enabled) {
+    // Detach every handle before the registry (which owns the slots the
+    // handles point into) is destroyed.
+    for (auto& d : deployments_) detach_deployment_obs(d);
+    for (auto& prog : programs_) {
+      if (prog != nullptr) prog->attach_metrics(nullptr);
+    }
+    obs_.reset();
+    return;
+  }
+  obs_ = std::make_unique<ObsState>();
+  obs::Registry& reg = obs_->registry;
+  obs_->switches.resize(static_cast<std::size_t>(topo_.node_count()));
+  for (int i = 0; i < topo_.node_count(); ++i) {
+    if (topo_.node(i).kind != NodeKind::kSwitch) continue;
+    const std::string base = "net.switch." + topo_.node(i).name;
+    auto& c = obs_->switches[static_cast<std::size_t>(i)];
+    c.forwarded = reg.counter(base + ".forwarded");
+    c.fwd_dropped = reg.counter(base + ".fwd_dropped");
+    c.rejected = reg.counter(base + ".rejected");
+  }
+  obs_->delivered_hops = reg.histogram(
+      "net.delivered.hops", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0});
+  for (auto& d : deployments_) wire_deployment_obs(d);
+  for (auto& prog : programs_) {
+    // Shared program instances are wired repeatedly; attach_metrics is
+    // idempotent by contract.
+    if (prog != nullptr) prog->attach_metrics(&reg);
+  }
+}
+
+obs::Registry& Network::metrics() {
+  if (obs_ == nullptr) {
+    throw std::logic_error(
+        "observability is off; call set_observability(true) first");
+  }
+  return obs_->registry;
+}
+
+obs::TraceSink& Network::trace_sink() {
+  if (obs_ == nullptr) {
+    throw std::logic_error(
+        "observability is off; call set_observability(true) first");
+  }
+  return obs_->traces;
+}
+
+void Network::set_trace_sampler(TraceSampler sampler) {
+  set_observability(true);
+  obs_->sampler = std::move(sampler);
+}
+
+void Network::trace_next(std::size_t n) {
+  set_trace_sampler([left = n](const p4rt::Packet&) mutable {
+    if (left == 0) return false;
+    --left;
+    return true;
+  });
+}
+
+void Network::collect_metrics() {
+  obs::Registry& reg = metrics();
+  const double now = events_.now();
+  reg.gauge("net.time_s").set(now);
+  reg.gauge("net.packets.injected")
+      .set(static_cast<double>(counters_.injected));
+  reg.gauge("net.packets.delivered")
+      .set(static_cast<double>(counters_.delivered));
+  reg.gauge("net.packets.rejected")
+      .set(static_cast<double>(counters_.rejected));
+  reg.gauge("net.packets.fwd_dropped")
+      .set(static_cast<double>(counters_.fwd_dropped));
+  reg.gauge("net.packets.queue_dropped")
+      .set(static_cast<double>(counters_.queue_dropped));
+
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    const LinkSpec& spec = links_[li].spec();
+    for (int dir = 0; dir < 2; ++dir) {
+      const PortRef from = dir == 0 ? spec.a : spec.b;
+      const PortRef to = dir == 0 ? spec.b : spec.a;
+      const std::string base = "net.link." + topo_.node(from.node).name +
+                               ":" + std::to_string(from.port) + "->" +
+                               topo_.node(to.node).name + ":" +
+                               std::to_string(to.port);
+      const Link::DirStats& s = links_[li].stats(dir);
+      reg.gauge(base + ".packets").set(static_cast<double>(s.packets));
+      reg.gauge(base + ".bytes").set(static_cast<double>(s.bytes));
+      reg.gauge(base + ".drops").set(static_cast<double>(s.drops));
+      reg.gauge(base + ".utilization").set(links_[li].utilization(dir, now));
+    }
+  }
+
+  for (const auto& d : deployments_) {
+    for (std::size_t t = 0; t < d.checker->ir.tables.size(); ++t) {
+      std::size_t entries = 0;
+      for (const auto& state : d.per_switch) {
+        if (t < state.tables.size()) entries += state.tables[t].size();
+      }
+      reg.gauge("p4rt.table." + d.checker->name + "." +
+                d.checker->ir.tables[t].name + ".entries")
+          .set(static_cast<double>(entries));
+    }
+  }
+}
+
+std::string Network::metrics_json() {
+  collect_metrics();
+  return obs_->registry.to_json();
+}
+
+void Network::reset_observability() {
+  if (obs_ == nullptr) return;
+  obs_->registry.reset();
+  obs_->traces.clear();
 }
 
 }  // namespace hydra::net

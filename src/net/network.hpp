@@ -23,6 +23,8 @@
 #include "net/link.hpp"
 #include "net/switch_node.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "p4rt/interp.hpp"
 
 namespace hydra::net {
@@ -33,6 +35,11 @@ struct ReportRecord {
   int switch_id = -1;
   double time = 0.0;
   std::vector<BitVec> values;
+  // Identity of the packet that triggered the report (inner flow when
+  // tunneled) and how many switches it had traversed, so a report is
+  // actionable without attaching a debugger to the simulation.
+  p4rt::FlowId flow;
+  int hop_count = 0;
 };
 
 class Network {
@@ -69,8 +76,16 @@ class Network {
   p4rt::RegisterArray& checker_register(int deployment, int switch_id,
                                         const std::string& var);
 
+  // Reset semantics (each reset clears exactly one concern):
+  //   * clear_reports()            — drops stored ReportRecords. Subscribed
+  //     callbacks and all switch state (tables, registers) are untouched.
+  //   * clear_report_subscribers() — drops the callbacks only.
+  //   * reset_observability()      — zeroes every metric value and drops
+  //     recorded packet traces; registrations, the sampler, and switch
+  //     state survive. No-op while observability is off.
   const std::vector<ReportRecord>& reports() const { return reports_; }
   void clear_reports() { reports_.clear(); }
+  void clear_report_subscribers() { report_callbacks_.clear(); }
 
   // Push-based report delivery: callbacks fire at the simulation time the
   // report is raised (the switch-to-controller digest channel). Callbacks
@@ -112,6 +127,37 @@ class Network {
   // processing; intended for tests and validation runs.
   void set_wire_validation(bool enabled) { wire_validation_ = enabled; }
 
+  // ---- observability ----------------------------------------------------
+  // Off by default, and off means free: instrumented components hold
+  // detached obs handles, so the only per-packet cost is a handful of
+  // predictable null-check branches. Enabling wires counters through every
+  // layer — per-table lookup hits/misses, interpreter instruction counts,
+  // per-switch forwarded/dropped/rejected, per-checker block-run and
+  // verdict counts — and arms the packet trace sampler. Disabling detaches
+  // every handle again before the registry is destroyed.
+  void set_observability(bool enabled);
+  bool observability_enabled() const { return obs_ != nullptr; }
+
+  // Both throw std::logic_error while observability is off.
+  obs::Registry& metrics();
+  obs::TraceSink& trace_sink();
+
+  // Pull-model metrics (per-link bytes/packets/drops/utilization, table
+  // entry counts, simulation totals) are gauges refreshed by
+  // collect_metrics(); hot-path counters are always current.
+  void collect_metrics();
+  std::string metrics_json();  // collect_metrics() + registry export
+
+  // Packets for which `sampler` returns true at injection are traced hop
+  // by hop until the trace sink's capacity is reached. Implicitly enables
+  // observability.
+  using TraceSampler = std::function<bool(const p4rt::Packet&)>;
+  void set_trace_sampler(TraceSampler sampler);
+  // Convenience sampler: trace the next `n` injected packets.
+  void trace_next(std::size_t n);
+
+  void reset_observability();
+
  private:
   struct Deployment {
     std::shared_ptr<const compiler::CompiledChecker> checker;
@@ -122,7 +168,37 @@ class Network {
     // allocate (packets are processed one at a time per deployment).
     std::vector<BitVec> scratch_vals;
     p4rt::ExecOutcome scratch_out;
+    // Observability handles; detached while observability is off.
+    obs::Counter init_runs;
+    obs::Counter tele_runs;
+    obs::Counter check_runs;
+    obs::Counter rejects;
+    obs::Counter reports;
   };
+
+  struct SwitchObsCounters {
+    obs::Counter forwarded;
+    obs::Counter fwd_dropped;
+    obs::Counter rejected;
+  };
+
+  struct ObsState {
+    obs::Registry registry;
+    obs::TraceSink traces;
+    TraceSampler sampler;
+    std::vector<SwitchObsCounters> switches;  // indexed by node id
+    obs::Histogram delivered_hops;
+  };
+
+  void wire_deployment_obs(Deployment& d);
+  void detach_deployment_obs(Deployment& d);
+  // Builds one checker's trace record for the current hop. `before` holds
+  // the telemetry values entering the hop (nullptr for the init run, whose
+  // "before" is the zeroed fresh frame).
+  obs::CheckerHopRecord trace_checker_record(
+      const Deployment& d, const p4rt::TeleFrame* after,
+      const std::vector<BitVec>* before, const p4rt::ExecOutcome& out,
+      bool init, bool tele, bool check) const;
 
   void node_receive(int node, int port, p4rt::Packet pkt);
   void switch_process(int sw, int in_port, p4rt::Packet pkt);
@@ -147,6 +223,7 @@ class Network {
   double per_stage_s_ = 5e-8;
   std::uint64_t next_packet_id_ = 1;
   bool wire_validation_ = false;
+  std::unique_ptr<ObsState> obs_;  // null while observability is off
 };
 
 }  // namespace hydra::net

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "p4rt/packet.hpp"
 #include "util/bitvec.hpp"
 
@@ -48,6 +49,13 @@ class ForwardingProgram {
   virtual Decision process(p4rt::Packet& pkt, int in_port,
                            int switch_id) = 0;
   virtual std::string name() const = 0;
+
+  // Observability hook: register this program's match-action tables (and
+  // any other hot-path counters) with `registry`; a nullptr detaches every
+  // handle. Called by the network when observability toggles, and again
+  // for programs installed afterwards — implementations must be
+  // idempotent. Default: the program exposes no metrics.
+  virtual void attach_metrics(obs::Registry* registry) { (void)registry; }
 };
 
 }  // namespace hydra::net

@@ -1,0 +1,183 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hydra::obs {
+
+namespace {
+
+// Shortest-roundtrip float formatting; %.17g would round-trip too but
+// litters exports with noise digits, so try increasing precision.
+std::string format_double(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) const {
+  if (data_ == nullptr) return;
+  std::size_t b = 0;
+  while (b < data_->bounds.size() && v > data_->bounds[b]) ++b;
+  ++data_->buckets[b];
+  ++data_->count;
+  data_->sum += v;
+}
+
+const Registry::Meta& Registry::require(const std::string& name, Kind kind) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != kind) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another kind");
+    }
+    return it->second;
+  }
+  Meta m;
+  m.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      m.slot = counters_.size();
+      counters_.push_back(0);
+      break;
+    case Kind::kGauge:
+      m.slot = gauges_.size();
+      gauges_.push_back(0.0);
+      break;
+    case Kind::kHistogram:
+      m.slot = histograms_.size();
+      histograms_.emplace_back();
+      break;
+  }
+  return by_name_.emplace(name, m).first->second;
+}
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(&counters_[require(name, Kind::kCounter).slot]);
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  return Gauge(&gauges_[require(name, Kind::kGauge).slot]);
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<double> bounds) {
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      throw std::invalid_argument("histogram '" + name +
+                                  "': bounds must be ascending");
+    }
+  }
+  const bool fresh = by_name_.find(name) == by_name_.end();
+  HistogramData& h = histograms_[require(name, Kind::kHistogram).slot];
+  if (fresh) {
+    h.bounds = std::move(bounds);
+    h.buckets.assign(h.bounds.size() + 1, 0);
+  }
+  return Histogram(&h);
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != Kind::kCounter) return 0;
+  return counters_[it->second.slot];
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != Kind::kGauge) return 0.0;
+  return gauges_[it->second.slot];
+}
+
+void Registry::reset() {
+  for (auto& c : counters_) c = 0;
+  for (auto& g : gauges_) g = 0.0;
+  for (auto& h : histograms_) {
+    h.buckets.assign(h.bounds.size() + 1, 0);
+    h.count = 0;
+    h.sum = 0.0;
+  }
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, m] : by_name_) {
+    if (m.kind != Kind::kCounter) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(counters_[m.slot]);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, m] : by_name_) {
+    if (m.kind != Kind::kGauge) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + format_double(gauges_[m.slot]);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, m] : by_name_) {
+    if (m.kind != Kind::kHistogram) continue;
+    const HistogramData& h = histograms_[m.slot];
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += format_double(h.bounds[i]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + format_double(h.sum) + "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string Registry::to_csv() const {
+  std::string out = "kind,name,field,value\n";
+  for (const auto& [name, m] : by_name_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += "counter," + name + ",value," +
+               std::to_string(counters_[m.slot]) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge," + name + ",value," + format_double(gauges_[m.slot]) +
+               "\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramData& h = histograms_[m.slot];
+        out += "histogram," + name + ",count," + std::to_string(h.count) +
+               "\n";
+        out += "histogram," + name + ",sum," + format_double(h.sum) + "\n";
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+          const std::string label =
+              i < h.bounds.size() ? "le_" + format_double(h.bounds[i])
+                                  : "le_inf";
+          out += "histogram," + name + "," + label + "," +
+                 std::to_string(h.buckets[i]) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hydra::obs

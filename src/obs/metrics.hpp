@@ -1,0 +1,128 @@
+// Metrics registry — the measurement substrate for the runtime.
+//
+// Designed around one constraint: the packet hot path must not pay for
+// observability it did not ask for. Instrumented components hold *handles*
+// (Counter / Gauge / Histogram), which are a single raw pointer into
+// registry-owned storage. A default-constructed handle is detached
+// (nullptr) and every operation on it is one predictable branch — that is
+// the entire disabled-path cost. When a Registry hands out a handle, the
+// increment is a direct pointer write with no lock, no lookup, and no
+// allocation (the simulator, like the pipeline it models, is
+// single-threaded).
+//
+// Slots live in deques so handles stay valid as more metrics register.
+// Registration is idempotent: asking for the same name (and kind) again
+// returns a handle to the same slot, so independently-wired components can
+// share an aggregate counter. Snapshots iterate names in sorted order, so
+// exports are deterministic regardless of registration order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hydra::obs {
+
+class Registry;
+
+// Monotonic event count (table hits, packets forwarded, rejects...).
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const {
+    if (slot_ != nullptr) *slot_ += n;
+  }
+  std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+  bool attached() const { return slot_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+  std::uint64_t* slot_ = nullptr;
+};
+
+// Point-in-time level (entry counts, utilization). Set, not accumulated.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const {
+    if (slot_ != nullptr) *slot_ = v;
+  }
+  void add(double v) const {
+    if (slot_ != nullptr) *slot_ += v;
+  }
+  double value() const { return slot_ != nullptr ? *slot_ : 0.0; }
+  bool attached() const { return slot_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(double* slot) : slot_(slot) {}
+  double* slot_ = nullptr;
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+// order; one overflow bucket is implicit. No rebinning ever happens, so
+// observe() is a linear probe over a handful of bounds.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const;
+  std::uint64_t count() const { return data_ != nullptr ? data_->count : 0; }
+  double sum() const { return data_ != nullptr ? data_->sum : 0.0; }
+  const HistogramData* data() const { return data_; }
+  bool attached() const { return data_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramData* data) : data_(data) {}
+  HistogramData* data_ = nullptr;
+};
+
+class Registry {
+ public:
+  // Registering an existing name returns a handle to the existing slot;
+  // registering it as a different kind throws std::invalid_argument.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  // `bounds` must be ascending; ignored if `name` is already registered.
+  Histogram histogram(const std::string& name, std::vector<double> bounds);
+
+  std::size_t size() const { return by_name_.size(); }
+  // Point reads by name for tests and tools; 0 when absent.
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+
+  // Zeroes every value but keeps all registrations (handles stay valid).
+  void reset();
+
+  // Deterministic exports: names sorted, stable float formatting.
+  // JSON: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string to_json() const;
+  // CSV: kind,name,field,value — histograms expand to one row per bucket.
+  std::string to_csv() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Meta {
+    Kind kind = Kind::kCounter;
+    std::size_t slot = 0;
+  };
+
+  const Meta& require(const std::string& name, Kind kind);
+
+  std::map<std::string, Meta> by_name_;  // ordered => deterministic export
+  std::deque<std::uint64_t> counters_;
+  std::deque<double> gauges_;
+  std::deque<HistogramData> histograms_;
+};
+
+}  // namespace hydra::obs

@@ -141,6 +141,7 @@ BitVec Interp::eval(const ir::RValue& rv, std::vector<BitVec>& vals,
 void Interp::exec(const ir::Instr& instr, std::vector<BitVec>& vals,
                   CheckerState& state, const HeaderResolver& hdr,
                   ExecOutcome& out) const {
+  metrics_.instructions.inc();
   switch (instr.kind) {
     case ir::InstrKind::kAssign: {
       const ir::Field& f = ir_.field(instr.dst);
@@ -149,6 +150,7 @@ void Interp::exec(const ir::Instr& instr, std::vector<BitVec>& vals,
       return;
     }
     case ir::InstrKind::kTableLookup: {
+      metrics_.table_lookups.inc();
       const ir::Table& spec = ir_.tables[static_cast<std::size_t>(instr.table)];
       Table& table = state.tables[static_cast<std::size_t>(instr.table)];
       const std::vector<BitVec>* action_data = nullptr;
@@ -182,10 +184,12 @@ void Interp::exec(const ir::Instr& instr, std::vector<BitVec>& vals,
       return;
     }
     case ir::InstrKind::kRegRead:
+      metrics_.reg_reads.inc();
       vals[static_cast<std::size_t>(instr.dst.id)] =
           state.registers[static_cast<std::size_t>(instr.reg)].read(0);
       return;
     case ir::InstrKind::kRegWrite:
+      metrics_.reg_writes.inc();
       state.registers[static_cast<std::size_t>(instr.reg)].write(
           0, eval(*instr.value, vals, hdr));
       return;

@@ -34,6 +34,15 @@ struct ExecOutcome {
   std::vector<std::vector<BitVec>> reports;
 };
 
+// Hot-path execution counters. Detached (free) by default; one branch per
+// event when detached, a direct pointer bump when attached.
+struct InterpMetrics {
+  obs::Counter instructions;   // IR instructions executed (incl. if-bodies)
+  obs::Counter table_lookups;  // kTableLookup instructions
+  obs::Counter reg_reads;
+  obs::Counter reg_writes;
+};
+
 class Interp {
  public:
   explicit Interp(const ir::CheckerIR& ir) : ir_(ir) {}
@@ -53,6 +62,8 @@ class Interp {
            CheckerState& state, const HeaderResolver& hdr,
            ExecOutcome& out) const;
 
+  void attach_metrics(const InterpMetrics& metrics) { metrics_ = metrics; }
+
  private:
   BitVec eval(const ir::RValue& rv, std::vector<BitVec>& vals,
               const HeaderResolver& hdr) const;
@@ -66,6 +77,7 @@ class Interp {
   // pure rvalues), so a single buffer is safe. The interpreter is
   // single-threaded per deployment, like the pipeline it models.
   mutable std::vector<BitVec> key_scratch_;
+  InterpMetrics metrics_;  // detached unless observability is wired
 };
 
 }  // namespace hydra::p4rt

@@ -1,6 +1,45 @@
 #include "p4rt/packet.hpp"
 
+#include "util/strings.hpp"
+
 namespace hydra::p4rt {
+
+std::string FlowId::to_string() const {
+  if (!parsed) return "<no-ipv4>";
+  std::string s = str::ipv4_to_string(src_ip);
+  if (src_port != 0 || dst_port != 0) {
+    s += ":" + std::to_string(src_port);
+  }
+  s += " -> " + str::ipv4_to_string(dst_ip);
+  if (src_port != 0 || dst_port != 0) {
+    s += ":" + std::to_string(dst_port);
+  }
+  switch (proto) {
+    case kProtoTcp: s += " tcp"; break;
+    case kProtoUdp: s += " udp"; break;
+    case kProtoIcmp: s += " icmp"; break;
+    default: s += " proto=" + std::to_string(proto); break;
+  }
+  return s;
+}
+
+FlowId flow_of(const Packet& pkt) {
+  FlowId f;
+  const Ipv4H* ip = pkt.inner_ipv4 ? &*pkt.inner_ipv4
+                                   : (pkt.ipv4 ? &*pkt.ipv4 : nullptr);
+  if (ip == nullptr) return f;
+  const L4H* l4 = pkt.inner_ipv4 ? (pkt.inner_l4 ? &*pkt.inner_l4 : nullptr)
+                                 : (pkt.l4 ? &*pkt.l4 : nullptr);
+  f.parsed = true;
+  f.src_ip = ip->src;
+  f.dst_ip = ip->dst;
+  f.proto = ip->proto;
+  if (l4 != nullptr) {
+    f.src_port = l4->sport;
+    f.dst_port = l4->dport;
+  }
+  return f;
+}
 
 TeleFrame* Packet::frame(int checker) {
   for (auto& f : tele) {

@@ -71,9 +71,26 @@ struct TeleFrame {
   std::vector<BitVec> values;
 };
 
+// Flow identity parsed from a packet's headers, preferring the inner
+// (tunneled) headers when a GTP-U encapsulation is present — reports and
+// traces should name the user flow, not the tunnel. `parsed` is false for
+// packets without an IPv4 header (then the numeric fields are zero).
+struct FlowId {
+  bool parsed = false;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  // "10.0.1.1:40000 -> 10.0.2.1:81 udp", or "<no-ipv4>" when unparseable.
+  std::string to_string() const;
+};
+
 struct Packet {
   std::uint64_t id = 0;
   double created_at = 0.0;  // simulation seconds
+  int hops = 0;  // switches traversed so far (metadata, not on the wire)
 
   EthernetH eth;
   std::optional<VlanH> vlan;
@@ -106,6 +123,8 @@ struct Packet {
   // the network; this overload sums header structs + payload only.
   int base_wire_bytes() const;
 };
+
+FlowId flow_of(const Packet& pkt);
 
 // Builders used by traffic generators and tests.
 Packet make_udp(std::uint32_t src_ip, std::uint32_t dst_ip,

@@ -290,9 +290,13 @@ const TableEntry* Table::lookup(const std::vector<BitVec>& key) const {
   }
   flatten_key(key);
   if (cache_state_ == CacheState::kValid && raw_scratch_ == cache_key_) {
-    return cache_idx_ < 0
-               ? nullptr
-               : &entries_[static_cast<std::size_t>(cache_idx_)];
+    metrics_.cache_hits.inc();
+    if (cache_idx_ < 0) {
+      metrics_.misses.inc();
+      return nullptr;
+    }
+    metrics_.hits.inc();
+    return &entries_[static_cast<std::size_t>(cache_idx_)];
   }
 
   std::int64_t best = -1;
@@ -332,7 +336,12 @@ const TableEntry* Table::lookup(const std::vector<BitVec>& key) const {
   cache_key_ = raw_scratch_;
   cache_idx_ = best;
   cache_state_ = CacheState::kValid;
-  return best < 0 ? nullptr : &entries_[static_cast<std::size_t>(best)];
+  if (best < 0) {
+    metrics_.misses.inc();
+    return nullptr;
+  }
+  metrics_.hits.inc();
+  return &entries_[static_cast<std::size_t>(best)];
 }
 
 const TableEntry* Table::lookup_linear_reference(

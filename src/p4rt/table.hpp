@@ -29,11 +29,22 @@
 #include <vector>
 
 #include "ir/ir.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitvec.hpp"
 
 namespace hydra::p4rt {
 
 using ir::MatchKind;
+
+// Hot-path lookup counters. Detached (free) by default; attach handles
+// from an obs::Registry to start counting. Several table instances may
+// share one set of handles to aggregate (e.g. the same checker table
+// across every switch).
+struct TableMetrics {
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter cache_hits;  // lookups served by the last-hit cache
+};
 
 struct MatchFieldSpec {
   MatchKind kind = MatchKind::kExact;
@@ -98,6 +109,11 @@ class Table {
   void set_default(std::vector<BitVec> action_data);
   const std::vector<BitVec>& default_data() const { return default_data_; }
 
+  // Observability: counts every lookup() outcome through the attached
+  // handles. Entry counts are exposed via size() and pulled at snapshot
+  // time rather than counted here.
+  void attach_metrics(const TableMetrics& metrics) { metrics_ = metrics; }
+
  private:
   static bool matches(const KeyPattern& p, MatchKind kind, const BitVec& v);
   static bool pattern_equal(MatchKind kind, const KeyPattern& a,
@@ -136,6 +152,7 @@ class Table {
   std::vector<MatchFieldSpec> key_spec_;
   std::vector<TableEntry> entries_;
   std::vector<BitVec> default_data_;
+  TableMetrics metrics_;  // detached unless observability is wired
 
   // ---- index (maintained by insert; rebuilt after removal) --------------
   int lpm_field_ = -1;  // position of the table's single LPM field, or -1

@@ -1,0 +1,349 @@
+// Observability layer tests: metrics registry semantics, zero-cost
+// disabled paths, table/interpreter/network instrumentation, and per-packet
+// hop tracing through a leaf-spine fabric.
+#include <gtest/gtest.h>
+
+#include "forwarding/ipv4_ecmp.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "p4rt/table.hpp"
+
+using namespace hydra;
+
+// ---- registry -------------------------------------------------------------
+
+TEST(Registry, CounterSemantics) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("x");
+  EXPECT_TRUE(c.attached());
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(reg.counter_value("x"), 42u);
+  // Re-registering the same name shares the slot.
+  obs::Counter again = reg.counter("x");
+  again.inc();
+  EXPECT_EQ(c.value(), 43u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, GaugeSemantics) {
+  obs::Registry reg;
+  obs::Gauge g = reg.gauge("level");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("level"), 2.0);
+}
+
+TEST(Registry, HistogramSemantics) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000.0); // overflow bucket
+  ASSERT_NE(h.data(), nullptr);
+  EXPECT_EQ(h.data()->buckets, (std::vector<std::uint64_t>{2, 1, 0, 1}));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+}
+
+TEST(Registry, KindConflictThrows) {
+  obs::Registry reg;
+  reg.counter("m");
+  EXPECT_THROW(reg.gauge("m"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("m", {1.0}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, DetachedHandlesAreNoOps) {
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  c.inc();
+  g.set(3.0);
+  h.observe(1.0);
+  EXPECT_FALSE(c.attached());
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, ResetZeroesValuesKeepsRegistrations) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("c");
+  obs::Gauge g = reg.gauge("g");
+  obs::Histogram h = reg.histogram("h", {1.0});
+  c.inc(7);
+  g.set(7.0);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(c.value(), 0u);  // handles stay valid
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.data()->buckets.size(), 2u);
+  c.inc();
+  EXPECT_EQ(reg.counter_value("c"), 1u);
+}
+
+TEST(Registry, SnapshotIsDeterministicAcrossRegistrationOrder) {
+  obs::Registry a;
+  a.counter("zeta").inc(3);
+  a.counter("alpha").inc(1);
+  a.gauge("mid").set(2.5);
+  a.histogram("hist", {1.0, 2.0}).observe(1.5);
+
+  obs::Registry b;
+  b.histogram("hist", {1.0, 2.0}).observe(1.5);
+  b.gauge("mid").set(2.5);
+  b.counter("alpha").inc(1);
+  b.counter("zeta").inc(3);
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_NE(a.to_json().find("\"alpha\": 1"), std::string::npos);
+  EXPECT_NE(a.to_csv().find("counter,zeta,value,3"), std::string::npos);
+}
+
+// ---- table instrumentation ------------------------------------------------
+
+TEST(TableMetrics, CountsHitsMissesAndCacheHits) {
+  obs::Registry reg;
+  p4rt::Table with{"t", {{p4rt::MatchKind::kExact, 32}}};
+  p4rt::Table without{"t", {{p4rt::MatchKind::kExact, 32}}};
+  p4rt::TableMetrics tm;
+  tm.hits = reg.counter("t.hits");
+  tm.misses = reg.counter("t.misses");
+  tm.cache_hits = reg.counter("t.cache_hits");
+  with.attach_metrics(tm);
+  for (p4rt::Table* t : {&with, &without}) {
+    t->insert_exact({BitVec(32, 5)}, {BitVec(32, 50)});
+  }
+
+  const std::vector<BitVec> hit_key{BitVec(32, 5)};
+  const std::vector<BitVec> miss_key{BitVec(32, 6)};
+  // Instrumented and uninstrumented tables answer identically.
+  EXPECT_EQ(with.lookup(hit_key) != nullptr, without.lookup(hit_key) != nullptr);
+  EXPECT_EQ(with.lookup(miss_key), nullptr);
+  EXPECT_EQ(without.lookup(miss_key), nullptr);
+  with.lookup(miss_key);  // served by the last-hit cache
+
+  EXPECT_EQ(reg.counter_value("t.hits"), 1u);
+  EXPECT_EQ(reg.counter_value("t.misses"), 2u);
+  EXPECT_EQ(reg.counter_value("t.cache_hits"), 1u);
+}
+
+// ---- network instrumentation ---------------------------------------------
+
+namespace {
+
+struct Bed {
+  net::LeafSpine fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net{fabric.topo};
+  std::shared_ptr<fwd::Ipv4EcmpProgram> routing =
+      fwd::install_leaf_spine_routing(net, fabric);
+  int dep = net.deploy(compile_library_checker("stateful_firewall"));
+
+  std::uint32_t ip(int host) const { return net.topo().node(host).ip; }
+
+  // Installs the bidirectional allow entries the firewall checker wants.
+  void allow(int a, int b) {
+    for (const auto& [s, d] : {std::pair{a, b}, std::pair{b, a}}) {
+      net.dict_insert_all(dep, "allowed",
+                          {BitVec(32, ip(s)), BitVec(32, ip(d))},
+                          {BitVec::from_bool(true)});
+    }
+  }
+
+  void send(int from, int to) {
+    net.send_from_host(from, p4rt::make_udp(ip(from), ip(to), 40000, 80, 64));
+    net.events().run();
+  }
+};
+
+}  // namespace
+
+TEST(NetworkObs, MetricsEndToEnd) {
+  Bed bed;
+  const int h0 = bed.fabric.hosts[0][0];
+  const int h2 = bed.fabric.hosts[1][0];
+  bed.allow(h0, h2);
+  bed.net.set_observability(true);
+  bed.send(h0, h2);
+
+  obs::Registry& reg = bed.net.metrics();
+  // Cross-leaf path: leaf -> spine -> leaf = 3 switch traversals.
+  std::uint64_t forwarded = 0;
+  for (const char* sw : {"leaf1", "leaf2", "spine1", "spine2"}) {
+    forwarded +=
+        reg.counter_value("net.switch." + std::string(sw) + ".forwarded");
+  }
+  EXPECT_EQ(forwarded, 3u);
+  EXPECT_EQ(reg.counter_value("checker.stateful_firewall.init_runs"), 1u);
+  EXPECT_EQ(reg.counter_value("checker.stateful_firewall.tele_runs"), 3u);
+  EXPECT_EQ(reg.counter_value("checker.stateful_firewall.check_runs"), 1u);
+  EXPECT_EQ(reg.counter_value("checker.stateful_firewall.rejects"), 0u);
+  EXPECT_GT(reg.counter_value("p4rt.table.stateful_firewall.allowed.hits"),
+            0u);
+  EXPECT_GT(
+      reg.counter_value("p4rt.interp.stateful_firewall.instructions"), 0u);
+  EXPECT_GT(reg.counter_value("fwd.ipv4_ecmp.routes.hits"), 0u);
+
+  const std::string json = bed.net.metrics_json();
+  EXPECT_NE(json.find("\"net.packets.delivered\": 1"), std::string::npos);
+  EXPECT_NE(json.find(".utilization"), std::string::npos);
+  // 4 switches x 2 directional entries (src->dst and dst->src).
+  EXPECT_DOUBLE_EQ(
+      reg.gauge_value("p4rt.table.stateful_firewall.allowed.entries"), 8.0);
+}
+
+TEST(NetworkObs, MetricsAccessorsThrowWhileDisabled) {
+  Bed bed;
+  EXPECT_THROW(bed.net.metrics(), std::logic_error);
+  EXPECT_THROW(bed.net.trace_sink(), std::logic_error);
+  EXPECT_FALSE(bed.net.observability_enabled());
+}
+
+TEST(NetworkObs, DisableDetachesHandlesSafely) {
+  Bed bed;
+  const int h0 = bed.fabric.hosts[0][0];
+  const int h2 = bed.fabric.hosts[1][0];
+  bed.allow(h0, h2);
+  bed.net.set_observability(true);
+  bed.send(h0, h2);
+  bed.net.set_observability(false);
+  EXPECT_FALSE(bed.net.observability_enabled());
+  // Post-disable traffic must not touch the destroyed registry (ASan/UBSan
+  // in CI guards the dangling-handle case).
+  bed.send(h0, h2);
+  EXPECT_EQ(bed.net.counters().delivered, 2u);
+}
+
+TEST(NetworkObs, TracedPacketThroughLeafSpine) {
+  Bed bed;
+  const int h0 = bed.fabric.hosts[0][0];
+  const int h2 = bed.fabric.hosts[1][0];
+  bed.allow(h0, h2);
+  bed.net.trace_next(1);
+  bed.send(h0, h2);
+  bed.send(h0, h2);  // second packet is beyond the sampling budget
+
+  const auto& traces = bed.net.trace_sink().traces();
+  ASSERT_EQ(traces.size(), 1u);
+  const obs::PacketTrace& t = traces.front();
+  EXPECT_EQ(t.fate, obs::PacketFate::kDelivered);
+  EXPECT_NE(t.flow.find(" udp"), std::string::npos);
+  ASSERT_EQ(t.hops.size(), 3u);
+  EXPECT_EQ(t.hops[0].switch_name, "leaf1");
+  EXPECT_EQ(t.hops[2].switch_name, "leaf2");
+  EXPECT_TRUE(t.hops[0].first_hop);
+  EXPECT_FALSE(t.hops[0].last_hop);
+  EXPECT_TRUE(t.hops[2].last_hop);
+  for (const auto& h : t.hops) {
+    EXPECT_GE(h.eg_port, 0);
+    EXPECT_EQ(h.forwarding, "ipv4-ecmp");
+    EXPECT_FALSE(h.rejected);
+  }
+  // First hop ran init then tele; last hop ran the check block.
+  ASSERT_EQ(t.hops[0].checkers.size(), 2u);
+  EXPECT_TRUE(t.hops[0].checkers[0].ran_init);
+  EXPECT_TRUE(t.hops[0].checkers[1].ran_tele);
+  ASSERT_EQ(t.hops[2].checkers.size(), 1u);
+  EXPECT_TRUE(t.hops[2].checkers[0].ran_check);
+  EXPECT_FALSE(t.hops[2].checkers[0].reject);
+
+  // Delivered-hop histogram saw the 3-hop journey.
+  const std::string json = bed.net.metrics_json();
+  EXPECT_NE(json.find("net.delivered.hops"), std::string::npos);
+  EXPECT_NE(bed.net.trace_sink().to_json().find("\"fate\": \"delivered\""),
+            std::string::npos);
+}
+
+TEST(NetworkObs, TraceRecordsRejectVerdictAndReportGainsFlowIdentity) {
+  Bed bed;  // no allow entries: the firewall rejects at the last hop
+  const int h0 = bed.fabric.hosts[0][0];
+  const int h2 = bed.fabric.hosts[1][0];
+  bed.net.trace_next(1);
+  bed.send(h0, h2);
+
+  ASSERT_EQ(bed.net.trace_sink().traces().size(), 1u);
+  const obs::PacketTrace& t = bed.net.trace_sink().traces().front();
+  EXPECT_EQ(t.fate, obs::PacketFate::kRejected);
+  ASSERT_EQ(t.hops.size(), 3u);
+  EXPECT_TRUE(t.hops[2].rejected);
+  const obs::CheckerHopRecord& last = t.hops[2].checkers.back();
+  EXPECT_TRUE(last.reject);
+  ASSERT_FALSE(last.reports.empty());
+  // The firewall's tele.violated flag was set at the first hop and carried.
+  bool saw_violated = false;
+  for (const auto& f : t.hops[0].checkers[0].tele) {
+    if (f.name.find("violated") != std::string::npos) {
+      saw_violated = f.after == 1;
+    }
+  }
+  EXPECT_TRUE(saw_violated);
+
+  // The ReportRecord names the flow and the hop where it fired.
+  ASSERT_FALSE(bed.net.reports().empty());
+  const net::ReportRecord& r = bed.net.reports().back();
+  EXPECT_TRUE(r.flow.parsed);
+  EXPECT_EQ(r.flow.src_ip, bed.ip(h0));
+  EXPECT_EQ(r.flow.dst_ip, bed.ip(h2));
+  EXPECT_EQ(r.flow.src_port, 40000);
+  EXPECT_EQ(r.flow.dst_port, 80);
+  EXPECT_EQ(r.hop_count, 3);
+  EXPECT_NE(r.flow.to_string().find(":40000 -> "), std::string::npos);
+
+  EXPECT_EQ(bed.net.metrics().counter_value(
+                "checker.stateful_firewall.rejects"), 1u);
+  // Narrative renders the verdict for terminal consumption.
+  EXPECT_NE(obs::TraceSink::narrative(t).find("VERDICT: reject"),
+            std::string::npos);
+}
+
+TEST(NetworkObs, ResetSemantics) {
+  Bed bed;
+  const int h0 = bed.fabric.hosts[0][0];
+  const int h2 = bed.fabric.hosts[1][0];
+  bed.net.trace_next(4);
+  bed.send(h0, h2);  // rejected (no allow entries) -> report + trace
+
+  int callback_fires = 0;
+  bed.net.subscribe_reports(
+      [&callback_fires](const net::ReportRecord&) { ++callback_fires; });
+
+  ASSERT_FALSE(bed.net.reports().empty());
+  const std::size_t names_before = bed.net.metrics().size();
+  ASSERT_GT(
+      bed.net.metrics().counter_value("checker.stateful_firewall.rejects"),
+      0u);
+
+  // clear_reports drops records only; subscribers keep firing.
+  bed.net.clear_reports();
+  EXPECT_TRUE(bed.net.reports().empty());
+  bed.send(h0, h2);
+  EXPECT_GT(callback_fires, 0);
+  EXPECT_FALSE(bed.net.reports().empty());
+
+  // reset_observability zeroes metrics and drops traces; registrations,
+  // sampler, and reports are untouched.
+  EXPECT_FALSE(bed.net.trace_sink().empty());
+  bed.net.reset_observability();
+  EXPECT_TRUE(bed.net.trace_sink().empty());
+  EXPECT_EQ(
+      bed.net.metrics().counter_value("checker.stateful_firewall.rejects"),
+      0u);
+  EXPECT_EQ(bed.net.metrics().size(), names_before);
+  EXPECT_FALSE(bed.net.reports().empty());  // not reset_observability's job
+
+  // clear_report_subscribers drops the callbacks.
+  const int fires_before = callback_fires;
+  bed.net.clear_report_subscribers();
+  bed.send(h0, h2);
+  EXPECT_EQ(callback_fires, fires_before);
+}
