@@ -3,19 +3,30 @@
 // workload) through leaf1.
 //
 //   $ ./throughput [--json BENCH_throughput.json] [--obs]
+//                  [--engine=serial|parallel[:N]] [--workers=N]
 //
 // --obs enables the observability layer (metrics registry wired through
 // every table/interpreter/switch) for all runs; the output schema is
 // unchanged, so comparing a --obs run against a plain run measures the
 // instrumentation overhead.
+//
+// --engine selects the execution engine for every simulation (results are
+// identical by contract; wall-clock differs). The fabric section always
+// runs the serial engine once as a wall-clock reference and reports the
+// selected engine's speedup over it.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "forwarding/anonymizer.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
 #include "hydra/hydra.hpp"
+#include "net/engine.hpp"
 #include "net/network.hpp"
 #include "net/traffic.hpp"
 
@@ -43,10 +54,15 @@ void deploy_everything(net::Network& net, const net::LeafSpine& fabric) {
 }
 
 bool g_obs = false;  // --obs: run with the observability layer enabled
+net::EngineKind g_kind = net::EngineKind::kSerial;
+int g_workers = 0;
+
+void apply_engine(net::Network& net) { net.set_engine(g_kind, g_workers); }
 
 Result iperf_run(bool with_checkers, double duration) {
   auto fabric = net::make_leaf_spine(2, 2, 2);
   net::Network net(fabric.topo);
+  apply_engine(net);
   fwd::install_leaf_spine_routing(net, fabric);
   net.set_baseline_profile(compiler::fabric_upf_profile());
   if (with_checkers) deploy_everything(net, fabric);
@@ -74,6 +90,7 @@ Result iperf_run(bool with_checkers, double duration) {
 Result campus_run(bool with_checkers, double duration) {
   auto fabric = net::make_leaf_spine(2, 2, 2);
   net::Network net(fabric.topo);
+  apply_engine(net);
   auto routing = fwd::install_leaf_spine_routing(net, fabric);
   if (with_checkers) deploy_everything(net, fabric);
   if (g_obs) net.set_observability(true);
@@ -112,6 +129,58 @@ Result campus_run(bool with_checkers, double duration) {
   return r;
 }
 
+// Wall-clock view of one engine processing a 16-switch fabric under load:
+// how fast the simulator itself chews through packet-hops.
+struct FabricResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  double wall_s = 0;
+  double hops_per_wall_s = 0;
+};
+
+FabricResult fabric_run(net::EngineKind kind, int workers, double duration) {
+  auto fabric = net::make_leaf_spine(8, 8, 2);  // 16 switches, 16 hosts
+  net::Network net(fabric.topo);
+  net.set_engine(kind, workers);
+  fwd::install_leaf_spine_routing(net, fabric);
+  if (g_obs) net.set_observability(true);
+  const int vf = net.deploy(compile_library_checker("valley_free"));
+  configure_valley_free(net, vf, fabric);
+  net.deploy(compile_library_checker("loops"));
+
+  // One cross-leaf flow per host, shifted pairings so every leaf and spine
+  // carries traffic concurrently — the shape parallel shards feed on.
+  std::vector<std::unique_ptr<net::UdpFlood>> flows;
+  const int leaves = static_cast<int>(fabric.leaves.size());
+  for (int i = 0; i < leaves; ++i) {
+    for (int h = 0; h < fabric.hosts_per_leaf; ++h) {
+      const int src = fabric.hosts[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(h)];
+      const int dst =
+          fabric.hosts[static_cast<std::size_t>((i + 1 + h) % leaves)]
+                      [static_cast<std::size_t>(h)];
+      flows.push_back(std::make_unique<net::UdpFlood>(
+          net, src, dst, 2.0, 1000,
+          static_cast<std::uint16_t>(6000 + i * 8 + h)));
+      flows.back()->set_poisson(
+          static_cast<std::uint64_t>(100 + i * 8 + h));
+      flows.back()->start(0.0, duration);
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  net.events().run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  FabricResult r;
+  for (const auto& f : flows) r.sent += f->packets_sent();
+  r.delivered = net.counters().delivered;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  // Each delivered packet crosses leaf -> spine -> leaf (3 pipeline hops).
+  r.hops_per_wall_s =
+      r.wall_s > 0 ? 3.0 * static_cast<double>(r.delivered) / r.wall_s : 0;
+  return r;
+}
+
 void write_result(std::FILE* f, const char* name, const Result& r,
                   const char* trailer) {
   std::fprintf(f,
@@ -122,22 +191,45 @@ void write_result(std::FILE* f, const char* name, const Result& r,
                static_cast<unsigned long long>(r.delivered), r.pps, trailer);
 }
 
+void write_fabric(std::FILE* f, const char* name, const FabricResult& r,
+                  const char* trailer) {
+  std::fprintf(f,
+               "    \"%s\": {\"sent\": %llu, \"delivered\": %llu, "
+               "\"wall_s\": %.4f, \"hops_per_wall_s\": %.1f}%s\n",
+               name, static_cast<unsigned long long>(r.sent),
+               static_cast<unsigned long long>(r.delivered), r.wall_s,
+               r.hops_per_wall_s, trailer);
+}
+
 void write_json(const std::string& path, const Result& iperf_base,
                 const Result& iperf_hydra, const Result& campus_base,
-                const Result& campus_hydra, double delta_pct) {
+                const Result& campus_hydra, double delta_pct,
+                const FabricResult& fabric_serial,
+                const FabricResult& fabric_engine, int workers) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"iperf\": {\n");
+  std::fprintf(f,
+               "{\n  \"bench\": \"throughput\",\n"
+               "  \"engine\": \"%s\",\n  \"workers\": %d,\n"
+               "  \"hw_threads\": %u,\n  \"iperf\": {\n",
+               net::engine_kind_name(g_kind), workers,
+               std::thread::hardware_concurrency());
   write_result(f, "baseline", iperf_base, ",");
   write_result(f, "all_checkers", iperf_hydra, ",");
   std::fprintf(f, "    \"delta_pct\": %.4f\n  },\n  \"campus\": {\n",
                delta_pct);
   write_result(f, "baseline", campus_base, ",");
   write_result(f, "all_checkers", campus_hydra, "");
-  std::fprintf(f, "  }\n}\n");
+  const double speedup = fabric_engine.wall_s > 0
+                             ? fabric_serial.wall_s / fabric_engine.wall_s
+                             : 0;
+  std::fprintf(f, "  },\n  \"fabric_16sw\": {\n");
+  write_fabric(f, "serial_reference", fabric_serial, ",");
+  write_fabric(f, "selected_engine", fabric_engine, ",");
+  std::fprintf(f, "    \"speedup\": %.3f\n  }\n}\n", speedup);
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
 }
@@ -151,11 +243,18 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       g_obs = true;
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      g_kind = net::parse_engine_kind(argv[i] + 9, &g_workers);
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      g_workers = std::atoi(argv[i] + 10);
     }
   }
+  const int eff_workers =
+      g_kind == net::EngineKind::kSerial ? 1 : g_workers;
   std::printf("Throughput comparison (paper §6.2: 'almost identical with "
-              "around 20 Gb/s')%s\n\n",
-              g_obs ? " [observability ON]" : "");
+              "around 20 Gb/s')%s [engine=%s workers=%d]\n\n",
+              g_obs ? " [observability ON]" : "",
+              net::engine_kind_name(g_kind), eff_workers);
 
   const double dur = 0.05;
   const Result b = iperf_run(false, dur);
@@ -188,6 +287,25 @@ int main(int argc, char** argv) {
   std::printf("  %-14s %10.0f %10.2f G %10.2f G\n", "all-checkers", ch.pps,
               ch.offered_gbps, ch.delivered_gbps);
 
-  write_json(json_path, b, h, cb, ch, delta);
+  // 16-switch fabric under all-pairs-style load: simulator wall-clock
+  // throughput, serial reference vs the selected engine.
+  const double fabric_dur = 0.02;
+  const FabricResult fs =
+      fabric_run(net::EngineKind::kSerial, 0, fabric_dur);
+  const FabricResult fe = g_kind == net::EngineKind::kSerial
+                              ? fs
+                              : fabric_run(g_kind, g_workers, fabric_dur);
+  std::printf("\n16-switch fabric wall-clock (%u hw threads):\n",
+              std::thread::hardware_concurrency());
+  std::printf("  %-18s %12s %14s\n", "engine", "wall_s", "hops/wall-s");
+  std::printf("  %-18s %12.3f %14.0f\n", "serial", fs.wall_s,
+              fs.hops_per_wall_s);
+  if (g_kind != net::EngineKind::kSerial) {
+    std::printf("  %-18s %12.3f %14.0f  (speedup %.2fx)\n", "selected",
+                fe.wall_s, fe.hops_per_wall_s,
+                fe.wall_s > 0 ? fs.wall_s / fe.wall_s : 0.0);
+  }
+
+  write_json(json_path, b, h, cb, ch, delta, fs, fe, eff_workers);
   return 0;
 }

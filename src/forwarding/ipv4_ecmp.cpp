@@ -10,7 +10,7 @@ void Ipv4EcmpProgram::add_route(int switch_id, std::uint32_t prefix,
     throw std::invalid_argument("ECMP group must have at least one port");
   }
   PerSwitch& sw = switches_[switch_id];
-  if (sw.groups.empty()) sw.routes.attach_metrics(route_metrics_);
+  if (sw.groups.empty()) wire_switch(switch_id, sw);
   const auto group_id = static_cast<std::uint64_t>(sw.groups.size());
   sw.groups.push_back(std::move(ports));
   p4rt::TableEntry e;
@@ -22,15 +22,26 @@ void Ipv4EcmpProgram::add_route(int switch_id, std::uint32_t prefix,
 }
 
 void Ipv4EcmpProgram::attach_metrics(obs::Registry* registry) {
-  if (registry == nullptr) {
-    route_metrics_ = {};
-  } else {
-    route_metrics_.hits = registry->counter("fwd.ipv4_ecmp.routes.hits");
-    route_metrics_.misses = registry->counter("fwd.ipv4_ecmp.routes.misses");
-    route_metrics_.cache_hits =
-        registry->counter("fwd.ipv4_ecmp.routes.cache_hits");
+  attach_metrics_sharded(registry == nullptr
+                             ? MetricsResolver{}
+                             : [registry](int) { return registry; });
+}
+
+void Ipv4EcmpProgram::attach_metrics_sharded(MetricsResolver resolve) {
+  resolver_ = std::move(resolve);
+  for (auto& [id, sw] : switches_) wire_switch(id, sw);
+}
+
+void Ipv4EcmpProgram::wire_switch(int switch_id, PerSwitch& sw) {
+  p4rt::TableMetrics tm;
+  if (resolver_) {
+    if (obs::Registry* reg = resolver_(switch_id)) {
+      tm.hits = reg->counter("fwd.ipv4_ecmp.routes.hits");
+      tm.misses = reg->counter("fwd.ipv4_ecmp.routes.misses");
+      tm.cache_hits = reg->counter("fwd.ipv4_ecmp.routes.cache_hits");
+    }
   }
-  for (auto& [id, sw] : switches_) sw.routes.attach_metrics(route_metrics_);
+  sw.routes.attach_metrics(tm);
 }
 
 std::uint64_t Ipv4EcmpProgram::flow_hash(const p4rt::Packet& pkt) {
@@ -63,20 +74,20 @@ Ipv4EcmpProgram::Decision Ipv4EcmpProgram::process(p4rt::Packet& pkt,
     return d;
   }
   if (pkt.ipv4->ttl == 0) {
-    ++ttl_drops_;
+    ttl_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
     return d;
   }
   const auto it = switches_.find(switch_id);
   if (it == switches_.end()) {
-    ++miss_drops_;
+    miss_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
     return d;
   }
   const p4rt::TableEntry* entry =
       it->second.routes.lookup({BitVec(32, pkt.ipv4->dst)});
   if (entry == nullptr) {
-    ++miss_drops_;
+    miss_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
     return d;
   }

@@ -7,6 +7,7 @@
 // spread across the fabric.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -27,15 +28,23 @@ class Ipv4EcmpProgram : public net::ForwardingProgram {
 
   Decision process(p4rt::Packet& pkt, int in_port, int switch_id) override;
   std::string name() const override { return "ipv4-ecmp"; }
-  // Aggregates route-table lookups across every switch this program
-  // serves under fwd.ipv4_ecmp.routes.*.
+  // Route-table lookups are reported under fwd.ipv4_ecmp.routes.* — one
+  // aggregate name however many switches this program serves. Each
+  // switch's table holds its own handles targeting resolve(switch_id), so
+  // the hot path never shares a counter slot across shards (see the
+  // state-confinement rule in net/switch_node.hpp).
   void attach_metrics(obs::Registry* registry) override;
+  void attach_metrics_sharded(MetricsResolver resolve) override;
 
   // 5-tuple hash used for ECMP member selection (exposed for tests).
   static std::uint64_t flow_hash(const p4rt::Packet& pkt);
 
-  std::uint64_t ttl_drops() const { return ttl_drops_; }
-  std::uint64_t miss_drops() const { return miss_drops_; }
+  std::uint64_t ttl_drops() const {
+    return ttl_drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t miss_drops() const {
+    return miss_drops_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct PerSwitch {
@@ -43,10 +52,14 @@ class Ipv4EcmpProgram : public net::ForwardingProgram {
                        {{p4rt::MatchKind::kLpm, 32}}};
     std::vector<std::vector<int>> groups;
   };
+  void wire_switch(int switch_id, PerSwitch& sw);
+
   std::map<int, PerSwitch> switches_;
-  p4rt::TableMetrics route_metrics_;  // shared by all per-switch tables
-  std::uint64_t ttl_drops_ = 0;
-  std::uint64_t miss_drops_ = 0;
+  MetricsResolver resolver_;  // empty while observability is off
+  // Program-wide totals bumped from any shard; relaxed atomics keep them
+  // deterministic (each switch contributes a schedule-independent count).
+  std::atomic<std::uint64_t> ttl_drops_{0};
+  std::atomic<std::uint64_t> miss_drops_{0};
 };
 
 // Builds and installs leaf-spine routing: each leaf owns 10.0.<leaf+1>.0/24

@@ -85,7 +85,7 @@ UpfProgram::Decision UpfProgram::process(p4rt::Packet& pkt, int in_port,
     const p4rt::TableEntry* s =
         sessions_ul_.lookup({BitVec(32, pkt.gtpu->teid)});
     if (s == nullptr) {
-      ++session_miss_drops_;
+      session_miss_drops_.fetch_add(1, std::memory_order_relaxed);
       d.drop = true;
       return d;
     }
@@ -130,7 +130,7 @@ UpfProgram::Decision UpfProgram::process(p4rt::Packet& pkt, int in_port,
     const p4rt::TableEntry* term =
         terminations_.lookup({BitVec(32, client_id), BitVec(32, app_id)});
     if (term == nullptr || !term->action_data[0].as_bool()) {
-      ++termination_drops_;
+      termination_drops_.fetch_add(1, std::memory_order_relaxed);
       d.drop = true;
       return d;
     }

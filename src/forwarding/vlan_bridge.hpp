@@ -4,6 +4,7 @@
 // verifies the isolation property independently of this implementation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -24,10 +25,16 @@ class VlanBridgeProgram : public net::ForwardingProgram {
   Decision process(p4rt::Packet& pkt, int in_port, int switch_id) override;
   std::string name() const override { return "vlan-bridge"; }
 
-  std::uint64_t membership_drops() const { return membership_drops_; }
-  std::uint64_t l2_miss_drops() const { return l2_miss_drops_; }
+  std::uint64_t membership_drops() const {
+    return membership_drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t l2_miss_drops() const {
+    return l2_miss_drops_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Mutable lookup state is per switch (confined to one engine shard);
+  // the totals are relaxed atomics.
   struct PerSwitch {
     std::map<int, std::set<std::uint16_t>> members;  // port -> vids
     p4rt::Table l2{"l2",
@@ -35,8 +42,8 @@ class VlanBridgeProgram : public net::ForwardingProgram {
                     {p4rt::MatchKind::kExact, 48}}};
   };
   std::map<int, PerSwitch> switches_;
-  std::uint64_t membership_drops_ = 0;
-  std::uint64_t l2_miss_drops_ = 0;
+  std::atomic<std::uint64_t> membership_drops_{0};
+  std::atomic<std::uint64_t> l2_miss_drops_{0};
 };
 
 }  // namespace hydra::fwd

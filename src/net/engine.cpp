@@ -1,0 +1,197 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace hydra::net {
+
+// ---------------------------------------------------------------------------
+// ExecutionEngine
+// ---------------------------------------------------------------------------
+
+void ExecutionEngine::drain_spawned_before(EventQueue& q, SimTime t) {
+  // Items spawned while draining carry larger seqs than every window item,
+  // so a strict time comparison reproduces full (t, seq) order.
+  while (!q.empty() && q.next_time() < t) {
+    EventQueue::Item item = q.pop_next();
+    q.advance_now(item.t);
+    if (item.is_switch_work) {
+      // Unreachable while the lookahead invariant holds (switch work is
+      // scheduled >= lookahead after its creator); executing it serially
+      // here keeps even a violated invariant deterministic.
+      net_->process_hop_serial(item.t, std::move(item.work));
+    } else {
+      item.fn();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SerialEngine
+// ---------------------------------------------------------------------------
+
+void SerialEngine::drain(EventQueue& q, SimTime limit) {
+  while (q.has_ready(limit)) {
+    EventQueue::Item item = q.pop_next();
+    q.advance_now(item.t);
+    if (item.is_switch_work) {
+      net_->process_hop_serial(item.t, std::move(item.work));
+    } else {
+      item.fn();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelEngine
+// ---------------------------------------------------------------------------
+
+ParallelEngine::ParallelEngine(Network& net, int workers)
+    : ExecutionEngine(net), workers_(workers) {
+  if (workers_ < 1) {
+    throw std::invalid_argument("parallel engine needs >= 1 worker");
+  }
+  errors_.assign(static_cast<std::size_t>(workers_), nullptr);
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ParallelEngine::worker_main(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    compute_shard(shard);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelEngine::compute_shard(int shard) {
+  try {
+    ExecContext& ctx = net_->context(shard);
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+      EventQueue::Item& item = window_[i];
+      if (!item.is_switch_work) continue;
+      if (net_->shard_of(item.work.sw) != shard) continue;
+      net_->compute_hop(ctx, item.t, item.work, results_[i]);
+    }
+  } catch (...) {
+    errors_[static_cast<std::size_t>(shard)] = std::current_exception();
+  }
+}
+
+void ParallelEngine::run_window(EventQueue& q) {
+  std::size_t switch_items = 0;
+  for (const auto& item : window_) {
+    if (item.is_switch_work) ++switch_items;
+  }
+
+  // Closed control loop subscribed: a commit may mutate state that later
+  // same-window compute reads, so fall back to serial per-event execution
+  // (see the degradation rule in the header).
+  const bool serial_window =
+      net_->has_report_callbacks() || switch_items < kDispatchThreshold ||
+      workers_ == 1;
+
+  if (serial_window) {
+    for (auto& item : window_) {
+      drain_spawned_before(q, item.t);
+      q.advance_now(item.t);
+      if (item.is_switch_work) {
+        net_->process_hop_serial(item.t, std::move(item.work));
+      } else {
+        item.fn();
+      }
+    }
+    return;
+  }
+
+  // COMPUTE: publish the window, wake the pool, take shard 0 ourselves.
+  results_.resize(window_.size());
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    remaining_ = workers_ - 1;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  compute_shard(0);
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  }
+  for (const auto& err : errors_) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  // COMMIT: canonical (t, seq) order, merging in spawned closures.
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    EventQueue::Item& item = window_[i];
+    drain_spawned_before(q, item.t);
+    q.advance_now(item.t);
+    if (item.is_switch_work) {
+      net_->commit_hop(item.t, std::move(item.work), std::move(results_[i]));
+    } else {
+      item.fn();
+    }
+  }
+}
+
+void ParallelEngine::drain(EventQueue& q, SimTime limit) {
+  while (q.has_ready(limit)) {
+    const SimTime t0 = q.next_time();
+    window_.clear();
+    q.pop_window(limit, t0 + net_->lookahead(), window_);
+    run_window(q);
+  }
+  net_->absorb_shard_metrics();
+}
+
+// ---------------------------------------------------------------------------
+// Engine spec parsing
+// ---------------------------------------------------------------------------
+
+EngineKind parse_engine_kind(const std::string& spec, int* workers_out) {
+  if (spec == "serial") {
+    if (workers_out != nullptr) *workers_out = 0;
+    return EngineKind::kSerial;
+  }
+  if (spec == "parallel") {
+    if (workers_out != nullptr) *workers_out = 0;
+    return EngineKind::kParallel;
+  }
+  const std::string prefix = "parallel:";
+  if (spec.rfind(prefix, 0) == 0) {
+    const int n = std::stoi(spec.substr(prefix.size()));
+    if (workers_out != nullptr) *workers_out = n;
+    return EngineKind::kParallel;
+  }
+  throw std::invalid_argument("unknown engine spec '" + spec +
+                              "' (serial | parallel[:N])");
+}
+
+const char* engine_kind_name(EngineKind kind) {
+  return kind == EngineKind::kSerial ? "serial" : "parallel";
+}
+
+}  // namespace hydra::net

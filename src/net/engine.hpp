@@ -1,0 +1,113 @@
+// Pluggable execution engines — how the event queue is drained.
+//
+// SerialEngine executes every event inline in (time, seq) order: the exact
+// pre-engine behaviour, and the default.
+//
+// ParallelEngine is a conservatively-synchronized parallel discrete-event
+// executor built on one structural invariant of the simulator: switch work
+// (per-hop pipeline execution, the hot path) is always scheduled at least
+// Network::lookahead() — the switch traversal latency — after the event
+// that creates it. The drain loop therefore processes the queue in EPOCHS:
+//
+//   1. WINDOW   pop every pending event in [t0, t0 + lookahead), where t0
+//               is the earliest pending timestamp. No event executed inside
+//               this window can spawn switch work that lands in it.
+//   2. COMPUTE  the window's switch-work items are sharded by switch id
+//               (shard = sw % workers) and executed concurrently, one
+//               worker per shard, each against its own ExecContext.
+//               Per-switch items keep their (t, seq) order inside a shard,
+//               and Network::compute_hop touches only switch-confined
+//               state, so compute results are independent of the
+//               interleaving. All effects land in per-item HopResults.
+//   3. COMMIT   the main thread walks the window in (t, seq) order,
+//               merging in any events the commits themselves spawn inside
+//               the window (always generic closures, by the invariant
+//               above), advancing the clock and applying HopResults /
+//               running closures exactly as the serial engine would.
+//
+// Reports, metrics snapshots, traces, and final register/table state are
+// therefore bit-identical to the serial engine for any worker count.
+//
+// Degradation rule: while report callbacks are subscribed (closed control
+// loops that may mutate switch state mid-epoch), epochs are executed
+// serially item by item — correctness over speed.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event.hpp"
+#include "net/network.hpp"
+
+namespace hydra::net {
+
+class ExecutionEngine : public EventExecutor {
+ public:
+  explicit ExecutionEngine(Network& net) : net_(&net) {}
+  virtual const char* name() const = 0;
+  virtual int workers() const = 0;
+
+ protected:
+  // Runs every event the queue holds strictly before key (`t`, `seq`) —
+  // events spawned by commits into the current window — serially, exactly
+  // as the serial engine would.
+  void drain_spawned_before(EventQueue& q, SimTime t);
+
+  Network* net_;
+};
+
+class SerialEngine final : public ExecutionEngine {
+ public:
+  explicit SerialEngine(Network& net) : ExecutionEngine(net) {}
+  const char* name() const override { return "serial"; }
+  int workers() const override { return 1; }
+  void drain(EventQueue& q, SimTime limit) override;
+};
+
+class ParallelEngine final : public ExecutionEngine {
+ public:
+  ParallelEngine(Network& net, int workers);
+  ~ParallelEngine() override;
+  const char* name() const override { return "parallel"; }
+  int workers() const override { return workers_; }
+  void drain(EventQueue& q, SimTime limit) override;
+
+  // Fewest switch-work items in a window worth waking the pool for;
+  // smaller windows are computed inline (identical results either way).
+  static constexpr std::size_t kDispatchThreshold = 2;
+
+ private:
+  void worker_main(int shard);
+  // Computes every switch-work item of `shard` in the published window.
+  void compute_shard(int shard);
+  void run_window(EventQueue& q);
+
+  const int workers_;
+  std::vector<EventQueue::Item> window_;
+  std::vector<HopResult> results_;  // parallel to window_
+  std::vector<std::exception_ptr> errors_;  // per shard
+
+  // Epoch handshake: the main thread publishes window_/results_ under m_,
+  // bumps epoch_ and waits for remaining_ to hit zero; workers wake on
+  // cv_work_, compute their shard, and signal cv_done_.
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;  // shards 1..workers-1
+};
+
+// `spec` is "serial" or "parallel[:N]" — e.g. "parallel:4"; throws
+// std::invalid_argument otherwise. Used by tools and benches.
+EngineKind parse_engine_kind(const std::string& spec, int* workers_out);
+
+const char* engine_kind_name(EngineKind kind);
+
+}  // namespace hydra::net

@@ -1,5 +1,6 @@
 #include "net/event.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace hydra::net {
@@ -8,26 +9,72 @@ void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) {
     throw std::invalid_argument("cannot schedule an event in the past");
   }
-  heap_.push(Item{t, next_seq_++, std::move(fn)});
+  Item item;
+  item.t = t;
+  item.seq = next_seq_++;
+  item.fn = std::move(fn);
+  heap_.push(std::move(item));
+}
+
+void EventQueue::schedule_switch_at(SimTime t, int sw, int in_port,
+                                    p4rt::Packet pkt) {
+  if (t < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  Item item;
+  item.t = t;
+  item.seq = next_seq_++;
+  item.is_switch_work = true;
+  item.work.sw = sw;
+  item.work.in_port = in_port;
+  item.work.pkt = std::move(pkt);
+  heap_.push(std::move(item));
+}
+
+EventQueue::Item EventQueue::pop_next() {
+  // Copy out before pop so handlers may schedule more events.
+  Item item = std::move(const_cast<Item&>(heap_.top()));
+  heap_.pop();
+  return item;
+}
+
+void EventQueue::pop_window(SimTime limit, SimTime window_end,
+                            std::vector<Item>& out) {
+  if (heap_.empty()) return;
+  const SimTime t0 = heap_.top().t;
+  while (!heap_.empty() && heap_.top().t <= limit &&
+         (heap_.top().t == t0 || heap_.top().t < window_end)) {
+    out.push_back(pop_next());
+  }
+}
+
+void EventQueue::run_self(SimTime t) {
+  while (!heap_.empty() && heap_.top().t <= t) {
+    Item item = pop_next();
+    now_ = item.t;
+    if (item.is_switch_work) {
+      throw std::logic_error(
+          "switch work scheduled on an EventQueue with no executor");
+    }
+    item.fn();
+  }
 }
 
 void EventQueue::run_until(SimTime t) {
-  while (!heap_.empty() && heap_.top().t <= t) {
-    // Copy out before pop so the handler may schedule more events.
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
-    now_ = item.t;
-    item.fn();
+  if (executor_ != nullptr) {
+    executor_->drain(*this, t);
+  } else {
+    run_self(t);
   }
   if (now_ < t) now_ = t;
 }
 
 void EventQueue::run() {
-  while (!heap_.empty()) {
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
-    now_ = item.t;
-    item.fn();
+  const SimTime inf = std::numeric_limits<SimTime>::infinity();
+  if (executor_ != nullptr) {
+    executor_->drain(*this, inf);
+  } else {
+    run_self(inf);
   }
 }
 

@@ -1,40 +1,99 @@
 // Discrete-event simulation core. Time is in seconds (double); events with
 // equal timestamps fire in scheduling order (stable), which keeps runs
 // deterministic for a fixed seed.
+//
+// Two event kinds live in the queue:
+//   * generic closures (traffic generators, link arrivals, host delivery) —
+//     opaque, always executed serially in (time, seq) order;
+//   * switch work (a packet due for pipeline processing at a switch) —
+//     carried as *data* so an installed execution engine can shard it by
+//     switch id and run the per-hop pipeline on worker threads.
+//
+// Draining is delegated to an EventExecutor (see net/engine.hpp) when one
+// is installed; net::Network installs a SerialEngine by default. A bare
+// EventQueue with no executor drains itself one event at a time, exactly
+// as before — standalone users (tests, examples) are unaffected.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
+
+#include "p4rt/packet.hpp"
 
 namespace hydra::net {
 
 using SimTime = double;
 
+// The hot-path event: one packet arriving at one switch's pipeline.
+struct SwitchWork {
+  int sw = -1;
+  int in_port = -1;
+  p4rt::Packet pkt;
+};
+
+class EventQueue;
+
+// Drains the queue up to a time limit. Implemented by the execution
+// engines; installed via EventQueue::set_executor.
+class EventExecutor {
+ public:
+  virtual ~EventExecutor() = default;
+  virtual void drain(EventQueue& queue, SimTime limit) = 0;
+};
+
 class EventQueue {
  public:
+  // One scheduled event. `fn` is empty iff `is_switch_work`.
+  struct Item {
+    SimTime t = 0.0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool is_switch_work = false;
+    SwitchWork work;
+  };
+
   SimTime now() const { return now_; }
 
   void schedule_at(SimTime t, std::function<void()> fn);
   void schedule_in(SimTime delay, std::function<void()> fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
+  // Schedules pipeline processing of `pkt` at switch `sw`.
+  void schedule_switch_at(SimTime t, int sw, int in_port, p4rt::Packet pkt);
+  void schedule_switch_in(SimTime delay, int sw, int in_port,
+                          p4rt::Packet pkt) {
+    schedule_switch_at(now_ + delay, sw, in_port, std::move(pkt));
+  }
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
   // Runs events until the queue is empty or `t` is passed; `now()` advances
-  // to at most t.
+  // to at most t. Delegates to the installed executor, if any.
   void run_until(SimTime t);
   void run();  // until empty
 
+  // ---- executor-facing primitives ---------------------------------------
+  // The executor owns the clock while draining: it must advance_now() to
+  // each item's timestamp before executing/committing it, in (t, seq)
+  // order, so handler-visible time matches serial execution exactly.
+  void set_executor(EventExecutor* executor) { executor_ = executor; }
+  bool has_ready(SimTime limit) const {
+    return !heap_.empty() && heap_.top().t <= limit;
+  }
+  SimTime next_time() const { return heap_.top().t; }
+  // Pops the earliest item without advancing now().
+  Item pop_next();
+  // Pops every item with t <= limit that falls in [t0, window_end), where
+  // t0 is the earliest pending timestamp; the t == t0 group is always
+  // included even if window_end <= t0. Appends to `out` in (t, seq) order.
+  void pop_window(SimTime limit, SimTime window_end, std::vector<Item>& out);
+  void advance_now(SimTime t) { now_ = t; }
+
  private:
-  struct Item {
-    SimTime t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
   struct Later {
     bool operator()(const Item& a, const Item& b) const {
       if (a.t != b.t) return a.t > b.t;
@@ -42,9 +101,12 @@ class EventQueue {
     }
   };
 
+  void run_self(SimTime t);  // executor-free drain (standalone queues)
+
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  EventExecutor* executor_ = nullptr;
 };
 
 }  // namespace hydra::net

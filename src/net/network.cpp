@@ -1,7 +1,9 @@
 #include "net/network.hpp"
 
 #include <stdexcept>
+#include <thread>
 
+#include "net/engine.hpp"
 #include "p4rt/tele_codec.hpp"
 
 namespace hydra::net {
@@ -16,6 +18,31 @@ Network::Network(Topology topo) : topo_(std::move(topo)) {
       hosts_[static_cast<std::size_t>(i)] = Host(i, n.name, n.ip, n.mac);
     }
   }
+  engine_ = std::make_unique<SerialEngine>(*this);
+  events_.set_executor(engine_.get());
+  rebuild_contexts();
+}
+
+Network::~Network() = default;
+
+void Network::set_engine(EngineKind kind, int workers) {
+  if (kind == EngineKind::kSerial) {
+    engine_kind_ = EngineKind::kSerial;
+    engine_workers_ = 1;
+    engine_.reset();  // join any previous pool before replacing
+    engine_ = std::make_unique<SerialEngine>(*this);
+  } else {
+    if (workers <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      workers = hw > 1 ? static_cast<int>(hw) : 2;
+    }
+    engine_kind_ = EngineKind::kParallel;
+    engine_workers_ = workers;
+    engine_.reset();
+    engine_ = std::make_unique<ParallelEngine>(*this, workers);
+  }
+  events_.set_executor(engine_.get());
+  rebuild_contexts();
 }
 
 Host& Network::host(int node_id) {
@@ -32,10 +59,8 @@ void Network::set_program(int switch_id,
     throw std::invalid_argument("node " + std::to_string(switch_id) +
                                 " is not a switch");
   }
-  if (obs_ != nullptr && prog != nullptr) {
-    prog->attach_metrics(&obs_->registry);
-  }
   programs_[static_cast<std::size_t>(switch_id)] = std::move(prog);
+  if (obs_ != nullptr) rewire_observability();
 }
 
 ForwardingProgram* Network::program(int switch_id) {
@@ -47,7 +72,6 @@ int Network::deploy(
   if (!checker) throw std::invalid_argument("deploy: null checker");
   Deployment d;
   d.checker = checker;
-  d.interp = std::make_unique<p4rt::Interp>(checker->ir);
   d.tele_wire_bytes = checker->layout.wire_bytes;
   d.per_switch.resize(static_cast<std::size_t>(topo_.node_count()));
   for (int i = 0; i < topo_.node_count(); ++i) {
@@ -57,7 +81,10 @@ int Network::deploy(
     }
   }
   deployments_.push_back(std::move(d));
-  if (obs_ != nullptr) wire_deployment_obs(deployments_.back());
+  for (auto& ctx : contexts_) {
+    add_context_scratch(ctx, deployments_.back());
+  }
+  if (obs_ != nullptr) rewire_observability();
   return static_cast<int>(deployments_.size()) - 1;
 }
 
@@ -201,60 +228,85 @@ void Network::node_receive(int node, int port, p4rt::Packet pkt) {
     if (reply) send_from_host(node, std::move(*reply));
     return;
   }
-  // Switch: model pipeline traversal latency, then process.
-  events_.schedule_in(switch_latency(),
-                      [this, node, port, p = std::move(pkt)]() mutable {
-                        switch_process(node, port, std::move(p));
-                      });
+  // Switch: model pipeline traversal latency, then process. The delay is
+  // the engines' lookahead — switch work never lands inside the epoch
+  // window that created it (see net/engine.hpp).
+  events_.schedule_switch_in(switch_latency(), node, port, std::move(pkt));
 }
 
-void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
-  ++pkt.hops;
-  HopContext ctx;
-  ctx.switch_id = sw;
-  ctx.switch_tag = switch_tag(sw);
-  ctx.in_port = in_port;
-  ctx.first_hop = topo_.host_facing({sw, in_port});
-  ctx.wire_bytes = packet_wire_bytes(pkt);
+// ---- per-hop pipeline (engine-driven) -------------------------------------
 
-  // Hop trace, recorded only for sampled packets (null otherwise; the
-  // untraced cost is one null check plus, while any trace is live, one
-  // hash probe on the packet id).
+void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
+                          HopResult& res) {
+  p4rt::Packet& pkt = work.pkt;
+  const int sw = work.sw;
+
+  res.decision = {};
+  res.last_hop = false;
+  res.fwd_drop = false;
+  res.rejected = false;
+  res.traced = false;
+  res.reports.clear();
+  res.hop = obs::TraceHop{};
+
+  ++pkt.hops;
+  HopContext hctx;
+  hctx.switch_id = sw;
+  hctx.switch_tag = switch_tag(sw);
+  hctx.in_port = work.in_port;
+  hctx.first_hop = topo_.host_facing({sw, work.in_port});
+  hctx.wire_bytes = packet_wire_bytes(pkt);
+
+  // Hop trace, recorded only for sampled packets (the untraced cost is one
+  // null check plus, while any trace is live, one hash probe on the packet
+  // id). The record is filled locally and appended to the trace at commit
+  // time — compute must not mutate the shared sink.
   obs::TraceHop* hop = nullptr;
-  if (obs_ != nullptr && obs_->traces.tracing()) {
-    if (obs::PacketTrace* tr = obs_->traces.active(pkt.id)) {
-      tr->hops.emplace_back();
-      hop = &tr->hops.back();
-      hop->hop = pkt.hops;
-      hop->switch_id = sw;
-      hop->switch_name = topo_.node(sw).name;
-      hop->time = events_.now();
-      hop->in_port = in_port;
-      hop->first_hop = ctx.first_hop;
-      hop->wire_bytes = ctx.wire_bytes;
-    }
+  if (obs_ != nullptr && obs_->traces.tracing() &&
+      obs_->traces.active(pkt.id) != nullptr) {
+    res.traced = true;
+    hop = &res.hop;
+    hop->hop = pkt.hops;
+    hop->switch_id = sw;
+    hop->switch_name = topo_.node(sw).name;
+    hop->time = t;
+    hop->in_port = work.in_port;
+    hop->first_hop = hctx.first_hop;
+    hop->wire_bytes = hctx.wire_bytes;
   }
 
-  auto resolver = [&pkt, &ctx](const std::string& ann, int width) {
-    return resolve_header(pkt, ctx, ann, width);
+  auto resolver = [&pkt, &hctx](const std::string& ann, int width) {
+    return resolve_header(pkt, hctx, ann, width);
+  };
+
+  auto collect_reports = [&](std::size_t di, const Deployment& d,
+                             p4rt::ExecOutcome& out) {
+    for (auto& r : out.reports) {
+      ReportRecord rec{static_cast<int>(di), d.checker->name, sw, t,
+                       std::move(r)};
+      rec.flow = p4rt::flow_of(pkt);
+      rec.hop_count = pkt.hops;
+      res.reports.push_back(std::move(rec));
+    }
   };
 
   // 1. Hydra init at the first hop: create and fill telemetry frames.
-  if (ctx.first_hop) {
+  if (hctx.first_hop) {
     for (std::size_t di = 0; di < deployments_.size(); ++di) {
       Deployment& d = deployments_[di];
-      d.init_runs.inc();
-      d.interp->reset_store(d.scratch_vals);
-      std::vector<BitVec>& vals = d.scratch_vals;
-      p4rt::ExecOutcome& out = d.scratch_out;
+      ExecContext::PerDeployment& pd = ctx.deps[di];
+      pd.init_runs.inc();
+      pd.interp->reset_store(pd.vals);
+      std::vector<BitVec>& vals = pd.vals;
+      p4rt::ExecOutcome& out = pd.out;
       out.reject = false;
       out.reports.clear();
-      d.interp->run(d.checker->ir.init_block, vals,
-                    d.per_switch[static_cast<std::size_t>(sw)], resolver,
-                    out);
+      pd.interp->run(d.checker->ir.init_block, vals,
+                     d.per_switch[static_cast<std::size_t>(sw)], resolver,
+                     out);
       p4rt::TeleFrame frame;
       frame.checker = static_cast<int>(di);
-      d.interp->store_frame(vals, frame);
+      pd.interp->store_frame(vals, frame);
       if (hop != nullptr) {
         hop->checkers.push_back(
             trace_checker_record(d, &frame, /*before=*/nullptr, out,
@@ -262,14 +314,8 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
                                  /*check=*/false));
       }
       pkt.tele.push_back(std::move(frame));
-      d.reports.inc(out.reports.size());
-      for (auto& r : out.reports) {
-        ReportRecord rec{static_cast<int>(di), d.checker->name, sw,
-                         events_.now(), std::move(r)};
-        rec.flow = p4rt::flow_of(pkt);
-        rec.hop_count = pkt.hops;
-        emit_report(std::move(rec));
-      }
+      pd.reports.inc(out.reports.size());
+      collect_reports(di, d, out);
     }
   }
 
@@ -277,45 +323,46 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
   ForwardingProgram* prog = programs_[static_cast<std::size_t>(sw)].get();
   ForwardingProgram::Decision decision;
   if (prog != nullptr) {
-    decision = prog->process(pkt, in_port, sw);
+    decision = prog->process(pkt, work.in_port, sw);
   } else {
     decision.drop = true;
   }
-  ctx.eg_port = decision.eg_port;
-  ctx.fwd_drop = decision.drop;
+  hctx.eg_port = decision.eg_port;
+  hctx.fwd_drop = decision.drop;
   // A forwarding drop ends the packet's journey: this is its last hop, so
   // the checker still gets to observe (and report) the drop decision.
-  ctx.last_hop =
+  hctx.last_hop =
       decision.drop ||
       (decision.eg_port >= 0 && topo_.host_facing({sw, decision.eg_port}));
-  ctx.wire_bytes = packet_wire_bytes(pkt);
+  hctx.wire_bytes = packet_wire_bytes(pkt);
 
   // 3./4. Telemetry at every hop; checker at the last hop (or every hop,
   // for checkers compiled with per-hop placement).
   bool rejected = false;
   for (std::size_t di = 0; di < deployments_.size(); ++di) {
     Deployment& d = deployments_[di];
+    ExecContext::PerDeployment& pd = ctx.deps[di];
     p4rt::TeleFrame* frame = pkt.frame(static_cast<int>(di));
     if (frame == nullptr) continue;  // entered before deployment; skip
-    d.tele_runs.inc();
+    pd.tele_runs.inc();
     std::vector<BitVec> trace_before;  // traced packets only
     if (hop != nullptr) trace_before = frame->values;
-    d.interp->reset_store(d.scratch_vals);
-    std::vector<BitVec>& vals = d.scratch_vals;
-    d.interp->load_frame(*frame, vals);
-    p4rt::ExecOutcome& out = d.scratch_out;
+    pd.interp->reset_store(pd.vals);
+    std::vector<BitVec>& vals = pd.vals;
+    pd.interp->load_frame(*frame, vals);
+    p4rt::ExecOutcome& out = pd.out;
     out.reject = false;
     out.reports.clear();
     auto& state = d.per_switch[static_cast<std::size_t>(sw)];
-    d.interp->run(d.checker->ir.tele_block, vals, state, resolver, out);
+    pd.interp->run(d.checker->ir.tele_block, vals, state, resolver, out);
     const bool run_check =
-        ctx.last_hop ||
+        hctx.last_hop ||
         d.checker->options.placement == compiler::CheckPlacement::kEveryHop;
     if (run_check) {
-      d.check_runs.inc();
-      d.interp->run(d.checker->ir.check_block, vals, state, resolver, out);
+      pd.check_runs.inc();
+      pd.interp->run(d.checker->ir.check_block, vals, state, resolver, out);
     }
-    d.interp->store_frame(vals, *frame);
+    pd.interp->store_frame(vals, *frame);
     if (hop != nullptr) {
       hop->checkers.push_back(
           trace_checker_record(d, frame, &trace_before, out,
@@ -336,46 +383,55 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
         }
       }
     }
-    if (out.reject) d.rejects.inc();
-    d.reports.inc(out.reports.size());
-    for (auto& r : out.reports) {
-      ReportRecord rec{static_cast<int>(di), d.checker->name, sw,
-                       events_.now(), std::move(r)};
-      rec.flow = p4rt::flow_of(pkt);
-      rec.hop_count = pkt.hops;
-      emit_report(std::move(rec));
-    }
+    if (out.reject) pd.rejects.inc();
+    pd.reports.inc(out.reports.size());
+    collect_reports(di, d, out);
     rejected = rejected || out.reject;
   }
 
   // Strip telemetry before the packet exits the network.
-  if (ctx.last_hop) pkt.tele.clear();
+  if (hctx.last_hop) pkt.tele.clear();
 
   if (hop != nullptr) {
-    hop->eg_port = ctx.eg_port;
-    hop->last_hop = ctx.last_hop;
-    hop->fwd_drop = ctx.fwd_drop;
+    hop->eg_port = hctx.eg_port;
+    hop->last_hop = hctx.last_hop;
+    hop->fwd_drop = hctx.fwd_drop;
     hop->rejected = rejected;
     hop->forwarding = prog != nullptr ? prog->name() : "none";
   }
 
-  if (decision.drop) {
+  res.decision = decision;
+  res.last_hop = hctx.last_hop;
+  res.fwd_drop = decision.drop;
+  res.rejected = rejected;
+}
+
+void Network::commit_hop(SimTime /*t*/, SwitchWork&& work, HopResult&& res) {
+  const int sw = work.sw;
+  for (auto& rec : res.reports) emit_report(std::move(rec));
+  if (res.traced) {
+    if (obs::PacketTrace* tr = obs_->traces.active(work.pkt.id)) {
+      tr->hops.push_back(std::move(res.hop));
+    }
+  }
+
+  if (res.fwd_drop) {
     ++counters_.fwd_dropped;
     if (obs_ != nullptr) {
       obs_->switches[static_cast<std::size_t>(sw)].fwd_dropped.inc();
       if (obs_->traces.tracing()) {
-        obs_->traces.finish(pkt.id, obs::PacketFate::kFwdDropped,
+        obs_->traces.finish(work.pkt.id, obs::PacketFate::kFwdDropped,
                             events_.now());
       }
     }
     return;
   }
-  if (rejected) {
+  if (res.rejected) {
     ++counters_.rejected;
     if (obs_ != nullptr) {
       obs_->switches[static_cast<std::size_t>(sw)].rejected.inc();
       if (obs_->traces.tracing()) {
-        obs_->traces.finish(pkt.id, obs::PacketFate::kRejected,
+        obs_->traces.finish(work.pkt.id, obs::PacketFate::kRejected,
                             events_.now());
       }
     }
@@ -384,7 +440,36 @@ void Network::switch_process(int sw, int in_port, p4rt::Packet pkt) {
   if (obs_ != nullptr) {
     obs_->switches[static_cast<std::size_t>(sw)].forwarded.inc();
   }
-  transmit({sw, decision.eg_port}, std::move(pkt));
+  transmit({sw, res.decision.eg_port}, std::move(work.pkt));
+}
+
+void Network::process_hop_serial(SimTime t, SwitchWork&& work) {
+  ExecContext& ctx = context_for_switch(work.sw);
+  compute_hop(ctx, t, work, ctx.scratch);
+  commit_hop(t, std::move(work), std::move(ctx.scratch));
+}
+
+// ---- execution contexts ---------------------------------------------------
+
+void Network::rebuild_contexts() {
+  contexts_.clear();
+  contexts_.resize(static_cast<std::size_t>(engine_workers_));
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    // Distinct deterministic stream per worker (SplitMix64-style spread).
+    contexts_[i].rng =
+        Rng(0x9e3779b97f4a7c15ULL ^
+            (0xd1342543de82ef95ULL * static_cast<std::uint64_t>(i + 1)));
+    for (const auto& d : deployments_) {
+      add_context_scratch(contexts_[i], d);
+    }
+  }
+  rewire_observability();
+}
+
+void Network::add_context_scratch(ExecContext& ctx, const Deployment& d) {
+  ExecContext::PerDeployment pd;
+  pd.interp = std::make_unique<p4rt::Interp>(d.checker->ir);
+  ctx.deps.push_back(std::move(pd));
 }
 
 // ---- observability --------------------------------------------------------
@@ -421,59 +506,123 @@ obs::CheckerHopRecord Network::trace_checker_record(
   return rec;
 }
 
-void Network::wire_deployment_obs(Deployment& d) {
-  obs::Registry& reg = obs_->registry;
-  const std::string& cn = d.checker->name;
-  d.init_runs = reg.counter("checker." + cn + ".init_runs");
-  d.tele_runs = reg.counter("checker." + cn + ".tele_runs");
-  d.check_runs = reg.counter("checker." + cn + ".check_runs");
-  d.rejects = reg.counter("checker." + cn + ".rejects");
-  d.reports = reg.counter("checker." + cn + ".reports");
+obs::Registry* Network::registry_for_switch(int sw) {
+  return contexts_[static_cast<std::size_t>(shard_of(sw))].sink;
+}
 
-  p4rt::InterpMetrics im;
-  im.instructions = reg.counter("p4rt.interp." + cn + ".instructions");
-  im.table_lookups = reg.counter("p4rt.interp." + cn + ".table_lookups");
-  im.reg_reads = reg.counter("p4rt.interp." + cn + ".reg_reads");
-  im.reg_writes = reg.counter("p4rt.interp." + cn + ".reg_writes");
-  d.interp->attach_metrics(im);
-
-  // One aggregate counter set per checker table, shared by every switch's
-  // instance of that table.
-  for (std::size_t t = 0; t < d.checker->ir.tables.size(); ++t) {
-    const std::string base =
-        "p4rt.table." + cn + "." + d.checker->ir.tables[t].name;
-    p4rt::TableMetrics tm;
-    tm.hits = reg.counter(base + ".hits");
-    tm.misses = reg.counter(base + ".misses");
-    tm.cache_hits = reg.counter(base + ".cache_hits");
-    for (auto& state : d.per_switch) {
-      if (t < state.tables.size()) state.tables[t].attach_metrics(tm);
+void Network::rewire_observability() {
+  if (obs_ == nullptr) {
+    // Detach every handle; none may outlive the registry it points into.
+    for (auto& ctx : contexts_) {
+      for (auto& pd : ctx.deps) {
+        pd.init_runs = {};
+        pd.tele_runs = {};
+        pd.check_runs = {};
+        pd.rejects = {};
+        pd.reports = {};
+        pd.interp->attach_metrics({});
+      }
+      ctx.sink = nullptr;
+      ctx.shadow.reset();
     }
+    for (auto& d : deployments_) {
+      for (auto& state : d.per_switch) {
+        for (auto& table : state.tables) table.attach_metrics({});
+      }
+    }
+    for (int i = 0; i < topo_.node_count(); ++i) {
+      ForwardingProgram* prog = programs_[static_cast<std::size_t>(i)].get();
+      if (prog != nullptr) prog->attach_metrics_sharded(nullptr);
+    }
+    return;
+  }
+
+  // Shard sinks: shard 0 (and the serial engine's only context) writes the
+  // main registry directly; other shards write shadow registries merged at
+  // drain barriers. Names are identical, so merging preserves the
+  // process-wide aggregate semantics.
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    if (i == 0) {
+      contexts_[i].shadow.reset();
+      contexts_[i].sink = &obs_->registry;
+    } else {
+      contexts_[i].shadow = std::make_unique<obs::Registry>();
+      contexts_[i].sink = contexts_[i].shadow.get();
+    }
+  }
+
+  for (auto& ctx : contexts_) {
+    obs::Registry& reg = *ctx.sink;
+    for (std::size_t di = 0; di < deployments_.size(); ++di) {
+      const std::string& cn = deployments_[di].checker->name;
+      ExecContext::PerDeployment& pd = ctx.deps[di];
+      pd.init_runs = reg.counter("checker." + cn + ".init_runs");
+      pd.tele_runs = reg.counter("checker." + cn + ".tele_runs");
+      pd.check_runs = reg.counter("checker." + cn + ".check_runs");
+      pd.rejects = reg.counter("checker." + cn + ".rejects");
+      pd.reports = reg.counter("checker." + cn + ".reports");
+
+      p4rt::InterpMetrics im;
+      im.instructions = reg.counter("p4rt.interp." + cn + ".instructions");
+      im.table_lookups = reg.counter("p4rt.interp." + cn + ".table_lookups");
+      im.reg_reads = reg.counter("p4rt.interp." + cn + ".reg_reads");
+      im.reg_writes = reg.counter("p4rt.interp." + cn + ".reg_writes");
+      pd.interp->attach_metrics(im);
+    }
+  }
+
+  // Checker tables: one aggregate counter set per (checker, table) name;
+  // each switch's instance targets the registry of the shard executing it.
+  for (auto& d : deployments_) {
+    for (std::size_t t = 0; t < d.checker->ir.tables.size(); ++t) {
+      const std::string base =
+          "p4rt.table." + d.checker->name + "." + d.checker->ir.tables[t].name;
+      for (int sw = 0; sw < topo_.node_count(); ++sw) {
+        auto& state = d.per_switch[static_cast<std::size_t>(sw)];
+        if (t >= state.tables.size()) continue;
+        obs::Registry& reg = *registry_for_switch(sw);
+        p4rt::TableMetrics tm;
+        tm.hits = reg.counter(base + ".hits");
+        tm.misses = reg.counter(base + ".misses");
+        tm.cache_hits = reg.counter(base + ".cache_hits");
+        state.tables[t].attach_metrics(tm);
+      }
+    }
+  }
+
+  // Forwarding programs (each attached once, however many switches share
+  // it): hot-path counters must land in the registry of the shard that
+  // executes each switch — see the contract in net/switch_node.hpp.
+  std::vector<ForwardingProgram*> done;
+  for (int sw = 0; sw < topo_.node_count(); ++sw) {
+    ForwardingProgram* prog = programs_[static_cast<std::size_t>(sw)].get();
+    if (prog == nullptr) continue;
+    bool seen = false;
+    for (ForwardingProgram* p : done) seen = seen || p == prog;
+    if (seen) continue;
+    done.push_back(prog);
+    prog->attach_metrics_sharded(
+        [this](int switch_id) -> obs::Registry* {
+          if (switch_id < 0) return &obs_->registry;
+          return registry_for_switch(switch_id);
+        });
   }
 }
 
-void Network::detach_deployment_obs(Deployment& d) {
-  d.init_runs = {};
-  d.tele_runs = {};
-  d.check_runs = {};
-  d.rejects = {};
-  d.reports = {};
-  d.interp->attach_metrics({});
-  for (auto& state : d.per_switch) {
-    for (auto& table : state.tables) table.attach_metrics({});
+void Network::absorb_shard_metrics() {
+  if (obs_ == nullptr) return;
+  for (auto& ctx : contexts_) {
+    if (ctx.shadow != nullptr) {
+      obs_->registry.absorb_counters(*ctx.shadow);
+    }
   }
 }
 
 void Network::set_observability(bool enabled) {
   if (enabled == (obs_ != nullptr)) return;
   if (!enabled) {
-    // Detach every handle before the registry (which owns the slots the
-    // handles point into) is destroyed.
-    for (auto& d : deployments_) detach_deployment_obs(d);
-    for (auto& prog : programs_) {
-      if (prog != nullptr) prog->attach_metrics(nullptr);
-    }
     obs_.reset();
+    rewire_observability();  // detaches every handle
     return;
   }
   obs_ = std::make_unique<ObsState>();
@@ -489,12 +638,7 @@ void Network::set_observability(bool enabled) {
   }
   obs_->delivered_hops = reg.histogram(
       "net.delivered.hops", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0});
-  for (auto& d : deployments_) wire_deployment_obs(d);
-  for (auto& prog : programs_) {
-    // Shared program instances are wired repeatedly; attach_metrics is
-    // idempotent by contract.
-    if (prog != nullptr) prog->attach_metrics(&reg);
-  }
+  rewire_observability();
 }
 
 obs::Registry& Network::metrics() {
@@ -502,6 +646,7 @@ obs::Registry& Network::metrics() {
     throw std::logic_error(
         "observability is off; call set_observability(true) first");
   }
+  absorb_shard_metrics();
   return obs_->registry;
 }
 
@@ -578,6 +723,7 @@ std::string Network::metrics_json() {
 
 void Network::reset_observability() {
   if (obs_ == nullptr) return;
+  absorb_shard_metrics();  // zero the shadows too
   obs_->registry.reset();
   obs_->traces.clear();
 }

@@ -10,6 +10,33 @@
 //   4. last hop (host-facing egress, or a forwarding drop, which ends the
 //      packet's journey): run the checker block, honour reject, emit
 //      reports, and strip telemetry before the packet reaches the host.
+//
+// ---- Execution engines ----------------------------------------------------
+// Pipeline execution is pulled out of the event loop and split into a
+// side-effect-confined COMPUTE step and a globally-ordered COMMIT step so
+// an execution engine (net/engine.hpp) can run the compute step for
+// different switches on different worker threads:
+//
+//   * compute_hop() runs init/forwarding/telemetry/check for one packet at
+//     one switch. It may touch ONLY (a) the packet, (b) that switch's
+//     per-switch checker state (tables/registers) and the forwarding
+//     program's switch-confined state, and (c) the ExecContext it is
+//     handed. Everything else it produces — reports, counter bumps, the
+//     forwarding decision, trace records — is returned in a HopResult.
+//   * commit_hop() applies a HopResult's global effects (report emission +
+//     callbacks, simulation counters, trace appends, transmission onto
+//     links, new event scheduling). Engines call it single-threaded in
+//     canonical (time, seq) order, so every global data structure evolves
+//     exactly as under serial execution.
+//
+// OWNERSHIP RULE (per-worker execution contexts): all per-packet scratch —
+// the interpreter instance (whose table-key buffer is reused across
+// lookups), the value-store scratch, the ExecOutcome scratch, the hot-path
+// observability handles, and the RNG stream — lives in an ExecContext, one
+// per engine worker, NEVER in the shared Deployment. A deployment-level
+// scratch buffer (as PR 1 had) is a latent shared-state hazard the moment
+// two switches process packets concurrently. A switch is statically
+// sharded to one context (shard_of), so per-switch state needs no locks.
 #pragma once
 
 #include <functional>
@@ -26,8 +53,13 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "p4rt/interp.hpp"
+#include "util/rng.hpp"
 
 namespace hydra::net {
+
+class ExecutionEngine;
+
+enum class EngineKind { kSerial, kParallel };
 
 struct ReportRecord {
   int deployment = -1;
@@ -42,15 +74,73 @@ struct ReportRecord {
   int hop_count = 0;
 };
 
+// Everything one hop's compute step produced that must be applied to
+// shared state; engines hand it back to Network::commit_hop in canonical
+// order.
+struct HopResult {
+  ForwardingProgram::Decision decision;
+  bool last_hop = false;
+  bool fwd_drop = false;
+  bool rejected = false;
+  bool traced = false;
+  std::vector<ReportRecord> reports;
+  obs::TraceHop hop;  // filled only when traced
+};
+
+// Per-worker execution context (see OWNERSHIP RULE above). The serial
+// engine has exactly one; the parallel engine one per worker, with switch
+// id statically mapped to a context by Network::shard_of.
+struct ExecContext {
+  struct PerDeployment {
+    std::unique_ptr<p4rt::Interp> interp;
+    // Per-packet value-store scratch reused across hops so the hot path
+    // does not allocate.
+    std::vector<BitVec> vals;
+    p4rt::ExecOutcome out;
+    // Hot-path counters, attached to `sink` while observability is on.
+    obs::Counter init_runs;
+    obs::Counter tele_runs;
+    obs::Counter check_runs;
+    obs::Counter rejects;
+    obs::Counter reports;
+  };
+  std::vector<PerDeployment> deps;  // indexed by deployment id
+  // Where this context's hot-path counters land: the main registry for the
+  // serial engine (and parallel shard 0), a shard-local shadow registry for
+  // parallel workers — merged into the main registry at drain barriers so
+  // snapshots are identical across engines and worker counts. Null while
+  // observability is off.
+  obs::Registry* sink = nullptr;
+  std::unique_ptr<obs::Registry> shadow;
+  // Per-worker deterministic RNG stream. Hot-path randomness must be keyed
+  // on packet/switch data (not drawn from a global stream) to keep results
+  // independent of the engine's interleaving.
+  Rng rng{0};
+  HopResult scratch;  // reused by serial (compute-then-commit) execution
+};
+
 class Network {
  public:
   explicit Network(Topology topo);
+  ~Network();
 
   EventQueue& events() { return events_; }
   const Topology& topo() const { return topo_; }
   Host& host(int node_id);
   Link& link(int index) { return links_[static_cast<std::size_t>(index)]; }
   std::size_t link_count() const { return links_.size(); }
+
+  // ---- execution engine -------------------------------------------------
+  // Selects how the event queue is drained. kSerial (the default) executes
+  // every event inline on the calling thread, bit-identical to the
+  // pre-engine simulator. kParallel runs a fixed pool of `workers` threads
+  // that execute same-epoch switch work concurrently, sharded by switch
+  // id; reports, metrics snapshots, and final switch state are identical
+  // to the serial engine for any worker count. `workers` <= 0 picks a
+  // default. Must be called while the event queue is idle.
+  void set_engine(EngineKind kind, int workers = 0);
+  EngineKind engine_kind() const { return engine_kind_; }
+  int engine_workers() const { return engine_workers_; }
 
   // ---- forwarding -------------------------------------------------------
   void set_program(int switch_id, std::shared_ptr<ForwardingProgram> prog);
@@ -90,9 +180,13 @@ class Network {
   // Push-based report delivery: callbacks fire at the simulation time the
   // report is raised (the switch-to-controller digest channel). Callbacks
   // may install table entries — that's the closed control loop the paper's
-  // stateful firewall uses.
+  // stateful firewall uses. Because such a callback may mutate state that
+  // same-epoch switch work reads, the parallel engine degrades to serial
+  // per-event execution while any callback is subscribed (determinism
+  // over speed; the serial engine is unaffected).
   using ReportCallback = std::function<void(const ReportRecord&)>;
   void subscribe_reports(ReportCallback callback);
+  bool has_report_callbacks() const { return !report_callbacks_.empty(); }
 
   // ---- traffic ----------------------------------------------------------
   // Sends from a host onto its access link at the current time.
@@ -130,11 +224,13 @@ class Network {
   // ---- observability ----------------------------------------------------
   // Off by default, and off means free: instrumented components hold
   // detached obs handles, so the only per-packet cost is a handful of
-  // predictable null-check branches. Enabling wires counters through every
-  // layer — per-table lookup hits/misses, interpreter instruction counts,
-  // per-switch forwarded/dropped/rejected, per-checker block-run and
-  // verdict counts — and arms the packet trace sampler. Disabling detaches
-  // every handle again before the registry is destroyed.
+  // predictable null-check branches — on both engines. Enabling wires
+  // counters through every layer — per-table lookup hits/misses,
+  // interpreter instruction counts, per-switch forwarded/dropped/rejected,
+  // per-checker block-run and verdict counts — and arms the packet trace
+  // sampler. Under the parallel engine, hot-path counters land in
+  // shard-local registries and are merged at drain barriers. Disabling
+  // detaches every handle again before the registry is destroyed.
   void set_observability(bool enabled);
   bool observability_enabled() const { return obs_ != nullptr; }
 
@@ -158,22 +254,36 @@ class Network {
 
   void reset_observability();
 
+  // ---- engine-facing API (internal to net/engine.cpp and tests) --------
+  // Side-effect-confined per-hop pipeline execution; see the execution
+  // engine contract at the top of this header. `t` is the event's
+  // timestamp (== now() by the time the result is committed).
+  void compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
+                   HopResult& result);
+  void commit_hop(SimTime t, SwitchWork&& work, HopResult&& result);
+  // compute + commit through the owning shard's context — the serial
+  // execution path.
+  void process_hop_serial(SimTime t, SwitchWork&& work);
+  int shard_of(int sw) const {
+    return engine_workers_ > 1 ? sw % engine_workers_ : 0;
+  }
+  ExecContext& context(int index) {
+    return contexts_[static_cast<std::size_t>(index)];
+  }
+  ExecContext& context_for_switch(int sw) { return context(shard_of(sw)); }
+  // Conservative lookahead: every switch-work event is scheduled at least
+  // this far after the event that creates it, so an engine may treat all
+  // events inside one lookahead window as a parallel epoch.
+  SimTime lookahead() const { return switch_latency(); }
+  // Adds shard-local counter accumulators into the main registry (no-op
+  // for the serial engine / while observability is off).
+  void absorb_shard_metrics();
+
  private:
   struct Deployment {
     std::shared_ptr<const compiler::CompiledChecker> checker;
-    std::unique_ptr<p4rt::Interp> interp;
     std::vector<p4rt::CheckerState> per_switch;  // indexed by node id
     int tele_wire_bytes = 0;
-    // Per-packet scratch reused across hops so the hot path does not
-    // allocate (packets are processed one at a time per deployment).
-    std::vector<BitVec> scratch_vals;
-    p4rt::ExecOutcome scratch_out;
-    // Observability handles; detached while observability is off.
-    obs::Counter init_runs;
-    obs::Counter tele_runs;
-    obs::Counter check_runs;
-    obs::Counter rejects;
-    obs::Counter reports;
   };
 
   struct SwitchObsCounters {
@@ -190,8 +300,15 @@ class Network {
     obs::Histogram delivered_hops;
   };
 
-  void wire_deployment_obs(Deployment& d);
-  void detach_deployment_obs(Deployment& d);
+  // Rebuilds per-worker execution contexts for the current engine and
+  // deployments, then rewires observability.
+  void rebuild_contexts();
+  void add_context_scratch(ExecContext& ctx, const Deployment& d);
+  // (Re)wires every hot-path obs handle to the registry of the shard that
+  // executes it (detaches everything when observability is off).
+  void rewire_observability();
+  // Registry that switch `sw`'s hot-path counters must target.
+  obs::Registry* registry_for_switch(int sw);
   // Builds one checker's trace record for the current hop. `before` holds
   // the telemetry values entering the hop (nullptr for the init run, whose
   // "before" is the zeroed fresh frame).
@@ -201,7 +318,6 @@ class Network {
       bool init, bool tele, bool check) const;
 
   void node_receive(int node, int port, p4rt::Packet pkt);
-  void switch_process(int sw, int in_port, p4rt::Packet pkt);
   void emit_report(ReportRecord record);
   void transmit(PortRef from, p4rt::Packet pkt);
   int packet_wire_bytes(const p4rt::Packet& pkt) const;
@@ -224,6 +340,12 @@ class Network {
   std::uint64_t next_packet_id_ = 1;
   bool wire_validation_ = false;
   std::unique_ptr<ObsState> obs_;  // null while observability is off
+  std::vector<ExecContext> contexts_;  // one per engine worker
+  EngineKind engine_kind_ = EngineKind::kSerial;
+  int engine_workers_ = 1;
+  // Declared last: the engine's worker threads may reference everything
+  // above, so they must be joined (engine destroyed) first.
+  std::unique_ptr<ExecutionEngine> engine_;
 };
 
 }  // namespace hydra::net

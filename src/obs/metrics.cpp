@@ -96,6 +96,17 @@ double Registry::gauge_value(const std::string& name) const {
   return gauges_[it->second.slot];
 }
 
+void Registry::absorb_counters(Registry& src) {
+  for (const auto& [name, m] : src.by_name_) {
+    if (m.kind != Kind::kCounter) continue;
+    std::uint64_t& v = src.counters_[m.slot];
+    // Register even when zero so exports list the same names regardless of
+    // which shard's switches happened to see traffic.
+    counters_[require(name, Kind::kCounter).slot] += v;
+    v = 0;
+  }
+}
+
 void Registry::reset() {
   for (auto& c : counters_) c = 0;
   for (auto& g : gauges_) g = 0.0;

@@ -104,6 +104,14 @@ class Registry {
   // Zeroes every value but keeps all registrations (handles stay valid).
   void reset();
 
+  // Adds every counter value held by `src` into the same-named counter
+  // here (registering it if absent), then zeroes `src`'s counters. The
+  // merge primitive for shard-local accumulator registries: workers bump
+  // counters in a private registry and the owner folds them into the main
+  // one at a barrier. Gauges and histograms are not absorbed — shards only
+  // produce counters.
+  void absorb_counters(Registry& src);
+
   // Deterministic exports: names sorted, stable float formatting.
   // JSON: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   std::string to_json() const;

@@ -74,8 +74,9 @@ class Interp {
   const ir::CheckerIR& ir_;
   // Scratch key buffer reused across table lookups so the per-packet hot
   // path does not allocate. Table-lookup instructions never nest (keys are
-  // pure rvalues), so a single buffer is safe. The interpreter is
-  // single-threaded per deployment, like the pipeline it models.
+  // pure rvalues), so a single buffer is safe. One Interp instance belongs
+  // to exactly one engine worker (net::ExecContext owns it — see the
+  // ownership rule in net/network.hpp); it is never shared across threads.
   mutable std::vector<BitVec> key_scratch_;
   InterpMetrics metrics_;  // detached unless observability is wired
 };

@@ -1,0 +1,272 @@
+// Serial-vs-parallel engine differential tests: the parallel engine must be
+// observationally identical to the serial engine — same reports in the same
+// order, same metrics snapshot, same final checker register/table state —
+// for any worker count, on randomized traffic over both reference fabrics.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "forwarding/ipv4_ecmp.hpp"
+#include "hydra/apps.hpp"
+#include "hydra/hydra.hpp"
+#include "net/engine.hpp"
+#include "net/network.hpp"
+#include "net/traffic.hpp"
+
+namespace hydra {
+namespace {
+
+// Canonical end-of-run observation of a network: everything the engine
+// contract promises is bit-identical across engines and worker counts.
+struct Snapshot {
+  std::string counters;
+  std::string reports;
+  std::string metrics;
+  std::string state;  // per-switch checker registers + table entries
+};
+
+std::string dump_counters(const net::Network::Counters& c) {
+  std::ostringstream os;
+  os << "inj=" << c.injected << " del=" << c.delivered
+     << " rej=" << c.rejected << " fwd_drop=" << c.fwd_dropped
+     << " q_drop=" << c.queue_dropped;
+  return os.str();
+}
+
+std::string dump_reports(const net::Network& net) {
+  std::ostringstream os;
+  for (const auto& r : net.reports()) {
+    os << r.deployment << '|' << r.checker << '|' << r.switch_id << '|'
+       << r.time << '|' << r.hop_count << '|' << r.flow.to_string();
+    for (const auto& v : r.values) os << '|' << v.to_string();
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string dump_state(net::Network& net) {
+  std::ostringstream os;
+  for (int dep = 0; dep < net.deployment_count(); ++dep) {
+    const ir::CheckerIR& ir = net.checker(dep).ir;
+    for (int sw = 0; sw < net.topo().node_count(); ++sw) {
+      if (net.topo().node(sw).kind != net::NodeKind::kSwitch) continue;
+      for (const auto& reg : ir.registers) {
+        auto& ra = net.checker_register(dep, sw, reg.name);
+        os << dep << '/' << sw << "/reg " << reg.name << ':';
+        for (std::size_t i = 0; i < ra.size(); ++i) {
+          os << ' ' << ra.read(i).value();
+        }
+        os << '\n';
+      }
+      for (const auto& table : ir.tables) {
+        auto& t = net.checker_table(dep, sw, table.name);
+        os << dep << '/' << sw << "/table " << table.name << ':';
+        for (const auto& e : t.entries()) {
+          os << " [p" << e.priority;
+          for (const auto& pat : e.patterns) {
+            os << ' ' << pat.value.to_string() << '&'
+               << pat.mask.to_string() << '/' << pat.prefix_len;
+          }
+          os << " ->";
+          for (const auto& v : e.action_data) os << ' ' << v.to_string();
+          os << ']';
+        }
+        os << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+Snapshot snapshot(net::Network& net) {
+  Snapshot s;
+  s.counters = dump_counters(net.counters());
+  s.reports = dump_reports(net);
+  s.metrics = net.metrics_json();
+  s.state = dump_state(net);
+  return s;
+}
+
+void expect_identical(const Snapshot& a, const Snapshot& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.counters, b.counters) << label;
+  EXPECT_EQ(a.reports, b.reports) << label;
+  EXPECT_EQ(a.metrics, b.metrics) << label;
+  EXPECT_EQ(a.state, b.state) << label;
+}
+
+// Runs `scenario` once per engine configuration (fresh network each time)
+// and checks every parallel run against the serial baseline.
+void run_differential(
+    const std::function<Snapshot(net::EngineKind, int)>& scenario) {
+  const Snapshot base = scenario(net::EngineKind::kSerial, 0);
+  ASSERT_FALSE(base.counters.empty());
+  for (const int workers : {1, 2, 8}) {
+    const Snapshot par = scenario(net::EngineKind::kParallel, workers);
+    expect_identical(base, par,
+                     "parallel:" + std::to_string(workers) + " vs serial");
+  }
+}
+
+// Same-timestamp burst: many packets injected at one simulation instant,
+// exercising the engine's same-t event grouping.
+void burst(net::Network& net, int src, int dst, double at, int n) {
+  const std::uint32_t sip = net.topo().node(src).ip;
+  const std::uint32_t dip = net.topo().node(dst).ip;
+  net.events().schedule_at(at, [&net, src, sip, dip, n] {
+    for (int i = 0; i < n; ++i) {
+      net.send_from_host(
+          src, p4rt::make_udp(sip, dip,
+                              static_cast<std::uint16_t>(7000 + i), 2000,
+                              200 + 16 * i));
+    }
+  });
+}
+
+TEST(EngineDifferential, LeafSpineRandomTraffic) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(4, 4, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    net.set_observability(true);
+
+    const int lb = net.deploy(compile_library_checker("dc_uplink_load_balance"));
+    configure_load_balance(net, lb, fabric, 4000);
+    const int ud = net.deploy(compile_library_checker("up_down_routing"));
+    configure_up_down(net, ud, fabric);
+
+    // Randomized cross-leaf UDP flows (Poisson arrivals, fixed seeds).
+    net::UdpFlood f1(net, fabric.hosts[0][0], fabric.hosts[3][1], 0.7, 900);
+    f1.set_poisson(11);
+    net::UdpFlood f2(net, fabric.hosts[1][1], fabric.hosts[2][0], 0.5, 300);
+    f2.set_poisson(23);
+    net::CampusReplay replay(net, fabric.hosts[2][1], fabric.hosts[0][1],
+                             60000.0, 7);
+    f1.start(0.0, 2e-3);
+    f2.start(0.0, 2e-3);
+    replay.start(0.0, 2e-3);
+    burst(net, fabric.hosts[0][1], fabric.hosts[3][0], 1e-3, 24);
+    net.events().run();
+    return snapshot(net);
+  });
+}
+
+TEST(EngineDifferential, FatTreeRandomTraffic) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto ft = net::make_fat_tree(4);
+    net::Network net(ft.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_fat_tree_routing(net, ft);
+    net.set_observability(true);
+
+    const int ud = net.deploy(compile_library_checker("up_down_routing"));
+    configure_up_down(net, ud, ft);
+
+    // Cross-pod and intra-pod mixes from every pod.
+    net::CampusReplay replay(net, ft.hosts[0][0][0], ft.hosts[3][1][1],
+                             80000.0, 99);
+    net::UdpFlood f1(net, ft.hosts[1][0][1], ft.hosts[2][1][0], 0.8, 1200);
+    f1.set_poisson(5);
+    net::UdpFlood f2(net, ft.hosts[2][0][0], ft.hosts[2][1][1], 0.6, 256);
+    f2.set_poisson(17);
+    replay.start(0.0, 1.5e-3);
+    f1.start(0.0, 1.5e-3);
+    f2.start(0.0, 1.5e-3);
+    burst(net, ft.hosts[3][0][0], ft.hosts[0][1][0], 8e-4, 32);
+    net.events().run();
+    return snapshot(net);
+  });
+}
+
+// Closed control loop (report callback installs table entries): the
+// parallel engine must degrade to serial per-event execution and still
+// match the serial engine exactly, including mid-simulation rule installs.
+TEST(EngineDifferential, FirewallControlLoopDegradesDeterministically) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(2, 2, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    net.set_observability(true);
+
+    const int dep = net.deploy(compile_library_checker("stateful_firewall"));
+    apps::FirewallAgent agent(net, dep);
+    const auto ip = [&](int h) { return net.topo().node(h).ip; };
+    net.dict_insert_all(dep, "allowed",
+                        {BitVec(32, ip(fabric.hosts[0][0])),
+                         BitVec(32, ip(fabric.hosts[1][0]))},
+                        {BitVec::from_bool(true)});
+    net.send_from_host(fabric.hosts[0][0],
+                       p4rt::make_udp(ip(fabric.hosts[0][0]),
+                                      ip(fabric.hosts[1][0]), 1000, 2000,
+                                      64));
+    net.events().run();
+    // Reverse traffic now flows thanks to the agent's installs.
+    net.send_from_host(fabric.hosts[1][0],
+                       p4rt::make_udp(ip(fabric.hosts[1][0]),
+                                      ip(fabric.hosts[0][0]), 2000, 1000,
+                                      64));
+    net.events().run();
+    EXPECT_EQ(agent.rules_installed(), 1u);
+    EXPECT_EQ(net.counters().rejected, 0u);
+    return snapshot(net);
+  });
+}
+
+// Switching engines mid-lifetime (between drains) preserves behaviour.
+TEST(EngineDifferential, EngineSwapBetweenRuns) {
+  auto run = [](bool swap) {
+    auto fabric = net::make_leaf_spine(2, 2, 2);
+    net::Network net(fabric.topo);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    net.set_observability(true);
+    const int ud = net.deploy(compile_library_checker("up_down_routing"));
+    configure_up_down(net, ud, fabric);
+    net::UdpFlood f(net, fabric.hosts[0][0], fabric.hosts[1][1], 0.4, 700);
+    f.set_poisson(3);
+    f.start(0.0, 5e-4);
+    net.events().run_until(2.5e-4);
+    if (swap) net.set_engine(net::EngineKind::kParallel, 4);
+    net.events().run();
+    return snapshot(net);
+  };
+  const Snapshot serial = run(false);
+  const Snapshot swapped = run(true);
+  expect_identical(serial, swapped, "mid-run engine swap");
+}
+
+TEST(EngineSpec, ParseAndName) {
+  int workers = -1;
+  EXPECT_EQ(net::parse_engine_kind("serial", &workers),
+            net::EngineKind::kSerial);
+  EXPECT_EQ(workers, 0);
+  EXPECT_EQ(net::parse_engine_kind("parallel", &workers),
+            net::EngineKind::kParallel);
+  EXPECT_EQ(workers, 0);
+  EXPECT_EQ(net::parse_engine_kind("parallel:6", &workers),
+            net::EngineKind::kParallel);
+  EXPECT_EQ(workers, 6);
+  EXPECT_THROW(net::parse_engine_kind("turbo", nullptr),
+               std::invalid_argument);
+  EXPECT_STREQ(net::engine_kind_name(net::EngineKind::kSerial), "serial");
+  EXPECT_STREQ(net::engine_kind_name(net::EngineKind::kParallel),
+               "parallel");
+}
+
+TEST(EngineSpec, NetworkReportsEngineSelection) {
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  EXPECT_EQ(net.engine_kind(), net::EngineKind::kSerial);
+  EXPECT_EQ(net.engine_workers(), 1);
+  net.set_engine(net::EngineKind::kParallel, 3);
+  EXPECT_EQ(net.engine_kind(), net::EngineKind::kParallel);
+  EXPECT_EQ(net.engine_workers(), 3);
+  net.set_engine(net::EngineKind::kSerial);
+  EXPECT_EQ(net.engine_workers(), 1);
+}
+
+}  // namespace
+}  // namespace hydra

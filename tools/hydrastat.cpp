@@ -8,6 +8,8 @@
 //   $ ./hydrastat                          # aether scenario, JSON to stdout
 //   $ ./hydrastat --scenario leafspine
 //   $ ./hydrastat --out hydrastat.json     # narrative to stdout, JSON to file
+//   $ ./hydrastat --engine parallel --workers 4   # replay on the parallel
+//                                                 # engine; output identical
 //
 // Scenarios:
 //   aether    — the §5.2 application-filtering bug: a client attaches, the
@@ -22,10 +24,13 @@
 #include <cstring>
 #include <string>
 
+#include <cstdlib>
+
 #include "aether/controller.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
 #include "forwarding/upf.hpp"
 #include "hydra/hydra.hpp"
+#include "net/engine.hpp"
 #include "net/network.hpp"
 
 using namespace hydra;
@@ -102,14 +107,21 @@ void leafspine_scenario(net::Network& net, const net::LeafSpine& fabric) {
 int main(int argc, char** argv) {
   std::string scenario = "aether";
   std::string out_path;
+  net::EngineKind engine = net::EngineKind::kSerial;
+  int workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       scenario = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = net::parse_engine_kind(argv[++i], &workers);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scenario aether|leafspine] [--out FILE]\n",
+                   "usage: %s [--scenario aether|leafspine] [--out FILE] "
+                   "[--engine serial|parallel[:N]] [--workers N]\n",
                    argv[0]);
       return 2;
     }
@@ -117,6 +129,9 @@ int main(int argc, char** argv) {
 
   auto fabric = net::make_leaf_spine(2, 2, 2);
   net::Network net(fabric.topo);
+  // Engine choice never changes what a scenario observes — traces, reports
+  // and metrics below are identical by the engine contract.
+  net.set_engine(engine, workers);
   if (scenario == "aether") {
     aether_scenario(net, fabric);
   } else if (scenario == "leafspine") {
