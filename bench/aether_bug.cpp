@@ -4,7 +4,15 @@
 // Hydra reports each one.
 //
 //   $ ./aether_bug
+//   $ ./aether_bug --json                  # also write BENCH_aether_bug.json
+//   $ ./aether_bug --json sweep.json       # ... to a chosen path
+//
+// The JSON document carries the sweep table, the run's reject/report
+// totals, and — with the forensics flight recorder armed — the first
+// violation's full forensic report (obs::violation_json), so the bug's
+// diagnosis is machine-readable without re-running the tool.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,17 +31,21 @@ struct Outcome {
   std::uint64_t silently_dropped = 0;
   std::uint64_t hydra_reports = 0;
   std::uint64_t new_client_ok = 0;
+  std::uint64_t rejected = 0;
   // One representative report, showing the flow identity Hydra attaches.
   std::string sample_report;
+  // First assembled ViolationReport as JSON (forensics runs only).
+  std::string first_violation_json;
 };
 
-Outcome run(int old_clients) {
+Outcome run(int old_clients, bool forensics) {
   auto fabric = net::make_leaf_spine(2, 2, 2);
   net::Network net(fabric.topo);
   auto routing = fwd::install_leaf_spine_routing(net, fabric);
   auto upf = std::make_shared<fwd::UpfProgram>(routing);
   net.set_program(fabric.leaves[0], upf);
   const int dep = net.deploy(compile_library_checker("application_filtering"));
+  if (forensics) net.set_forensics(true);
   aether::AetherController ctl(net, upf, dep);
   ctl.define_slice(aether::example_camera_slice(1));
 
@@ -84,6 +96,7 @@ Outcome run(int old_clients) {
   for (const auto& [ue, teid] : ues) uplink(ue, teid, 81);
   out.silently_dropped = upf->termination_drops() - drops0;
   out.hydra_reports = net.reports().size() - reports0;
+  out.rejected = net.counters().rejected;
   if (net.reports().size() > reports0) {
     const net::ReportRecord& r = net.reports()[reports0];
     out.sample_report = "checker=" + r.checker +
@@ -91,12 +104,28 @@ Outcome run(int old_clients) {
                         " flow=" + r.flow.to_string() +
                         " hop=" + std::to_string(r.hop_count);
   }
+  if (forensics && !net.violation_reports().empty()) {
+    out.first_violation_json =
+        obs::violation_json(net.violation_reports().front());
+  }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path = "BENCH_aether_bug.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json [FILE]]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("Aether application-filtering bug sweep (§5.2, Figure 11)\n");
   std::printf("scenario: N clients attach -> operator updates rule "
               "(81 -> 81-82, prio up) -> client N+1 attaches\n\n");
@@ -104,13 +133,27 @@ int main() {
               "silently dropped", "Hydra reports");
   bool all_detected = true;
   std::string sample;
+  std::string first_violation;
+  std::uint64_t total_reports = 0;
+  std::uint64_t total_rejects = 0;
+  std::string rows;
   for (int n : {1, 2, 4, 8, 16}) {
-    const Outcome o = run(n);
+    // Forensics is armed only for the JSON run, so the default invocation
+    // measures exactly what it always measured.
+    const Outcome o = run(n, json);
     std::printf("%12d %14llu %18llu %14llu\n", o.old_clients,
                 static_cast<unsigned long long>(o.new_client_ok),
                 static_cast<unsigned long long>(o.silently_dropped),
                 static_cast<unsigned long long>(o.hydra_reports));
     if (sample.empty()) sample = o.sample_report;
+    if (first_violation.empty()) first_violation = o.first_violation_json;
+    total_reports += o.hydra_reports;
+    total_rejects += o.rejected;
+    if (!rows.empty()) rows += ",\n";
+    rows += "    {\"old_clients\": " + std::to_string(o.old_clients) +
+            ", \"new_client_ok\": " + std::to_string(o.new_client_ok) +
+            ", \"silently_dropped\": " + std::to_string(o.silently_dropped) +
+            ", \"hydra_reports\": " + std::to_string(o.hydra_reports) + "}";
     all_detected = all_detected &&
                    o.silently_dropped == static_cast<std::uint64_t>(n) &&
                    o.hydra_reports == o.silently_dropped;
@@ -123,5 +166,26 @@ int main() {
                   ? "every silent drop produced exactly one Hydra report at "
                     "the switch where it happened (matches the paper)"
                   : "DETECTION MISMATCH");
+
+  if (json) {
+    std::string doc = "{\n  \"bench\": \"aether_bug\",\n  \"sweep\": [\n" +
+                      rows + "\n  ],\n  \"reports\": " +
+                      std::to_string(total_reports) +
+                      ",\n  \"rejects\": " + std::to_string(total_rejects) +
+                      ",\n  \"all_detected\": " +
+                      (all_detected ? "true" : "false") +
+                      ",\n  \"first_violation\": " +
+                      (first_violation.empty() ? std::string("null")
+                                               : first_violation) +
+                      "\n}\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return all_detected ? 0 : 1;
 }

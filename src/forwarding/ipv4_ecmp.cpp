@@ -71,17 +71,20 @@ Ipv4EcmpProgram::Decision Ipv4EcmpProgram::process(p4rt::Packet& pkt,
   Decision d;
   if (!pkt.ipv4) {
     d.drop = true;
+    d.reason = "no_ipv4";
     return d;
   }
   if (pkt.ipv4->ttl == 0) {
     ttl_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
+    d.reason = "ttl_expired";
     return d;
   }
   const auto it = switches_.find(switch_id);
   if (it == switches_.end()) {
     miss_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
+    d.reason = "unknown_switch";
     return d;
   }
   const p4rt::TableEntry* entry =
@@ -89,6 +92,7 @@ Ipv4EcmpProgram::Decision Ipv4EcmpProgram::process(p4rt::Packet& pkt,
   if (entry == nullptr) {
     miss_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
+    d.reason = "no_route";
     return d;
   }
   const auto& group =

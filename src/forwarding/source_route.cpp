@@ -12,6 +12,7 @@ SourceRouteProgram::Decision SourceRouteProgram::process(p4rt::Packet& pkt,
   if (!pkt.has_sr || pkt.sr_stack.empty()) {
     underflow_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
+    d.reason = "sr_underflow";
     return d;
   }
   d.eg_port = pkt.sr_stack.back();

@@ -87,6 +87,7 @@ UpfProgram::Decision UpfProgram::process(p4rt::Packet& pkt, int in_port,
     if (s == nullptr) {
       session_miss_drops_.fetch_add(1, std::memory_order_relaxed);
       d.drop = true;
+      d.reason = "session_miss";
       return d;
     }
     client_id = static_cast<std::uint32_t>(s->action_data[0].value());
@@ -132,6 +133,7 @@ UpfProgram::Decision UpfProgram::process(p4rt::Packet& pkt, int in_port,
     if (term == nullptr || !term->action_data[0].as_bool()) {
       termination_drops_.fetch_add(1, std::memory_order_relaxed);
       d.drop = true;
+      d.reason = "no_termination";
       return d;
     }
   }

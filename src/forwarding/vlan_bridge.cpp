@@ -21,6 +21,7 @@ VlanBridgeProgram::Decision VlanBridgeProgram::process(p4rt::Packet& pkt,
   const auto it = switches_.find(switch_id);
   if (it == switches_.end() || !pkt.vlan) {
     d.drop = true;
+    d.reason = "no_vlan";
     return d;
   }
   PerSwitch& sw = it->second;
@@ -30,6 +31,7 @@ VlanBridgeProgram::Decision VlanBridgeProgram::process(p4rt::Packet& pkt,
   if (mem == sw.members.end() || mem->second.count(vid) == 0U) {
     membership_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
+    d.reason = "ingress_membership";
     return d;
   }
   const p4rt::TableEntry* e =
@@ -37,6 +39,7 @@ VlanBridgeProgram::Decision VlanBridgeProgram::process(p4rt::Packet& pkt,
   if (e == nullptr) {
     l2_miss_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
+    d.reason = "l2_miss";
     return d;
   }
   const int out = static_cast<int>(e->action_data[0].value());
@@ -44,6 +47,7 @@ VlanBridgeProgram::Decision VlanBridgeProgram::process(p4rt::Packet& pkt,
   if (out_mem == sw.members.end() || out_mem->second.count(vid) == 0U) {
     membership_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
+    d.reason = "egress_membership";
     return d;
   }
   d.eg_port = out;

@@ -33,11 +33,19 @@ void ExecutionEngine::drain_spawned_before(EventQueue& q, SimTime t) {
 // ---------------------------------------------------------------------------
 
 void SerialEngine::drain(EventQueue& q, SimTime limit) {
+  // Null unless profiling is armed; one branch per event otherwise.
+  obs::EngineProfiler* prof = net_->engine_profiler_ptr();
   while (q.has_ready(limit)) {
     EventQueue::Item item = q.pop_next();
     q.advance_now(item.t);
     if (item.is_switch_work) {
-      net_->process_hop_serial(item.t, std::move(item.work));
+      if (prof != nullptr) {
+        const double t0 = prof->now_us();
+        net_->process_hop_serial(item.t, std::move(item.work));
+        prof->serial_hop(t0, prof->now_us());
+      } else {
+        net_->process_hop_serial(item.t, std::move(item.work));
+      }
     } else {
       item.fn();
     }
@@ -88,12 +96,18 @@ void ParallelEngine::worker_main(int shard) {
 
 void ParallelEngine::compute_shard(int shard) {
   try {
+    const double t0 = prof_ != nullptr ? prof_->now_us() : 0.0;
+    std::size_t computed = 0;
     ExecContext& ctx = net_->context(shard);
     for (std::size_t i = 0; i < window_.size(); ++i) {
       EventQueue::Item& item = window_[i];
       if (!item.is_switch_work) continue;
       if (net_->shard_of(item.work.sw) != shard) continue;
       net_->compute_hop(ctx, item.t, item.work, results_[i]);
+      ++computed;
+    }
+    if (prof_ != nullptr) {
+      prof_->compute(shard, t0, prof_->now_us(), computed);
     }
   } catch (...) {
     errors_[static_cast<std::size_t>(shard)] = std::current_exception();
@@ -101,6 +115,7 @@ void ParallelEngine::compute_shard(int shard) {
 }
 
 void ParallelEngine::run_window(EventQueue& q) {
+  const double e0 = prof_ != nullptr ? prof_->now_us() : 0.0;
   std::size_t switch_items = 0;
   for (const auto& item : window_) {
     if (item.is_switch_work) ++switch_items;
@@ -109,9 +124,15 @@ void ParallelEngine::run_window(EventQueue& q) {
   // Closed control loop subscribed: a commit may mutate state that later
   // same-window compute reads, so fall back to serial per-event execution
   // (see the degradation rule in the header).
-  const bool serial_window =
-      net_->has_report_callbacks() || switch_items < kDispatchThreshold ||
-      workers_ == 1;
+  const char* mode = "parallel";
+  if (net_->has_report_callbacks()) {
+    mode = "callbacks";
+  } else if (workers_ == 1) {
+    mode = "one_worker";
+  } else if (switch_items < kDispatchThreshold) {
+    mode = "small_window";
+  }
+  const bool serial_window = mode[0] != 'p';
 
   if (serial_window) {
     for (auto& item : window_) {
@@ -122,6 +143,9 @@ void ParallelEngine::run_window(EventQueue& q) {
       } else {
         item.fn();
       }
+    }
+    if (prof_ != nullptr) {
+      prof_->epoch(e0, prof_->now_us(), window_.size(), switch_items, mode);
     }
     return;
   }
@@ -136,15 +160,18 @@ void ParallelEngine::run_window(EventQueue& q) {
   }
   cv_work_.notify_all();
   compute_shard(0);
+  const double b0 = prof_ != nullptr ? prof_->now_us() : 0.0;
   {
     std::unique_lock<std::mutex> lock(m_);
     cv_done_.wait(lock, [&] { return remaining_ == 0; });
   }
+  if (prof_ != nullptr) prof_->barrier(b0, prof_->now_us());
   for (const auto& err : errors_) {
     if (err) std::rethrow_exception(err);
   }
 
   // COMMIT: canonical (t, seq) order, merging in spawned closures.
+  const double c0 = prof_ != nullptr ? prof_->now_us() : 0.0;
   for (std::size_t i = 0; i < window_.size(); ++i) {
     EventQueue::Item& item = window_[i];
     drain_spawned_before(q, item.t);
@@ -155,13 +182,24 @@ void ParallelEngine::run_window(EventQueue& q) {
       item.fn();
     }
   }
+  if (prof_ != nullptr) {
+    const double c1 = prof_->now_us();
+    prof_->commit(c0, c1);
+    prof_->epoch(e0, c1, window_.size(), switch_items, mode);
+  }
 }
 
 void ParallelEngine::drain(EventQueue& q, SimTime limit) {
+  // Refreshed while the pool is idle; the epoch handshake publishes it.
+  prof_ = net_->engine_profiler_ptr();
   while (q.has_ready(limit)) {
     const SimTime t0 = q.next_time();
     window_.clear();
+    const double p0 = prof_ != nullptr ? prof_->now_us() : 0.0;
     q.pop_window(limit, t0 + net_->lookahead(), window_);
+    if (prof_ != nullptr) {
+      prof_->pop_window(p0, prof_->now_us(), window_.size());
+    }
     run_window(q);
   }
   net_->absorb_shard_metrics();

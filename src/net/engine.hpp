@@ -91,6 +91,9 @@ class ParallelEngine final : public ExecutionEngine {
   std::vector<EventQueue::Item> window_;
   std::vector<HopResult> results_;  // parallel to window_
   std::vector<std::exception_ptr> errors_;  // per shard
+  // Phase profiler, refreshed at drain entry while the pool is idle (the
+  // epoch handshake's mutex publishes it to workers). Null unless armed.
+  obs::EngineProfiler* prof_ = nullptr;
 
   // Epoch handshake: the main thread publishes window_/results_ under m_,
   // bumps epoch_ and waits for remaining_ to hit zero; workers wake on

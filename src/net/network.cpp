@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
@@ -290,12 +291,18 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     }
   };
 
+  // Flight recorder armed? Provenance buffers are cleared here (and
+  // accumulated across the init+tele+check runs of one hop); the interp's
+  // provenance pointer itself is wired by rewire_observability.
+  const bool forensic = obs_ != nullptr && obs_->recorder != nullptr;
+
   // 1. Hydra init at the first hop: create and fill telemetry frames.
   if (hctx.first_hop) {
     for (std::size_t di = 0; di < deployments_.size(); ++di) {
       Deployment& d = deployments_[di];
       ExecContext::PerDeployment& pd = ctx.deps[di];
       pd.init_runs.inc();
+      if (forensic) pd.prov.clear();
       pd.interp->reset_store(pd.vals);
       std::vector<BitVec>& vals = pd.vals;
       p4rt::ExecOutcome& out = pd.out;
@@ -347,6 +354,9 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     pd.tele_runs.inc();
     std::vector<BitVec> trace_before;  // traced packets only
     if (hop != nullptr) trace_before = frame->values;
+    // At the first hop the provenance buffer still holds the init run's
+    // captures; this hop's record covers init+tele+check together.
+    if (forensic && !hctx.first_hop) pd.prov.clear();
     pd.interp->reset_store(pd.vals);
     std::vector<BitVec>& vals = pd.vals;
     pd.interp->load_frame(*frame, vals);
@@ -385,6 +395,11 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     }
     if (out.reject) pd.rejects.inc();
     pd.reports.inc(out.reports.size());
+    if (forensic) {
+      record_hop_forensics(pd, di, pkt, hctx, t, &decision, out,
+                           /*ran_init=*/hctx.first_hop, /*ran_tele=*/true,
+                           run_check);
+    }
     collect_reports(di, d, out);
     rejected = rejected || out.reject;
   }
@@ -406,8 +421,15 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
   res.rejected = rejected;
 }
 
-void Network::commit_hop(SimTime /*t*/, SwitchWork&& work, HopResult&& res) {
+void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
   const int sw = work.sw;
+  // Forensics reconstruction runs before the reports are moved out, and on
+  // the commit path only — canonical (t, seq) order, so the stored
+  // ViolationReports are identical across engines.
+  if (obs_ != nullptr && obs_->recorder != nullptr &&
+      (res.rejected || !res.reports.empty())) {
+    build_violation(work, res, t);
+  }
   for (auto& rec : res.reports) emit_report(std::move(rec));
   if (res.traced) {
     if (obs::PacketTrace* tr = obs_->traces.active(work.pkt.id)) {
@@ -506,6 +528,202 @@ obs::CheckerHopRecord Network::trace_checker_record(
   return rec;
 }
 
+// ---- forensics ------------------------------------------------------------
+
+void Network::record_hop_forensics(ExecContext::PerDeployment& pd,
+                                   std::size_t di, const p4rt::Packet& pkt,
+                                   const HopContext& hctx, SimTime t,
+                                   const ForwardingProgram::Decision* dec,
+                                   const p4rt::ExecOutcome& out,
+                                   bool ran_init, bool ran_tele,
+                                   bool ran_check) {
+  obs::HopRecord& rec = obs_->recorder->append(hctx.switch_id);
+  rec.packet_id = pkt.id;
+  rec.hop = pkt.hops;
+  rec.switch_id = hctx.switch_id;
+  rec.deployment = static_cast<int>(di);
+  rec.time = t;
+  rec.in_port = hctx.in_port;
+  rec.eg_port = hctx.eg_port;
+  rec.first_hop = hctx.first_hop;
+  rec.last_hop = hctx.last_hop;
+  rec.fwd_drop = hctx.fwd_drop;
+  rec.reject = out.reject;
+  rec.ran_init = ran_init;
+  rec.ran_tele = ran_tele;
+  rec.ran_check = ran_check;
+  rec.report_count = static_cast<std::uint8_t>(
+      out.reports.size() < 255 ? out.reports.size() : 255);
+  rec.fwd_reason = dec != nullptr ? dec->reason : nullptr;
+  for (const auto& th : pd.prov.table_hits) {
+    rec.add_table_hit(static_cast<std::int16_t>(th.table), th.entry, th.hit);
+  }
+  for (const auto& rt : pd.prov.reg_touches) {
+    rec.add_reg_touch(static_cast<std::int16_t>(rt.reg), rt.wrote, rt.before,
+                      rt.after);
+  }
+  const ir::CheckerIR& ir = deployments_[di].checker->ir;
+  const p4rt::TeleFrame* frame = pkt.frame(static_cast<int>(di));
+  if (frame != nullptr) {
+    for (std::size_t i = 0; i < ir.fields.size(); ++i) {
+      if (ir.fields[i].space != ir::Space::kTele) continue;
+      rec.add_tele(static_cast<std::int16_t>(i),
+                   i < frame->values.size() ? frame->values[i].value() : 0);
+    }
+  }
+}
+
+void Network::build_violation(const SwitchWork& work, const HopResult& res,
+                              SimTime t) {
+  ++obs_->violations_seen;
+  if (obs_->violations.size() >= kMaxViolationReports) return;
+
+  std::vector<const obs::HopRecord*> recs;
+  obs_->recorder->collect(work.pkt.id, recs);
+  std::sort(recs.begin(), recs.end(),
+            [](const obs::HopRecord* a, const obs::HopRecord* b) {
+              if (a->hop != b->hop) return a->hop < b->hop;
+              return a->deployment < b->deployment;
+            });
+
+  obs::ViolationReport vr;
+  vr.packet_id = work.pkt.id;
+  vr.flow = p4rt::flow_of(work.pkt).to_string();
+  vr.kind = res.rejected ? "reject" : "report";
+  vr.switch_id = work.sw;
+  vr.switch_name = topo_.node(work.sw).name;
+  vr.time = t;
+  vr.hop_count = work.pkt.hops;
+  for (const auto& rep : res.reports) {
+    std::vector<std::uint64_t> payload;
+    payload.reserve(rep.values.size());
+    for (const auto& v : rep.values) payload.push_back(v.value());
+    vr.report_payloads.push_back(std::move(payload));
+  }
+  // Checkers behind the verdict: final-hop records that rejected/reported.
+  for (const obs::HopRecord* r : recs) {
+    if (r->hop != work.pkt.hops || (!r->reject && r->report_count == 0)) {
+      continue;
+    }
+    const std::string& name =
+        deployments_[static_cast<std::size_t>(r->deployment)].checker->name;
+    if (std::find(vr.checkers.begin(), vr.checkers.end(), name) ==
+        vr.checkers.end()) {
+      vr.checkers.push_back(name);
+    }
+  }
+  // One ViolationHop per hop number; one checker entry per record.
+  for (const obs::HopRecord* r : recs) {
+    if (vr.hops.empty() || vr.hops.back().hop != r->hop) {
+      obs::ViolationHop vh;
+      vh.hop = r->hop;
+      vh.switch_id = r->switch_id;
+      vh.switch_name = topo_.node(r->switch_id).name;
+      vh.time = r->time;
+      vh.in_port = r->in_port;
+      vh.eg_port = r->eg_port;
+      vh.first_hop = r->first_hop;
+      vh.last_hop = r->last_hop;
+      vh.fwd_drop = r->fwd_drop;
+      vh.fwd_reason = r->fwd_reason != nullptr ? r->fwd_reason : "";
+      vr.hops.push_back(std::move(vh));
+    }
+    const ir::CheckerIR& ir =
+        deployments_[static_cast<std::size_t>(r->deployment)].checker->ir;
+    obs::ViolationHopChecker vc;
+    vc.checker =
+        deployments_[static_cast<std::size_t>(r->deployment)].checker->name;
+    vc.ran_init = r->ran_init;
+    vc.ran_tele = r->ran_tele;
+    vc.ran_check = r->ran_check;
+    vc.reject = r->reject;
+    vc.report_count = r->report_count;
+    vc.provenance_truncated = r->truncated != 0;
+    for (int i = 0; i < r->n_table_hits; ++i) {
+      const auto& th = r->table_hits[i];
+      vc.table_hits.push_back(
+          {ir.tables[static_cast<std::size_t>(th.table)].name, th.entry,
+           th.hit});
+    }
+    for (int i = 0; i < r->n_reg_touches; ++i) {
+      const auto& rt = r->reg_touches[i];
+      vc.reg_touches.push_back(
+          {ir.registers[static_cast<std::size_t>(rt.reg)].name, rt.wrote,
+           rt.before, rt.after});
+    }
+    for (int i = 0; i < r->n_tele; ++i) {
+      const auto& tv = r->tele[i];
+      vc.tele.push_back(
+          {ir.fields[static_cast<std::size_t>(tv.field)].name, tv.value});
+    }
+    vr.hops.back().checkers.push_back(std::move(vc));
+  }
+  // Truncated when the rings have already evicted the first-hop records
+  // (or the packet entered the network before forensics was armed).
+  vr.truncated = vr.hops.empty() || !vr.hops.front().first_hop;
+  obs::detail::note_forensics_allocation();
+  obs_->violations.push_back(std::move(vr));
+}
+
+void Network::set_forensics(bool enabled, std::size_t ring_capacity) {
+  if (!enabled) {
+    if (obs_ == nullptr || obs_->recorder == nullptr) return;
+    obs_->recorder.reset();
+    obs_->violations.clear();
+    obs_->violations_seen = 0;
+    rewire_observability();  // disarms interpreter provenance capture
+    return;
+  }
+  if (ring_capacity == 0) {
+    throw std::invalid_argument("set_forensics: ring_capacity must be > 0");
+  }
+  set_observability(true);
+  if (obs_->recorder != nullptr &&
+      obs_->recorder->capacity() == ring_capacity) {
+    return;
+  }
+  obs_->recorder = std::make_unique<obs::FlightRecorder>(topo_.node_count(),
+                                                         ring_capacity);
+  rewire_observability();
+}
+
+const std::vector<obs::ViolationReport>& Network::violation_reports() const {
+  static const std::vector<obs::ViolationReport> kEmpty;
+  return obs_ != nullptr ? obs_->violations : kEmpty;
+}
+
+std::string Network::violation_reports_json() const {
+  return obs::violations_json(violation_reports());
+}
+
+void Network::clear_violation_reports() {
+  if (obs_ == nullptr) return;
+  obs_->violations.clear();
+  obs_->violations_seen = 0;
+}
+
+// ---- engine phase profiling -----------------------------------------------
+
+void Network::set_engine_profiling(bool enabled) {
+  if (!enabled) {
+    if (obs_ == nullptr || obs_->profiler == nullptr) return;
+    obs_->profiler.reset();
+    return;
+  }
+  set_observability(true);
+  if (obs_->profiler != nullptr) return;
+  obs_->profiler = std::make_unique<obs::EngineProfiler>();
+  rewire_observability();
+}
+
+obs::EngineProfiler& Network::engine_profiler() {
+  if (obs_ == nullptr || obs_->profiler == nullptr) {
+    throw std::logic_error(
+        "engine profiling is off; call set_engine_profiling(true) first");
+  }
+  return *obs_->profiler;
+}
+
 obs::Registry* Network::registry_for_switch(int sw) {
   return contexts_[static_cast<std::size_t>(shard_of(sw))].sink;
 }
@@ -521,6 +739,7 @@ void Network::rewire_observability() {
         pd.rejects = {};
         pd.reports = {};
         pd.interp->attach_metrics({});
+        pd.interp->set_provenance(nullptr);
       }
       ctx.sink = nullptr;
       ctx.shadow.reset();
@@ -568,6 +787,10 @@ void Network::rewire_observability() {
       im.reg_reads = reg.counter("p4rt.interp." + cn + ".reg_reads");
       im.reg_writes = reg.counter("p4rt.interp." + cn + ".reg_writes");
       pd.interp->attach_metrics(im);
+      // Provenance capture feeds the flight recorder; disarmed (one branch
+      // per lookup/register op) unless forensics is on.
+      pd.interp->set_provenance(obs_->recorder != nullptr ? &pd.prov
+                                                          : nullptr);
     }
   }
 
@@ -606,6 +829,19 @@ void Network::rewire_observability() {
           if (switch_id < 0) return &obs_->registry;
           return registry_for_switch(switch_id);
         });
+  }
+
+  // Engine phase profiler: main-loop histograms into the main registry,
+  // each shard's compute histogram into that shard's sink (same name, so
+  // barrier merges aggregate them).
+  if (obs_->profiler != nullptr) {
+    obs::EngineProfiler& prof = *obs_->profiler;
+    if (prof.workers() != engine_workers_) prof.configure(engine_workers_);
+    prof.detach();
+    prof.attach_main(obs_->registry);
+    for (std::size_t i = 0; i < contexts_.size(); ++i) {
+      prof.attach_worker(static_cast<int>(i), *contexts_[i].sink);
+    }
   }
 }
 
@@ -726,6 +962,10 @@ void Network::reset_observability() {
   absorb_shard_metrics();  // zero the shadows too
   obs_->registry.reset();
   obs_->traces.clear();
+  if (obs_->recorder != nullptr) obs_->recorder->clear();
+  obs_->violations.clear();
+  obs_->violations_seen = 0;
+  if (obs_->profiler != nullptr) obs_->profiler->clear();
 }
 
 }  // namespace hydra::net

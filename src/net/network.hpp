@@ -50,7 +50,9 @@
 #include "net/link.hpp"
 #include "net/switch_node.hpp"
 #include "net/topology.hpp"
+#include "obs/forensics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "p4rt/interp.hpp"
 #include "util/rng.hpp"
@@ -103,6 +105,10 @@ struct ExecContext {
     obs::Counter check_runs;
     obs::Counter rejects;
     obs::Counter reports;
+    // Provenance scratch for the forensics flight recorder: armed on the
+    // interp only while forensics is on; buffers reuse capacity across
+    // packets, same discipline as `vals`.
+    p4rt::ExecProvenance prov;
   };
   std::vector<PerDeployment> deps;  // indexed by deployment id
   // Where this context's hot-path counters land: the main registry for the
@@ -170,9 +176,11 @@ class Network {
   //   * clear_reports()            — drops stored ReportRecords. Subscribed
   //     callbacks and all switch state (tables, registers) are untouched.
   //   * clear_report_subscribers() — drops the callbacks only.
-  //   * reset_observability()      — zeroes every metric value and drops
-  //     recorded packet traces; registrations, the sampler, and switch
-  //     state survive. No-op while observability is off.
+  //   * reset_observability()      — zeroes every metric value, drops
+  //     recorded packet traces, empties the forensics rings and stored
+  //     ViolationReports, and drops profiler spans; registrations, the
+  //     sampler, and switch state survive. No-op while observability is
+  //     off.
   const std::vector<ReportRecord>& reports() const { return reports_; }
   void clear_reports() { reports_.clear(); }
   void clear_report_subscribers() { report_callbacks_.clear(); }
@@ -254,6 +262,44 @@ class Network {
 
   void reset_observability();
 
+  // ---- forensics (violation flight recorder) ----------------------------
+  // Arms the always-on flight recorder: every per-hop checker execution
+  // writes one fixed-size record into that switch's ring (`ring_capacity`
+  // slots, allocated up front; recording never allocates). When a checker
+  // rejects or reports, commit_hop assembles the packet's retained hops
+  // into a ViolationReport. Implies observability. Disabling drops the
+  // rings and the stored reports. Off means free: the per-hop cost is one
+  // null check. Ring contents — and therefore the assembled reports and
+  // their JSON — are byte-identical across engines and worker counts as
+  // long as `ring_capacity` exceeds the records a single switch receives
+  // within one epoch window (see DESIGN.md).
+  void set_forensics(bool enabled, std::size_t ring_capacity = 512);
+  bool forensics_enabled() const {
+    return obs_ != nullptr && obs_->recorder != nullptr;
+  }
+  // Assembled reports, in commit order. Empty while forensics is off.
+  const std::vector<obs::ViolationReport>& violation_reports() const;
+  std::string violation_reports_json() const;
+  void clear_violation_reports();
+  // Reports kept per run; later violations still record, but only count.
+  static constexpr std::size_t kMaxViolationReports = 1024;
+
+  // ---- engine phase profiling -------------------------------------------
+  // Arms the engine phase profiler (obs/profiler.hpp): engines record
+  // pop_window/compute/commit/barrier spans and per-epoch gauges, exported
+  // as Chrome trace-event JSON via engine_profiler().to_chrome_trace_json()
+  // and as "engine.*" histograms/counters in metrics(). Implies
+  // observability. Off means free: engines hold a null pointer.
+  void set_engine_profiling(bool enabled);
+  bool engine_profiling_enabled() const {
+    return obs_ != nullptr && obs_->profiler != nullptr;
+  }
+  obs::EngineProfiler& engine_profiler();  // throws std::logic_error if off
+  // Engine-facing: null while profiling is off (the disabled-path branch).
+  obs::EngineProfiler* engine_profiler_ptr() {
+    return obs_ != nullptr ? obs_->profiler.get() : nullptr;
+  }
+
   // ---- engine-facing API (internal to net/engine.cpp and tests) --------
   // Side-effect-confined per-hop pipeline execution; see the execution
   // engine contract at the top of this header. `t` is the event's
@@ -298,6 +344,12 @@ class Network {
     TraceSampler sampler;
     std::vector<SwitchObsCounters> switches;  // indexed by node id
     obs::Histogram delivered_hops;
+    // Forensics (null unless set_forensics(true)).
+    std::unique_ptr<obs::FlightRecorder> recorder;
+    std::vector<obs::ViolationReport> violations;
+    std::uint64_t violations_seen = 0;  // includes ones past the report cap
+    // Engine phase profiler (null unless set_engine_profiling(true)).
+    std::unique_ptr<obs::EngineProfiler> profiler;
   };
 
   // Rebuilds per-worker execution contexts for the current engine and
@@ -316,6 +368,17 @@ class Network {
       const Deployment& d, const p4rt::TeleFrame* after,
       const std::vector<BitVec>* before, const p4rt::ExecOutcome& out,
       bool init, bool tele, bool check) const;
+  // Writes one flight-recorder record for checker `di`'s execution at the
+  // current hop (forensics on only).
+  void record_hop_forensics(ExecContext::PerDeployment& pd, std::size_t di,
+                            const p4rt::Packet& pkt, const HopContext& hctx,
+                            SimTime t, const ForwardingProgram::Decision* dec,
+                            const p4rt::ExecOutcome& out, bool ran_init,
+                            bool ran_tele, bool ran_check);
+  // Joins the rings on the packet id and assembles a ViolationReport
+  // (commit path; called when a hop rejected or reported).
+  void build_violation(const SwitchWork& work, const HopResult& res,
+                       SimTime t);
 
   void node_receive(int node, int port, p4rt::Packet pkt);
   void emit_report(ReportRecord record);

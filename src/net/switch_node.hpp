@@ -54,6 +54,11 @@ class ForwardingProgram {
   struct Decision {
     bool drop = false;
     int eg_port = -1;
+    // Why the pipeline dropped (static string literal, e.g. "session_miss",
+    // "no_route"); nullptr when forwarded or the program gives no reason.
+    // Consumed by the forensics flight recorder — a literal keeps the hot
+    // path allocation-free.
+    const char* reason = nullptr;
   };
 
   virtual Decision process(p4rt::Packet& pkt, int in_port,

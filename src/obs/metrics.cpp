@@ -98,12 +98,48 @@ double Registry::gauge_value(const std::string& name) const {
 
 void Registry::absorb_counters(Registry& src) {
   for (const auto& [name, m] : src.by_name_) {
-    if (m.kind != Kind::kCounter) continue;
-    std::uint64_t& v = src.counters_[m.slot];
-    // Register even when zero so exports list the same names regardless of
-    // which shard's switches happened to see traffic.
-    counters_[require(name, Kind::kCounter).slot] += v;
-    v = 0;
+    switch (m.kind) {
+      case Kind::kCounter: {
+        std::uint64_t& v = src.counters_[m.slot];
+        // Register even when zero so exports list the same names regardless
+        // of which shard's switches happened to see traffic.
+        counters_[require(name, Kind::kCounter).slot] += v;
+        v = 0;
+        break;
+      }
+      case Kind::kGauge: {
+        // Max-wins: a shard gauge is a local high-water mark (e.g. items
+        // per worker); summing levels across shards would be meaningless.
+        double& v = src.gauges_[m.slot];
+        double& dst = gauges_[require(name, Kind::kGauge).slot];
+        if (v > dst) dst = v;
+        v = 0.0;
+        break;
+      }
+      case Kind::kHistogram: {
+        HistogramData& h = src.histograms_[m.slot];
+        HistogramData& dst =
+            histograms_[require(name, Kind::kHistogram).slot];
+        if (dst.bounds.empty() && !h.bounds.empty()) {
+          dst.bounds = h.bounds;
+          dst.buckets.assign(dst.bounds.size() + 1, 0);
+        }
+        if (dst.bounds != h.bounds) {
+          throw std::invalid_argument(
+              "absorb_counters: histogram '" + name +
+              "' has mismatched bounds across registries");
+        }
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+          dst.buckets[i] += h.buckets[i];
+          h.buckets[i] = 0;
+        }
+        dst.count += h.count;
+        dst.sum += h.sum;
+        h.count = 0;
+        h.sum = 0.0;
+        break;
+      }
+    }
   }
 }
 

@@ -104,12 +104,13 @@ class Registry {
   // Zeroes every value but keeps all registrations (handles stay valid).
   void reset();
 
-  // Adds every counter value held by `src` into the same-named counter
-  // here (registering it if absent), then zeroes `src`'s counters. The
-  // merge primitive for shard-local accumulator registries: workers bump
-  // counters in a private registry and the owner folds them into the main
-  // one at a barrier. Gauges and histograms are not absorbed — shards only
-  // produce counters.
+  // Folds every metric held by `src` into the same-named metric here
+  // (registering it if absent), then zeroes `src`. The merge primitive for
+  // shard-local accumulator registries: workers record into a private
+  // registry and the owner folds it into the main one at an epoch barrier.
+  // Merge semantics per kind: counters add; histograms add bucket-wise
+  // (bounds must match, else std::invalid_argument); gauges take the max —
+  // a shard gauge is a local high-water mark, not a summable level.
   void absorb_counters(Registry& src);
 
   // Deterministic exports: names sorted, stable float formatting.

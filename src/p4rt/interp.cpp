@@ -155,6 +155,7 @@ void Interp::exec(const ir::Instr& instr, std::vector<BitVec>& vals,
       Table& table = state.tables[static_cast<std::size_t>(instr.table)];
       const std::vector<BitVec>* action_data = nullptr;
       bool hit = false;
+      std::int32_t entry_idx = -1;
       if (spec.config_scalar) {
         action_data = &table.default_data();
         hit = true;
@@ -168,7 +169,11 @@ void Interp::exec(const ir::Instr& instr, std::vector<BitVec>& vals,
         if (entry != nullptr) {
           action_data = &entry->action_data;
           hit = true;
+          if (prov_ != nullptr) entry_idx = table.entry_index_of(entry);
         }
+      }
+      if (prov_ != nullptr) {
+        prov_->table_hits.push_back({instr.table, entry_idx, hit});
       }
       for (std::size_t d = 0; d < instr.dsts.size(); ++d) {
         const ir::Field& f = ir_.field(instr.dsts[d]);
@@ -183,16 +188,28 @@ void Interp::exec(const ir::Instr& instr, std::vector<BitVec>& vals,
       }
       return;
     }
-    case ir::InstrKind::kRegRead:
+    case ir::InstrKind::kRegRead: {
       metrics_.reg_reads.inc();
-      vals[static_cast<std::size_t>(instr.dst.id)] =
+      const BitVec v =
           state.registers[static_cast<std::size_t>(instr.reg)].read(0);
+      if (prov_ != nullptr) {
+        prov_->reg_touches.push_back(
+            {instr.reg, /*wrote=*/false, v.value(), v.value()});
+      }
+      vals[static_cast<std::size_t>(instr.dst.id)] = v;
       return;
-    case ir::InstrKind::kRegWrite:
+    }
+    case ir::InstrKind::kRegWrite: {
       metrics_.reg_writes.inc();
-      state.registers[static_cast<std::size_t>(instr.reg)].write(
-          0, eval(*instr.value, vals, hdr));
+      RegisterArray& ra = state.registers[static_cast<std::size_t>(instr.reg)];
+      const BitVec v = eval(*instr.value, vals, hdr);
+      if (prov_ != nullptr) {
+        prov_->reg_touches.push_back(
+            {instr.reg, /*wrote=*/true, ra.read(0).value(), v.value()});
+      }
+      ra.write(0, v);
       return;
+    }
     case ir::InstrKind::kPush: {
       const ir::TeleList& l = ir_.lists[static_cast<std::size_t>(instr.list)];
       const std::size_t cnt =

@@ -34,6 +34,32 @@ struct ExecOutcome {
   std::vector<std::vector<BitVec>> reports;
 };
 
+// Provenance of one (or several consecutive) block executions: which table
+// entries matched and which registers were touched, by IR index. The
+// buffers are caller-owned scratch (cleared by the caller, capacity reused
+// across packets — the same allocation-free-in-steady-state discipline as
+// the value-store scratch), filled only while a provenance sink is armed
+// via Interp::set_provenance. Consumed by the forensics flight recorder.
+struct ExecProvenance {
+  struct TableHit {
+    std::int32_t table = -1;  // CheckerIR table index
+    std::int32_t entry = -1;  // matched entry index; -1 = miss or default
+    bool hit = false;
+  };
+  struct RegTouch {
+    std::int32_t reg = -1;  // CheckerIR register index
+    bool wrote = false;
+    std::uint64_t before = 0;
+    std::uint64_t after = 0;
+  };
+  std::vector<TableHit> table_hits;
+  std::vector<RegTouch> reg_touches;
+  void clear() {
+    table_hits.clear();
+    reg_touches.clear();
+  }
+};
+
 // Hot-path execution counters. Detached (free) by default; one branch per
 // event when detached, a direct pointer bump when attached.
 struct InterpMetrics {
@@ -64,6 +90,12 @@ class Interp {
 
   void attach_metrics(const InterpMetrics& metrics) { metrics_ = metrics; }
 
+  // Arms (non-null) or disarms (null) provenance capture. While armed,
+  // every table lookup and register access appends to `prov`; the caller
+  // owns the buffers and their clearing. Disarmed cost: one branch per
+  // lookup/register instruction.
+  void set_provenance(ExecProvenance* prov) { prov_ = prov; }
+
  private:
   BitVec eval(const ir::RValue& rv, std::vector<BitVec>& vals,
               const HeaderResolver& hdr) const;
@@ -79,6 +111,7 @@ class Interp {
   // ownership rule in net/network.hpp); it is never shared across threads.
   mutable std::vector<BitVec> key_scratch_;
   InterpMetrics metrics_;  // detached unless observability is wired
+  ExecProvenance* prov_ = nullptr;  // armed only while forensics is on
 };
 
 }  // namespace hydra::p4rt

@@ -21,6 +21,7 @@
 // linear scan: highest priority, ties broken by insertion order.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -94,6 +95,17 @@ class Table {
   void clear();
   std::size_t size() const { return entries_.size(); }
   const std::vector<TableEntry>& entries() const { return entries_; }
+
+  // Index of an entry returned by lookup() within entries(), or -1 for a
+  // pointer this table does not own. Pure pointer arithmetic — used by the
+  // forensics layer to record *which* entry matched without adding any
+  // bookkeeping to the lookup hot path.
+  std::int32_t entry_index_of(const TableEntry* e) const {
+    if (e == nullptr || entries_.empty()) return -1;
+    const std::ptrdiff_t d = e - entries_.data();
+    if (d < 0 || d >= static_cast<std::ptrdiff_t>(entries_.size())) return -1;
+    return static_cast<std::int32_t>(d);
+  }
 
   // Highest-priority matching entry, or nullptr on miss. Ties broken by
   // insertion order (earlier wins), like most switch runtimes. Served by

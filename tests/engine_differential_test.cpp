@@ -24,7 +24,8 @@ struct Snapshot {
   std::string counters;
   std::string reports;
   std::string metrics;
-  std::string state;  // per-switch checker registers + table entries
+  std::string state;      // per-switch checker registers + table entries
+  std::string forensics;  // assembled ViolationReports as canonical JSON
 };
 
 std::string dump_counters(const net::Network::Counters& c) {
@@ -86,6 +87,7 @@ Snapshot snapshot(net::Network& net) {
   s.reports = dump_reports(net);
   s.metrics = net.metrics_json();
   s.state = dump_state(net);
+  s.forensics = net.violation_reports_json();
   return s;
 }
 
@@ -95,6 +97,7 @@ void expect_identical(const Snapshot& a, const Snapshot& b,
   EXPECT_EQ(a.reports, b.reports) << label;
   EXPECT_EQ(a.metrics, b.metrics) << label;
   EXPECT_EQ(a.state, b.state) << label;
+  EXPECT_EQ(a.forensics, b.forensics) << label;
 }
 
 // Runs `scenario` once per engine configuration (fresh network each time)
@@ -132,6 +135,7 @@ TEST(EngineDifferential, LeafSpineRandomTraffic) {
     net.set_engine(kind, workers);
     auto routing = fwd::install_leaf_spine_routing(net, fabric);
     net.set_observability(true);
+    net.set_forensics(true);
 
     const int lb = net.deploy(compile_library_checker("dc_uplink_load_balance"));
     configure_load_balance(net, lb, fabric, 4000);
@@ -161,6 +165,7 @@ TEST(EngineDifferential, FatTreeRandomTraffic) {
     net.set_engine(kind, workers);
     auto routing = fwd::install_fat_tree_routing(net, ft);
     net.set_observability(true);
+    net.set_forensics(true);
 
     const int ud = net.deploy(compile_library_checker("up_down_routing"));
     configure_up_down(net, ud, ft);
@@ -191,6 +196,7 @@ TEST(EngineDifferential, FirewallControlLoopDegradesDeterministically) {
     net.set_engine(kind, workers);
     auto routing = fwd::install_leaf_spine_routing(net, fabric);
     net.set_observability(true);
+    net.set_forensics(true);
 
     const int dep = net.deploy(compile_library_checker("stateful_firewall"));
     apps::FirewallAgent agent(net, dep);
@@ -223,6 +229,7 @@ TEST(EngineDifferential, EngineSwapBetweenRuns) {
     net::Network net(fabric.topo);
     auto routing = fwd::install_leaf_spine_routing(net, fabric);
     net.set_observability(true);
+    net.set_forensics(true);
     const int ud = net.deploy(compile_library_checker("up_down_routing"));
     configure_up_down(net, ud, fabric);
     net::UdpFlood f(net, fabric.hosts[0][0], fabric.hosts[1][1], 0.4, 700);

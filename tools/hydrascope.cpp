@@ -1,0 +1,208 @@
+// hydrascope — violation forensics and engine-profile dump tool.
+//
+// Replays a canonical scenario with the forensics flight recorder armed
+// and, for every checker reject/report, prints a §5.2-style narrative of
+// the violating packet's full journey (per-hop telemetry evolution,
+// matched table entries, register deltas, the forwarding verdicts) and
+// dumps the assembled ViolationReports as deterministic JSON.
+//
+//   $ ./hydrascope --forensics                     # aether, narrative+JSON
+//   $ ./hydrascope --forensics --out forensics.json
+//   $ ./hydrascope --forensics --engine parallel --workers 8
+//       # byte-identical forensics JSON (engine contract; cmp-able in CI)
+//   $ ./hydrascope --forensics --trace engine_trace.json
+//       # also dump the engine phase profile as Chrome trace-event JSON —
+//       # load in https://ui.perfetto.dev or chrome://tracing
+//   $ ./hydrascope --forensics --min-violations 1  # exit 1 if fewer
+//
+// Scenarios (same fabrics as hydrastat):
+//   aether    — the §5.2 application-filtering bug: after the buggy shared
+//               Applications-table update, the pre-update client's retry is
+//               silently dropped by the UPF; the checker reports it, and
+//               the forensics show no_termination at the UPF leaf.
+//   leafspine — stateful_firewall on a 2x2 leaf-spine: an unsolicited flow
+//               is rejected at its last hop.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "aether/controller.hpp"
+#include "forwarding/ipv4_ecmp.hpp"
+#include "forwarding/upf.hpp"
+#include "hydra/hydra.hpp"
+#include "net/engine.hpp"
+#include "net/network.hpp"
+
+using namespace hydra;
+
+namespace {
+
+void aether_scenario(net::Network& net, const net::LeafSpine& fabric) {
+  auto routing = fwd::install_leaf_spine_routing(net, fabric);
+  auto upf = std::make_shared<fwd::UpfProgram>(routing);
+  net.set_program(fabric.leaves[0], upf);
+  const int dep = net.deploy(compile_library_checker("application_filtering"));
+
+  aether::AetherController ctl(net, upf, dep);
+  ctl.define_slice(aether::example_camera_slice(1));
+
+  const std::uint32_t enb = net.topo().node(fabric.hosts[0][0]).ip;
+  const std::uint32_t n3 = 0x0a0001fe;
+  const std::uint32_t app = net.topo().node(fabric.hosts[1][0]).ip;
+  const std::uint32_t ue = 0x0a640001;
+  const std::uint32_t teid = 1001;
+
+  auto uplink = [&]() {
+    p4rt::Packet inner = p4rt::make_udp(ue, app, 40000, 81, 64);
+    net.send_from_host(fabric.hosts[0][0],
+                       p4rt::gtpu_encap(inner, enb, n3, teid));
+    net.events().run();
+  };
+
+  // Attach, verify the flow works, then apply the buggy rule update (see
+  // tools/hydrastat.cpp). The old client's retry after the update hits the
+  // fresh shared Applications entry it has no termination for — the UPF
+  // drops silently, and the checker's report triggers forensics assembly.
+  ctl.attach_client(1, {123450001ULL, ue, teid}, enb, n3);
+  uplink();
+  aether::Slice updated = aether::example_camera_slice(1);
+  updated.rules[1].port_hi = 82;
+  updated.rules[1].priority = 30;
+  ctl.update_slice_rules(1, updated.rules);
+  ctl.attach_client(1, {123459999ULL, 0x0a6400f0, 2001}, enb, n3);
+  uplink();
+}
+
+void leafspine_scenario(net::Network& net, const net::LeafSpine& fabric) {
+  fwd::install_leaf_spine_routing(net, fabric);
+  const int dep = net.deploy(compile_library_checker("stateful_firewall"));
+
+  const std::uint32_t client = net.topo().node(fabric.hosts[0][0]).ip;
+  const std::uint32_t server = net.topo().node(fabric.hosts[1][0]).ip;
+  net.dict_insert_all(dep, "allowed", {BitVec(32, client), BitVec(32, server)},
+                      {BitVec::from_bool(true)});
+  net.dict_insert_all(dep, "allowed", {BitVec(32, server), BitVec(32, client)},
+                      {BitVec::from_bool(true)});
+
+  // Allowed flow: delivered end to end (no violation).
+  net.send_from_host(fabric.hosts[0][0],
+                     p4rt::make_udp(client, server, 40000, 80, 64));
+  net.events().run();
+  // Unsolicited flow from a host with no allow entry: rejected at last hop.
+  const std::uint32_t intruder = net.topo().node(fabric.hosts[0][1]).ip;
+  net.send_from_host(fabric.hosts[0][1],
+                     p4rt::make_udp(intruder, server, 40001, 80, 64));
+  net.events().run();
+}
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario aether|leafspine] [--forensics]\n"
+               "          [--engine serial|parallel[:N]] [--workers N]\n"
+               "          [--ring N] [--out FILE] [--trace FILE]\n"
+               "          [--min-violations N]\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "aether";
+  std::string out_path;
+  std::string trace_path;
+  net::EngineKind engine = net::EngineKind::kSerial;
+  int workers = 0;
+  std::size_t ring = 512;
+  long min_violations = 0;
+  bool forensics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = net::parse_engine_kind(argv[++i], &workers);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ring") == 0 && i + 1 < argc) {
+      ring = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--min-violations") == 0 && i + 1 < argc) {
+      min_violations = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--forensics") == 0) {
+      forensics = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  // Engine choice never changes what the forensics observe: ring contents
+  // and assembled reports are byte-identical by the engine contract.
+  net.set_engine(engine, workers);
+  if (forensics) net.set_forensics(true, ring);
+  // The engine-phase profile is wall-clock (not deterministic), so it is
+  // only armed when the caller asks for the trace file.
+  if (!trace_path.empty()) net.set_engine_profiling(true);
+
+  if (scenario == "aether") {
+    aether_scenario(net, fabric);
+  } else if (scenario == "leafspine") {
+    leafspine_scenario(net, fabric);
+  } else {
+    std::fprintf(stderr, "unknown scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+
+  const auto& violations = net.violation_reports();
+  for (const auto& v : violations) {
+    std::printf("%s\n", obs::violation_narrative(v).c_str());
+  }
+  std::printf("violations: %zu (rejected=%llu reported=%zu)\n",
+              violations.size(),
+              static_cast<unsigned long long>(net.counters().rejected),
+              net.reports().size());
+
+  // The JSON document holds only the scenario name and the assembled
+  // reports — no engine name, worker count, or wall clock — so CI can
+  // byte-compare serial and parallel runs.
+  const std::string doc = "{\n\"scenario\": \"" + scenario +
+                          "\",\n\"violations\": " +
+                          obs::violations_json(violations) + "}\n";
+  if (out_path.empty()) {
+    std::printf("%s", doc.c_str());
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    const std::string trace = net.engine_profiler().to_chrome_trace_json();
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (load in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+
+  if (static_cast<long>(violations.size()) < min_violations) {
+    std::fprintf(stderr, "expected >= %ld violations, got %zu\n",
+                 min_violations, violations.size());
+    return 1;
+  }
+  return 0;
+}
