@@ -1,5 +1,8 @@
 #include "compiler/layout.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace hydra::compiler {
 
 TelemetryLayout layout_telemetry(const ir::CheckerIR& ir, bool byte_aligned) {
@@ -9,6 +12,15 @@ TelemetryLayout layout_telemetry(const ir::CheckerIR& ir, bool byte_aligned) {
   for (std::size_t i = 0; i < ir.fields.size(); ++i) {
     const ir::Field& f = ir.fields[i];
     if (f.space != ir::Space::kTele) continue;
+    // The wire codec packs each entry through 64-bit shifts; a width of 64
+    // is the widest it can carry, and a shift by >= 64 is UB. Reject bad
+    // widths here, at layout-build time, so the codec never sees them.
+    if (f.width < 1 || f.width > 64) {
+      throw std::invalid_argument(
+          "telemetry layout: field '" + f.name + "' has width " +
+          std::to_string(f.width) +
+          " bits; wire-carried tele fields must be 1..64 bits");
+    }
     if (byte_aligned && offset % 8 != 0) offset += 8 - offset % 8;
     layout.entries.push_back(
         {ir::FieldId{static_cast<int>(i)}, offset, f.width});

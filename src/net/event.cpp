@@ -31,6 +31,20 @@ void EventQueue::schedule_switch_at(SimTime t, int sw, int in_port,
   heap_.push(std::move(item));
 }
 
+void EventQueue::schedule_control_at(SimTime t, int sw,
+                                     std::unique_ptr<ControlOp> op) {
+  if (t < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  Item item;
+  item.t = t;
+  item.seq = next_seq_++;
+  item.is_switch_work = true;
+  item.work.sw = sw;
+  item.work.ctl = std::move(op);
+  heap_.push(std::move(item));
+}
+
 EventQueue::Item EventQueue::pop_next() {
   // Copy out before pop so handlers may schedule more events.
   Item item = std::move(const_cast<Item&>(heap_.top()));

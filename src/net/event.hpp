@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -27,11 +29,32 @@ namespace hydra::net {
 
 using SimTime = double;
 
-// The hot-path event: one packet arriving at one switch's pipeline.
+// A control-plane operation targeting ONE switch's checker state. Routed
+// through the switch-work channel (not a generic closure) on purpose: a
+// closure mutating switch state mid-window would race with the parallel
+// engine's compute workers AND diverge from serial execution order.
+// Carried as switch work, the operation is sharded to the worker that owns
+// the switch and applied in (time, seq) order within that shard — so
+// register wipes and delayed rule installs land between that switch's hops
+// exactly as they would under the serial engine. Used by the
+// fault-injection subsystem (switch restarts, delayed rule pushes).
+struct ControlOp {
+  enum class Kind { kRestart, kDictInsert };
+  Kind kind = Kind::kRestart;
+  // kDictInsert payload: an exact-match entry for one checker table.
+  int deployment = -1;
+  std::string var;
+  std::vector<BitVec> key;
+  std::vector<BitVec> value;
+};
+
+// The hot-path event: one packet arriving at one switch's pipeline — or,
+// rarely, a control operation for that switch (ctl != nullptr, pkt unused).
 struct SwitchWork {
   int sw = -1;
   int in_port = -1;
   p4rt::Packet pkt;
+  std::unique_ptr<ControlOp> ctl;  // null on the packet hot path
 };
 
 class EventQueue;
@@ -67,6 +90,8 @@ class EventQueue {
                           p4rt::Packet pkt) {
     schedule_switch_at(now_ + delay, sw, in_port, std::move(pkt));
   }
+  // Schedules a control operation on switch `sw`'s shard (see ControlOp).
+  void schedule_control_at(SimTime t, int sw, std::unique_ptr<ControlOp> op);
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }

@@ -4,7 +4,8 @@
 
 namespace hydra::net {
 
-Link::Link(const LinkSpec& spec) : spec_(spec) {}
+Link::Link(const LinkSpec& spec)
+    : spec_(spec), buffer_bytes_(spec.buffer_bytes) {}
 
 std::optional<double> Link::transmit(int dir, double now, int bytes) {
   DirStats& d = dirs_[dir];

@@ -39,14 +39,15 @@ class Link {
     return now > 0.0 ? dirs_[dir].busy_time / now : 0.0;
   }
 
-  // Buffer capacity per direction; default 1 MiB, typical of a shallow
-  // switch port buffer.
+  // Buffer capacity per direction; initialized from LinkSpec::buffer_bytes
+  // (default 1 MiB, typical of a shallow switch port buffer).
+  double buffer_bytes() const { return buffer_bytes_; }
   void set_buffer_bytes(double bytes) { buffer_bytes_ = bytes; }
 
  private:
   LinkSpec spec_;
   DirStats dirs_[2];
-  double buffer_bytes_ = 1024.0 * 1024.0;
+  double buffer_bytes_;
 };
 
 }  // namespace hydra::net

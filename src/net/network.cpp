@@ -11,6 +11,7 @@ namespace hydra::net {
 
 Network::Network(Topology topo) : topo_(std::move(topo)) {
   for (const auto& l : topo_.links()) links_.emplace_back(l);
+  cold_until_.assign(static_cast<std::size_t>(topo_.node_count()), 0.0);
   hosts_.resize(static_cast<std::size_t>(topo_.node_count()));
   programs_.resize(static_cast<std::size_t>(topo_.node_count()));
   for (int i = 0; i < topo_.node_count(); ++i) {
@@ -130,6 +131,165 @@ void Network::dict_insert_all(int deployment, const std::string& var,
   }
 }
 
+// ---- fault injection ------------------------------------------------------
+
+void Network::arm_faults(const FaultPlan& plan, std::uint64_t seed) {
+  if (!events_.empty()) {
+    throw std::logic_error("arm_faults: event queue must be idle");
+  }
+  faults_ = std::make_unique<FaultInjector>(plan, seed,
+                                            static_cast<int>(links_.size()));
+  std::fill(cold_until_.begin(), cold_until_.end(), 0.0);
+  const double t0 = events_.now();
+  // Outages (scheduled failures + precomputed flaps). Generic closures are
+  // safe here: link up/down state is only consulted by transmit, which
+  // runs on the main thread under both engines.
+  for (const LinkFailure& o : faults_->outages()) {
+    if (o.link < 0 || o.link >= static_cast<int>(links_.size())) continue;
+    if (o.up_at < o.down_at) continue;
+    events_.schedule_at(t0 + o.down_at, [this, l = o.link]() {
+      if (faults_ != nullptr) faults_->link_down_event(l);
+    });
+    events_.schedule_at(t0 + o.up_at, [this, l = o.link]() {
+      if (faults_ != nullptr) faults_->link_up_event(l);
+    });
+  }
+  // Restarts ride the ControlOp channel so each register wipe is sharded
+  // to the switch's owning worker and ordered against its packet hops.
+  for (const SwitchRestart& r : plan.restarts) {
+    if (r.sw < 0 || r.sw >= topo_.node_count() ||
+        topo_.node(r.sw).kind != NodeKind::kSwitch) {
+      continue;
+    }
+    auto op = std::make_unique<ControlOp>();
+    op->kind = ControlOp::Kind::kRestart;
+    events_.schedule_control_at(t0 + r.at, r.sw, std::move(op));
+  }
+}
+
+void Network::disarm_faults() {
+  if (!events_.empty()) {
+    throw std::logic_error("disarm_faults: event queue must be idle");
+  }
+  faults_.reset();
+  std::fill(cold_until_.begin(), cold_until_.end(), 0.0);
+}
+
+const FaultStats& Network::fault_stats() const {
+  static const FaultStats kEmpty;
+  return faults_ != nullptr ? faults_->stats() : kEmpty;
+}
+
+void Network::dict_insert_all_delayed(int deployment, const std::string& var,
+                                      const std::vector<BitVec>& key,
+                                      const std::vector<BitVec>& value) {
+  if (faults_ == nullptr || (faults_->plan().rule_push_delay_s <= 0.0 &&
+                             faults_->plan().rule_push_jitter_s <= 0.0)) {
+    dict_insert_all(deployment, var, key, value);
+    return;
+  }
+  // Validate the variable up front — apply_control runs on a worker
+  // thread and must not throw.
+  const Deployment& d =
+      deployments_.at(static_cast<std::size_t>(deployment));
+  if (d.checker->ir.find_table(var) < 0) {
+    throw std::invalid_argument("checker '" + d.checker->name +
+                                "' has no control table '" + var + "'");
+  }
+  for (int sw = 0; sw < topo_.node_count(); ++sw) {
+    if (topo_.node(sw).kind != NodeKind::kSwitch) continue;
+    auto op = std::make_unique<ControlOp>();
+    op->kind = ControlOp::Kind::kDictInsert;
+    op->deployment = deployment;
+    op->var = var;
+    op->key = key;
+    op->value = value;
+    events_.schedule_control_at(events_.now() + faults_->next_push_delay(),
+                                sw, std::move(op));
+  }
+}
+
+void Network::apply_control(SimTime t, int sw, const ControlOp& op,
+                            HopResult& res) {
+  res.control = true;
+  if (op.kind == ControlOp::Kind::kRestart) {
+    // The restart lost every deployment's sensor contents on this switch;
+    // wipe them and mark the switch cold so checkers do not raise false
+    // violations off zeroed registers.
+    for (auto& d : deployments_) {
+      auto& state = d.per_switch[static_cast<std::size_t>(sw)];
+      for (auto& reg : state.registers) reg.reset();
+    }
+    const double warmup =
+        faults_ != nullptr ? faults_->plan().restart_warmup_s : 0.0;
+    cold_until_[static_cast<std::size_t>(sw)] = t + warmup;
+    res.restarted = true;
+    return;
+  }
+  // kDictInsert: a delayed controller rule push landing on this switch.
+  const auto dep = static_cast<std::size_t>(op.deployment);
+  if (dep >= deployments_.size()) return;
+  Deployment& d = deployments_[dep];
+  const int ti = d.checker->ir.find_table(op.var);
+  if (ti < 0) return;  // validated at schedule time; stay defensive
+  d.per_switch[static_cast<std::size_t>(sw)]
+      .tables[static_cast<std::size_t>(ti)]
+      .insert_exact(op.key, op.value);
+  res.rule_pushed = true;
+}
+
+void Network::corrupt_frame(p4rt::Packet& pkt, std::uint64_t entropy) {
+  if (pkt.tele.empty()) return;
+  p4rt::TeleFrame& frame =
+      pkt.tele[static_cast<std::size_t>(entropy % pkt.tele.size())];
+  if (frame.checker < 0 ||
+      frame.checker >= static_cast<int>(deployments_.size()) ||
+      frame.damaged) {
+    return;
+  }
+  const Deployment& d =
+      deployments_[static_cast<std::size_t>(frame.checker)];
+  if (frame.values.size() != d.checker->ir.fields.size()) return;
+  std::vector<std::uint8_t> bytes =
+      p4rt::serialize_frame(d.checker->layout, d.checker->ir, frame);
+  CorruptMode mode = faults_->plan().corrupt_mode;
+  if (mode == CorruptMode::kRandom) {
+    switch ((entropy >> 8) % 3) {
+      case 0: mode = CorruptMode::kBadTag; break;
+      case 1: mode = CorruptMode::kTruncate; break;
+      default: mode = CorruptMode::kBitFlip; break;
+    }
+  }
+  const auto preamble = static_cast<std::size_t>(
+      compiler::TelemetryLayout::kPreambleBytes);
+  if (mode == CorruptMode::kBitFlip && bytes.size() <= preamble) {
+    mode = CorruptMode::kBadTag;  // no payload bits to flip
+  }
+  switch (mode) {
+    case CorruptMode::kBadTag:
+      bytes[0] = static_cast<std::uint8_t>(bytes[0] ^ 0xff);
+      break;
+    case CorruptMode::kTruncate:
+      // Strictly shorter, so the size check always fires at the next hop.
+      bytes.resize((entropy >> 16) % bytes.size());
+      break;
+    case CorruptMode::kBitFlip: {
+      // Undetectable without a checksum: the frame re-parses fine with a
+      // silently wrong value. Realism, not a bug — the fail-closed path
+      // only covers damage the codec CAN detect.
+      const std::size_t payload = bytes.size() - preamble;
+      const std::size_t byte = preamble + ((entropy >> 16) % payload);
+      bytes[byte] = static_cast<std::uint8_t>(
+          bytes[byte] ^ (1u << ((entropy >> 40) % 8)));
+      break;
+    }
+    case CorruptMode::kRandom:
+      break;  // resolved above
+  }
+  frame.wire = std::move(bytes);
+  frame.damaged = true;
+}
+
 p4rt::RegisterArray& Network::checker_register(int deployment, int switch_id,
                                                const std::string& var) {
   Deployment& d = deployments_.at(static_cast<std::size_t>(deployment));
@@ -197,6 +357,45 @@ void Network::transmit(PortRef from, p4rt::Packet pkt) {
   const int dir = spec.a == from ? 0 : 1;
   const PortRef dest = dir == 0 ? spec.b : spec.a;
   Link& link = links_[static_cast<std::size_t>(li)];
+
+  // Fault injection rolls its dice here and nowhere else on the packet
+  // path: transmit runs on the commit path (main thread, canonical order)
+  // under both engines, so the per-(link, dir) streams advance identically
+  // regardless of engine kind or worker count.
+  double extra_delay = 0.0;
+  if (faults_ != nullptr) {
+    const LinkFaultAction action =
+        faults_->on_transmit(li, dir, !pkt.tele.empty());
+    if (action.drop) {
+      ++counters_.fault_dropped;
+      if (obs_ != nullptr && obs_->traces.tracing()) {
+        obs_->traces.finish(pkt.id, obs::PacketFate::kFaultDropped,
+                            events_.now());
+      }
+      return;
+    }
+    if (action.corrupt) corrupt_frame(pkt, action.corrupt_entropy);
+    if (action.duplicate) {
+      // The copy is its own packet (fresh id, never sampled for tracing)
+      // and does NOT re-roll the fault dice — one draw per original
+      // transmit keeps the streams packet-count-independent.
+      p4rt::Packet dup = pkt;
+      dup.id = next_packet_id_++;
+      const auto dup_arrival =
+          link.transmit(dir, events_.now(), packet_wire_bytes(dup));
+      if (dup_arrival) {
+        events_.schedule_at(*dup_arrival,
+                            [this, dest, p = std::move(dup)]() mutable {
+                              node_receive(dest.node, dest.port,
+                                           std::move(p));
+                            });
+      } else {
+        ++counters_.queue_dropped;
+      }
+    }
+    extra_delay = action.extra_delay_s;
+  }
+
   const auto arrival =
       link.transmit(dir, events_.now(), packet_wire_bytes(pkt));
   if (!arrival) {
@@ -207,7 +406,7 @@ void Network::transmit(PortRef from, p4rt::Packet pkt) {
     }
     return;
   }
-  events_.schedule_at(*arrival,
+  events_.schedule_at(*arrival + extra_delay,
                       [this, dest, p = std::move(pkt)]() mutable {
                         node_receive(dest.node, dest.port, std::move(p));
                       });
@@ -249,6 +448,20 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
   res.traced = false;
   res.reports.clear();
   res.hop = obs::TraceHop{};
+  res.control = false;
+  res.restarted = false;
+  res.rule_pushed = false;
+  res.reject_reason = nullptr;
+  res.decode_rejects = 0;
+  res.decode_recovered = 0;
+  res.cold_suppressed = 0;
+
+  // Control-plane work rides the same channel so it is sharded to this
+  // switch's owner and ordered against its packet hops (see ControlOp).
+  if (work.ctl != nullptr) {
+    apply_control(t, sw, *work.ctl, res);
+    return;
+  }
 
   ++pkt.hops;
   HopContext hctx;
@@ -296,6 +509,13 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
   // provenance pointer itself is wired by rewire_observability.
   const bool forensic = obs_ != nullptr && obs_->recorder != nullptr;
 
+  // Cold sensors: a fault-injected restart wiped this switch's registers
+  // recently, so checker verdicts computed here cannot be trusted.
+  // cold_until_ is written by apply_control and read here, both on the
+  // shard that owns this switch. One branch when faults are disarmed.
+  const bool cold_sw =
+      faults_ != nullptr && t < cold_until_[static_cast<std::size_t>(sw)];
+
   // 1. Hydra init at the first hop: create and fill telemetry frames.
   if (hctx.first_hop) {
     for (std::size_t di = 0; di < deployments_.size(); ++di) {
@@ -314,6 +534,7 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
       p4rt::TeleFrame frame;
       frame.checker = static_cast<int>(di);
       pd.interp->store_frame(vals, frame);
+      if (cold_sw) frame.cold = true;
       if (hop != nullptr) {
         hop->checkers.push_back(
             trace_checker_record(d, &frame, /*before=*/nullptr, out,
@@ -351,6 +572,41 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     ExecContext::PerDeployment& pd = ctx.deps[di];
     p4rt::TeleFrame* frame = pkt.frame(static_cast<int>(di));
     if (frame == nullptr) continue;  // entered before deployment; skip
+
+    // Damaged wire bytes (injected corruption on the inbound link): the
+    // frame must re-parse through the checked codec before its values can
+    // be trusted. A parse failure is the headline fail-closed path — a
+    // counted, forensics-annotated reject, NEVER a throw (the pre-fix
+    // codec threw std::invalid_argument out of the event loop here).
+    if (frame->damaged) {
+      p4rt::TeleFrame reparsed;
+      const p4rt::FrameError err = p4rt::parse_frame_checked(
+          d.checker->layout, d.checker->ir, frame->checker, frame->wire,
+          reparsed);
+      if (err != p4rt::FrameError::kOk) {
+        const char* reason = p4rt::frame_error_reason(err);
+        ++res.decode_rejects;
+        res.reject_reason = reason;
+        pd.decode_rejects.inc();
+        rejected = true;
+        if (forensic) {
+          pd.prov.clear();
+          pd.out.reject = true;
+          pd.out.reports.clear();
+          record_hop_forensics(pd, di, pkt, hctx, t, &decision, pd.out,
+                               /*ran_init=*/false, /*ran_tele=*/false,
+                               /*ran_check=*/false, reason);
+        }
+        continue;
+      }
+      frame->values = std::move(reparsed.values);
+      frame->wire.clear();
+      frame->damaged = false;
+      ++res.decode_recovered;
+      pd.decode_recovered.inc();
+    }
+    if (cold_sw) frame->cold = true;
+
     pd.tele_runs.inc();
     std::vector<BitVec> trace_before;  // traced packets only
     if (hop != nullptr) trace_before = frame->values;
@@ -371,6 +627,16 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     if (run_check) {
       pd.check_runs.inc();
       pd.interp->run(d.checker->ir.check_block, vals, state, resolver, out);
+    }
+    // Cold suppression: a verdict derived from freshly-wiped sensor state
+    // is noise, not a violation — drop it, count it, annotate it.
+    const char* fault_note = nullptr;
+    if (frame->cold && (out.reject || !out.reports.empty())) {
+      out.reject = false;
+      out.reports.clear();
+      ++res.cold_suppressed;
+      pd.cold_suppr.inc();
+      fault_note = "cold_suppressed";
     }
     pd.interp->store_frame(vals, *frame);
     if (hop != nullptr) {
@@ -398,7 +664,7 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     if (forensic) {
       record_hop_forensics(pd, di, pkt, hctx, t, &decision, out,
                            /*ran_init=*/hctx.first_hop, /*ran_tele=*/true,
-                           run_check);
+                           run_check, fault_note);
     }
     collect_reports(di, d, out);
     rejected = rejected || out.reject;
@@ -423,6 +689,23 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
 
 void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
   const int sw = work.sw;
+  // Control-plane work carried no packet; only fault bookkeeping commits.
+  if (res.control) {
+    if (faults_ != nullptr) {
+      if (res.restarted) ++faults_->stats().restarts;
+      if (res.rule_pushed) ++faults_->stats().delayed_pushes;
+    }
+    return;
+  }
+  // Fault effects produced in compute fold into the injector's stats here,
+  // on the canonical commit path, so totals match across engines.
+  if (faults_ != nullptr &&
+      (res.decode_rejects | res.decode_recovered | res.cold_suppressed)) {
+    FaultStats& fs = faults_->stats();
+    fs.tele_rejects += res.decode_rejects;
+    fs.tele_recovered += res.decode_recovered;
+    fs.cold_suppressed += res.cold_suppressed;
+  }
   // Forensics reconstruction runs before the reports are moved out, and on
   // the commit path only — canonical (t, seq) order, so the stored
   // ViolationReports are identical across engines.
@@ -536,7 +819,7 @@ void Network::record_hop_forensics(ExecContext::PerDeployment& pd,
                                    const ForwardingProgram::Decision* dec,
                                    const p4rt::ExecOutcome& out,
                                    bool ran_init, bool ran_tele,
-                                   bool ran_check) {
+                                   bool ran_check, const char* fault_note) {
   obs::HopRecord& rec = obs_->recorder->append(hctx.switch_id);
   rec.packet_id = pkt.id;
   rec.hop = pkt.hops;
@@ -555,6 +838,7 @@ void Network::record_hop_forensics(ExecContext::PerDeployment& pd,
   rec.report_count = static_cast<std::uint8_t>(
       out.reports.size() < 255 ? out.reports.size() : 255);
   rec.fwd_reason = dec != nullptr ? dec->reason : nullptr;
+  rec.fault_note = fault_note;
   for (const auto& th : pd.prov.table_hits) {
     rec.add_table_hit(static_cast<std::int16_t>(th.table), th.entry, th.hit);
   }
@@ -590,6 +874,9 @@ void Network::build_violation(const SwitchWork& work, const HopResult& res,
   vr.packet_id = work.pkt.id;
   vr.flow = p4rt::flow_of(work.pkt).to_string();
   vr.kind = res.rejected ? "reject" : "report";
+  vr.reason = res.reject_reason != nullptr
+                  ? res.reject_reason
+                  : (res.rejected ? "checker_reject" : "checker_report");
   vr.switch_id = work.sw;
   vr.switch_name = topo_.node(work.sw).name;
   vr.time = t;
@@ -639,6 +926,7 @@ void Network::build_violation(const SwitchWork& work, const HopResult& res,
     vc.reject = r->reject;
     vc.report_count = r->report_count;
     vc.provenance_truncated = r->truncated != 0;
+    if (r->fault_note != nullptr) vc.fault_note = r->fault_note;
     for (int i = 0; i < r->n_table_hits; ++i) {
       const auto& th = r->table_hits[i];
       vc.table_hits.push_back(
@@ -738,6 +1026,9 @@ void Network::rewire_observability() {
         pd.check_runs = {};
         pd.rejects = {};
         pd.reports = {};
+        pd.decode_rejects = {};
+        pd.decode_recovered = {};
+        pd.cold_suppr = {};
         pd.interp->attach_metrics({});
         pd.interp->set_provenance(nullptr);
       }
@@ -780,6 +1071,11 @@ void Network::rewire_observability() {
       pd.check_runs = reg.counter("checker." + cn + ".check_runs");
       pd.rejects = reg.counter("checker." + cn + ".rejects");
       pd.reports = reg.counter("checker." + cn + ".reports");
+      pd.decode_rejects =
+          reg.counter("checker." + cn + ".tele_decode_rejects");
+      pd.decode_recovered =
+          reg.counter("checker." + cn + ".tele_decode_recovered");
+      pd.cold_suppr = reg.counter("checker." + cn + ".cold_suppressed");
 
       p4rt::InterpMetrics im;
       im.instructions = reg.counter("p4rt.interp." + cn + ".instructions");
@@ -921,6 +1217,28 @@ void Network::collect_metrics() {
       .set(static_cast<double>(counters_.fwd_dropped));
   reg.gauge("net.packets.queue_dropped")
       .set(static_cast<double>(counters_.queue_dropped));
+  reg.gauge("net.packets.fault_dropped")
+      .set(static_cast<double>(counters_.fault_dropped));
+
+  if (faults_ != nullptr) {
+    const FaultStats& fs = faults_->stats();
+    reg.gauge("fault.loss_drops").set(static_cast<double>(fs.loss_drops));
+    reg.gauge("fault.link_down_drops")
+        .set(static_cast<double>(fs.link_down_drops));
+    reg.gauge("fault.duplicates").set(static_cast<double>(fs.duplicates));
+    reg.gauge("fault.reorders").set(static_cast<double>(fs.reorders));
+    reg.gauge("fault.corruptions").set(static_cast<double>(fs.corruptions));
+    reg.gauge("fault.tele_rejects")
+        .set(static_cast<double>(fs.tele_rejects));
+    reg.gauge("fault.tele_recovered")
+        .set(static_cast<double>(fs.tele_recovered));
+    reg.gauge("fault.cold_suppressed")
+        .set(static_cast<double>(fs.cold_suppressed));
+    reg.gauge("fault.restarts").set(static_cast<double>(fs.restarts));
+    reg.gauge("fault.flaps").set(static_cast<double>(fs.flaps));
+    reg.gauge("fault.delayed_pushes")
+        .set(static_cast<double>(fs.delayed_pushes));
+  }
 
   for (std::size_t li = 0; li < links_.size(); ++li) {
     const LinkSpec& spec = links_[li].spec();

@@ -46,6 +46,7 @@
 
 #include "compiler/compile.hpp"
 #include "net/event.hpp"
+#include "net/faults.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "net/switch_node.hpp"
@@ -87,6 +88,21 @@ struct HopResult {
   bool traced = false;
   std::vector<ReportRecord> reports;
   obs::TraceHop hop;  // filled only when traced
+
+  // Control-plane work (ControlOp): the hop carried no packet; commit only
+  // bumps fault stats.
+  bool control = false;
+  bool restarted = false;
+  bool rule_pushed = false;
+
+  // Fault-handling effects produced in compute and folded into the
+  // injector's stats at commit (compute must not touch shared counters).
+  // `reject_reason` is a static string ("tele_bad_tag", ...) set when a
+  // damaged telemetry frame was rejected fail-closed this hop.
+  const char* reject_reason = nullptr;
+  std::uint8_t decode_rejects = 0;
+  std::uint8_t decode_recovered = 0;
+  std::uint8_t cold_suppressed = 0;
 };
 
 // Per-worker execution context (see OWNERSHIP RULE above). The serial
@@ -105,6 +121,11 @@ struct ExecContext {
     obs::Counter check_runs;
     obs::Counter rejects;
     obs::Counter reports;
+    // Fault-path counters: fail-closed telemetry decode verdicts and
+    // cold-restart verdict suppression.
+    obs::Counter decode_rejects;
+    obs::Counter decode_recovered;
+    obs::Counter cold_suppr;
     // Provenance scratch for the forensics flight recorder: armed on the
     // interp only while forensics is on; buffers reuse capacity across
     // packets, same discipline as `vals`.
@@ -172,6 +193,30 @@ class Network {
   p4rt::RegisterArray& checker_register(int deployment, int switch_id,
                                         const std::string& var);
 
+  // ---- fault injection (chaos harness) ----------------------------------
+  // Arms the deterministic fault injector: the plan's schedule times are
+  // RELATIVE to the arm time, its per-transmit dice are rolled on the
+  // commit path only, and a fixed (plan, seed) pair yields bit-identical
+  // outcomes under both engines at any worker count. Must be called while
+  // the event queue is idle (outages and restarts are scheduled here).
+  // With faults armed, damaged telemetry NEVER throws: a frame that fails
+  // to re-parse becomes a counted, forensics-annotated checker reject.
+  void arm_faults(const FaultPlan& plan, std::uint64_t seed);
+  // Drops the injector (pending flap/restart events become no-ops). Must
+  // be called while the event queue is idle.
+  void disarm_faults();
+  bool faults_armed() const { return faults_ != nullptr; }
+  // Injector counters; a static all-zero snapshot while disarmed.
+  const FaultStats& fault_stats() const;
+
+  // Installs the same dict entry on every switch, but through the
+  // control-plane channel: with faults armed, each switch's install lands
+  // after the plan's push delay (+jitter), ordered against that switch's
+  // packet hops. Falls back to dict_insert_all when disarmed.
+  void dict_insert_all_delayed(int deployment, const std::string& var,
+                               const std::vector<BitVec>& key,
+                               const std::vector<BitVec>& value);
+
   // Reset semantics (each reset clears exactly one concern):
   //   * clear_reports()            — drops stored ReportRecords. Subscribed
   //     callbacks and all switch state (tables, registers) are untouched.
@@ -206,6 +251,7 @@ class Network {
     std::uint64_t rejected = 0;      // dropped by a Hydra checker
     std::uint64_t fwd_dropped = 0;   // dropped by the forwarding program
     std::uint64_t queue_dropped = 0; // tail-dropped at a full buffer
+    std::uint64_t fault_dropped = 0; // dropped by the fault injector
   };
   const Counters& counters() const { return counters_; }
 
@@ -374,7 +420,17 @@ class Network {
                             const p4rt::Packet& pkt, const HopContext& hctx,
                             SimTime t, const ForwardingProgram::Decision* dec,
                             const p4rt::ExecOutcome& out, bool ran_init,
-                            bool ran_tele, bool ran_check);
+                            bool ran_tele, bool ran_check,
+                            const char* fault_note = nullptr);
+  // Applies a ControlOp in compute (on the owning shard): a restart wipes
+  // the switch's checker registers and marks it cold; a dict insert lands
+  // a delayed rule push. Mutates only switch-confined state + cold_until_,
+  // which is written/read exclusively by the owning shard's thread.
+  void apply_control(SimTime t, int sw, const ControlOp& op, HopResult& res);
+  // Damages one telemetry frame's wire bytes (commit path): serializes the
+  // frame through the real codec, then applies the plan's corruption mode
+  // driven by `entropy`; the next hop must re-parse before trusting it.
+  void corrupt_frame(p4rt::Packet& pkt, std::uint64_t entropy);
   // Joins the rings on the packet id and assembles a ViolationReport
   // (commit path; called when a hop rejected or reported).
   void build_violation(const SwitchWork& work, const HopResult& res,
@@ -402,6 +458,11 @@ class Network {
   double per_stage_s_ = 5e-8;
   std::uint64_t next_packet_id_ = 1;
   bool wire_validation_ = false;
+  // Fault injection (null while disarmed). cold_until_[sw] is the sim time
+  // until which switch sw's sensors are "cold" after a restart; it is
+  // touched only from compute on sw's owning shard, so it needs no lock.
+  std::unique_ptr<FaultInjector> faults_;
+  std::vector<double> cold_until_;
   std::unique_ptr<ObsState> obs_;  // null while observability is off
   std::vector<ExecContext> contexts_;  // one per engine worker
   EngineKind engine_kind_ = EngineKind::kSerial;

@@ -29,13 +29,17 @@ int Topology::add_host(const std::string& name, std::uint32_t ip) {
   return node_count() - 1;
 }
 
-int Topology::add_link(PortRef a, PortRef b, double latency_s, double gbps) {
+int Topology::add_link(PortRef a, PortRef b, double latency_s, double gbps,
+                       double buffer_bytes) {
   node_checked(a.node);
   node_checked(b.node);
   if (link_index(a) != -1 || link_index(b) != -1) {
     throw std::invalid_argument("port already connected");
   }
-  links_.push_back({a, b, latency_s, gbps});
+  if (buffer_bytes <= 0.0) {
+    throw std::invalid_argument("link buffer_bytes must be positive");
+  }
+  links_.push_back({a, b, latency_s, gbps, buffer_bytes});
   return static_cast<int>(links_.size()) - 1;
 }
 

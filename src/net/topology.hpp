@@ -32,6 +32,9 @@ struct LinkSpec {
   PortRef b;
   double latency_s = 2e-6;  // per-direction propagation
   double gbps = 100.0;
+  // Per-direction drop-tail buffer capacity; the default models a shallow
+  // switch port buffer.
+  double buffer_bytes = 1024.0 * 1024.0;
 };
 
 class Topology {
@@ -39,7 +42,8 @@ class Topology {
   int add_switch(const std::string& name);
   int add_host(const std::string& name, std::uint32_t ip);
   int add_link(PortRef a, PortRef b, double latency_s = 2e-6,
-               double gbps = 100.0);
+               double gbps = 100.0,
+               double buffer_bytes = 1024.0 * 1024.0);
 
   const std::vector<NodeSpec>& nodes() const { return nodes_; }
   const std::vector<LinkSpec>& links() const { return links_; }

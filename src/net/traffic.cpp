@@ -1,5 +1,8 @@
 #include "net/traffic.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace hydra::net {
 
 // ---------------------------------------------------------------------------
@@ -18,8 +21,13 @@ PingProbe::PingProbe(Network& net, int src_host, int dst_host,
         if (!pkt.icmp || pkt.icmp->type != 0 || pkt.icmp->ident != ident_) {
           return;
         }
+        // Deduplicate by sequence number: the network may deliver the same
+        // echo reply more than once (fault-injected duplication), and a
+        // doubly-counted sample would both skew the RTT distribution and
+        // drive lost() negative.
         const std::size_t seq = pkt.icmp->seq;
-        if (seq < sent_times_.size()) {
+        if (seq < sent_times_.size() && !echoed_[seq]) {
+          echoed_[seq] = true;
           samples_.push_back({sent_times_[seq], now - sent_times_[seq]});
         }
       });
@@ -37,6 +45,7 @@ void PingProbe::send_next() {
                                         net_.host(dst_host_).ip(), ident_,
                                         next_seq_);
   sent_times_.push_back(now);
+  echoed_.push_back(false);
   ++next_seq_;
   ++sent_;
   net_.send_from_host(src_host_, std::move(p));
@@ -63,6 +72,17 @@ UdpFlood::UdpFlood(Network& net, int src_host, int dst_host,
       packet_bytes_(packet_bytes),
       sport_(sport),
       dport_(dport) {
+  // Both guards close real foot-guns: packet_bytes < 42 underflowed the
+  // payload computation in send_next (42 bytes of L2-L4 overhead), and a
+  // non-positive rate produced a zero or negative send interval.
+  if (packet_bytes < 42) {
+    throw std::invalid_argument(
+        "UdpFlood: packet_bytes must be >= 42 (Ethernet+IP+UDP overhead), "
+        "got " + std::to_string(packet_bytes));
+  }
+  if (rate_gbps <= 0.0) {
+    throw std::invalid_argument("UdpFlood: rate_gbps must be positive");
+  }
   const double pps = rate_gbps * 1e9 / (static_cast<double>(packet_bytes) * 8.0);
   interval_s_ = 1.0 / pps;
 }

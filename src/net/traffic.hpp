@@ -46,6 +46,7 @@ class PingProbe {
   int sent_ = 0;
   std::uint16_t next_seq_ = 0;
   std::vector<double> sent_times_;
+  std::vector<bool> echoed_;  // seq -> reply already sampled (dedup)
   std::vector<RttSample> samples_;
 };
 

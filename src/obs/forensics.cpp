@@ -156,6 +156,9 @@ void append_checker_json(std::string& out, const ViolationHopChecker& c) {
            "\": " + std::to_string(c.tele[i].value);
   }
   out += "}";
+  if (!c.fault_note.empty()) {
+    out += ", \"fault_note\": \"" + json_escape(c.fault_note) + "\"";
+  }
   if (c.provenance_truncated) out += ", \"provenance_truncated\": true";
   out += "}";
 }
@@ -163,7 +166,11 @@ void append_checker_json(std::string& out, const ViolationHopChecker& c) {
 void append_report_json(std::string& out, const ViolationReport& v) {
   out += "  {\"packet_id\": " + std::to_string(v.packet_id) +
          ", \"flow\": \"" + json_escape(v.flow) + "\", \"kind\": \"" +
-         json_escape(v.kind) + "\",\n   \"checkers\": [";
+         json_escape(v.kind) + "\"";
+  if (!v.reason.empty()) {
+    out += ", \"reason\": \"" + json_escape(v.reason) + "\"";
+  }
+  out += ",\n   \"checkers\": [";
   for (std::size_t i = 0; i < v.checkers.size(); ++i) {
     if (i > 0) out += ", ";
     out += "\"" + json_escape(v.checkers[i]) + "\"";
@@ -245,6 +252,10 @@ std::string violation_narrative(const ViolationReport& v) {
   std::string out = buf;
   for (const auto& c : v.checkers) out += " " + c;
   out += "\n";
+  if (!v.reason.empty() && v.reason != "checker_reject" &&
+      v.reason != "checker_report") {
+    out += "  reason: " + v.reason + "\n";
+  }
   if (v.truncated) {
     out += "  (flight recorder wrapped: earliest hops evicted)\n";
   }
@@ -270,6 +281,7 @@ std::string violation_narrative(const ViolationReport& v) {
       if (c.report_count > 0) {
         out += "  reports: " + std::to_string(c.report_count);
       }
+      if (!c.fault_note.empty()) out += "  fault: " + c.fault_note;
       out += "\n";
       for (const auto& th : c.table_hits) {
         out += "      table " + th.table +

@@ -84,6 +84,11 @@ struct HopRecord {
   // Forwarding drop provenance: a static string literal supplied by the
   // forwarding program (net::ForwardingProgram::Decision::reason), or null.
   const char* fwd_reason = nullptr;
+  // Fault-injection annotation: a static string literal naming why this
+  // hop's checker execution was affected by an injected fault (e.g.
+  // "tele_bad_tag" for a fail-closed decode reject, "cold_suppressed"
+  // after a switch restart), or null when no fault touched this hop.
+  const char* fault_note = nullptr;
 
   std::uint8_t truncated = 0;
   std::uint8_t n_table_hits = 0;
@@ -156,6 +161,7 @@ struct ViolationHopChecker {
   bool reject = false;
   int report_count = 0;
   bool provenance_truncated = false;
+  std::string fault_note;  // empty when no fault touched this hop
   struct TableHit {
     std::string table;
     std::int32_t entry = -1;
@@ -194,6 +200,11 @@ struct ViolationReport {
   std::uint64_t packet_id = 0;
   std::string flow;
   std::string kind;  // "reject" or "report"
+  // Why the verdict landed: "checker_reject" / "checker_report" for
+  // genuine checker verdicts, or a fail-closed decode reason such as
+  // "tele_bad_tag" / "tele_size_mismatch" when the telemetry frame was
+  // damaged in flight and rejected without running the checker.
+  std::string reason;
   std::vector<std::string> checkers;  // checkers that rejected/reported
   int switch_id = -1;                 // where the verdict landed
   std::string switch_name;

@@ -31,6 +31,7 @@ const char* fate_name(PacketFate fate) {
     case PacketFate::kFwdDropped: return "fwd_dropped";
     case PacketFate::kRejected: return "rejected";
     case PacketFate::kQueueDropped: return "queue_dropped";
+    case PacketFate::kFaultDropped: return "fault_dropped";
   }
   return "unknown";
 }

@@ -62,6 +62,7 @@ enum class PacketFate {
   kFwdDropped,    // dropped by the forwarding program
   kRejected,      // dropped by a Hydra checker
   kQueueDropped,  // tail-dropped at a full link buffer
+  kFaultDropped,  // dropped by the fault injector (loss or downed link)
 };
 
 const char* fate_name(PacketFate fate);

@@ -69,6 +69,22 @@ inline constexpr std::uint16_t kGtpuPort = 2152;
 struct TeleFrame {
   int checker = -1;  // deployment id assigned by the network
   std::vector<BitVec> values;
+
+  // Fault-injection wire damage (net/faults.hpp). When a corruption fault
+  // hits this frame, the injector serializes it through the real codec,
+  // damages the bytes, and stores them here with `damaged` set; the next
+  // switch must re-parse `wire` before trusting `values` (stale from the
+  // hop before the damage). A parse failure is a fail-closed checker
+  // reject, never a throw. `wire` may legitimately be empty (truncated to
+  // nothing), hence the explicit flag.
+  std::vector<std::uint8_t> wire;
+  bool damaged = false;
+
+  // Set when this frame's telemetry ran on a switch whose sensor state was
+  // freshly wiped by a restart ("cold"). Checker verdicts for cold frames
+  // are suppressed — zeroed registers would otherwise raise false
+  // violations. Metadata only; conceptually one reserved header bit.
+  bool cold = false;
 };
 
 // Flow identity parsed from a packet's headers, preferring the inner

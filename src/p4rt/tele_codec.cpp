@@ -58,27 +58,57 @@ std::vector<std::uint8_t> serialize_frame(
   return buf;
 }
 
+const char* frame_error_reason(FrameError err) {
+  switch (err) {
+    case FrameError::kOk: return "ok";
+    case FrameError::kSizeMismatch: return "tele_size_mismatch";
+    case FrameError::kBadTag: return "tele_bad_tag";
+  }
+  return "tele_unknown_error";
+}
+
+FrameError parse_frame_checked(const compiler::TelemetryLayout& layout,
+                               const ir::CheckerIR& ir, int checker_id,
+                               const std::vector<std::uint8_t>& bytes,
+                               TeleFrame& out) {
+  if (bytes.size() != static_cast<std::size_t>(layout.wire_bytes)) {
+    return FrameError::kSizeMismatch;
+  }
+  // The preamble needs two bytes; wire_bytes >= kPreambleBytes by
+  // construction, but a hand-built layout could lie — stay defensive.
+  if (bytes.size() < compiler::TelemetryLayout::kPreambleBytes) {
+    return FrameError::kSizeMismatch;
+  }
+  const int tag = (bytes[0] << 8) | bytes[1];
+  if (tag != compiler::TelemetryLayout::kHydraEtherType) {
+    return FrameError::kBadTag;
+  }
+  out.checker = checker_id;
+  out.values.clear();
+  out.values.reserve(ir.fields.size());
+  for (const auto& f : ir.fields) {
+    out.values.emplace_back(f.width, 0);
+  }
+  for (const auto& e : layout.entries) {
+    out.values[static_cast<std::size_t>(e.field.id)] =
+        BitVec(e.width, get_bits(bytes, e.offset_bits, e.width));
+  }
+  return FrameError::kOk;
+}
+
 TeleFrame parse_frame(const compiler::TelemetryLayout& layout,
                       const ir::CheckerIR& ir, int checker_id,
                       const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() != static_cast<std::size_t>(layout.wire_bytes)) {
+  TeleFrame frame;
+  const FrameError err =
+      parse_frame_checked(layout, ir, checker_id, bytes, frame);
+  if (err == FrameError::kSizeMismatch) {
     throw std::invalid_argument("telemetry frame size mismatch: got " +
                                 std::to_string(bytes.size()) + ", want " +
                                 std::to_string(layout.wire_bytes));
   }
-  const int tag = (bytes[0] << 8) | bytes[1];
-  if (tag != compiler::TelemetryLayout::kHydraEtherType) {
+  if (err != FrameError::kOk) {
     throw std::invalid_argument("bad Hydra telemetry tag");
-  }
-  TeleFrame frame;
-  frame.checker = checker_id;
-  frame.values.reserve(ir.fields.size());
-  for (const auto& f : ir.fields) {
-    frame.values.emplace_back(f.width, 0);
-  }
-  for (const auto& e : layout.entries) {
-    frame.values[static_cast<std::size_t>(e.field.id)] =
-        BitVec(e.width, get_bits(bytes, e.offset_bits, e.width));
   }
   return frame;
 }

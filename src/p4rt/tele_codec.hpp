@@ -2,9 +2,18 @@
 // telemetry frames as typed values; this codec implements the actual
 // parser/deparser the compiler generates — packing every tele field at its
 // layout offset into wire bytes (plus the 2-byte Hydra EtherType tag) and
-// parsing it back. Used by the wire-validation tests and by
-// Network::set_wire_validation, which round-trips every frame through the
-// codec at every hop to prove the layout is lossless.
+// parsing it back. Used by the wire-validation tests, by
+// Network::set_wire_validation (which round-trips every frame through the
+// codec at every hop to prove the layout is lossless), and by the
+// fault-injection subsystem, which damages real wire bytes and re-parses
+// them at the next hop.
+//
+// Malformed input is an expected runtime condition, not a programming
+// error: a flaky link can truncate or corrupt any frame. The checked entry
+// point (parse_frame_checked) therefore NEVER throws — it returns a
+// FrameError that callers turn into a counted, fail-closed checker reject.
+// The throwing parse_frame wrapper remains for validation paths where a
+// malformed frame really is a bug (wire round-trip proofs).
 #pragma once
 
 #include <cstdint>
@@ -21,8 +30,31 @@ std::vector<std::uint8_t> serialize_frame(const compiler::TelemetryLayout& layou
                                           const ir::CheckerIR& ir,
                                           const TeleFrame& frame);
 
+// Why a frame failed to parse. Kept coarse on purpose: the reasons become
+// static forensics annotations, and a dataplane cannot distinguish "lost
+// tail bytes" from "never had them".
+enum class FrameError {
+  kOk = 0,
+  kSizeMismatch,  // truncated or padded frame (wrong byte count)
+  kBadTag,        // Hydra EtherType preamble missing or clobbered
+};
+
+// Static string for forensics/metrics annotation ("tele_size_mismatch",
+// "tele_bad_tag", "ok"). Never allocates; safe to store in HopRecords.
+const char* frame_error_reason(FrameError err);
+
+// Non-throwing parser: on kOk, `out` holds the parsed frame (non-tele
+// fields zeroed, checker set to `checker_id`); on failure `out` is left
+// untouched. This is the fail-closed decode path the network uses for
+// frames that crossed a faulty link.
+FrameError parse_frame_checked(const compiler::TelemetryLayout& layout,
+                               const ir::CheckerIR& ir, int checker_id,
+                               const std::vector<std::uint8_t>& bytes,
+                               TeleFrame& out);
+
 // Parses bytes produced by serialize_frame back into a frame (non-tele
-// fields zeroed). Throws std::invalid_argument on size or tag mismatch.
+// fields zeroed). Throws std::invalid_argument on size or tag mismatch —
+// use parse_frame_checked anywhere malformed input is survivable.
 TeleFrame parse_frame(const compiler::TelemetryLayout& layout,
                       const ir::CheckerIR& ir, int checker_id,
                       const std::vector<std::uint8_t>& bytes);

@@ -26,13 +26,14 @@ struct Snapshot {
   std::string metrics;
   std::string state;      // per-switch checker registers + table entries
   std::string forensics;  // assembled ViolationReports as canonical JSON
+  std::string faults;     // FaultStats JSON when a fault plan is armed
 };
 
 std::string dump_counters(const net::Network::Counters& c) {
   std::ostringstream os;
   os << "inj=" << c.injected << " del=" << c.delivered
      << " rej=" << c.rejected << " fwd_drop=" << c.fwd_dropped
-     << " q_drop=" << c.queue_dropped;
+     << " q_drop=" << c.queue_dropped << " f_drop=" << c.fault_dropped;
   return os.str();
 }
 
@@ -88,6 +89,7 @@ Snapshot snapshot(net::Network& net) {
   s.metrics = net.metrics_json();
   s.state = dump_state(net);
   s.forensics = net.violation_reports_json();
+  if (net.faults_armed()) s.faults = net.fault_stats().to_json();
   return s;
 }
 
@@ -98,6 +100,7 @@ void expect_identical(const Snapshot& a, const Snapshot& b,
   EXPECT_EQ(a.metrics, b.metrics) << label;
   EXPECT_EQ(a.state, b.state) << label;
   EXPECT_EQ(a.forensics, b.forensics) << label;
+  EXPECT_EQ(a.faults, b.faults) << label;
 }
 
 // Runs `scenario` once per engine configuration (fresh network each time)
@@ -218,6 +221,66 @@ TEST(EngineDifferential, FirewallControlLoopDegradesDeterministically) {
     net.events().run();
     EXPECT_EQ(agent.rules_installed(), 1u);
     EXPECT_EQ(net.counters().rejected, 0u);
+    return snapshot(net);
+  });
+}
+
+// The full fault plan armed — loss, corruption, duplication, reordering,
+// scheduled + random link outages, a mid-run switch restart, and delayed
+// rule pushes — must produce bit-identical outcomes (reports, metrics,
+// forensics JSON, fault stats) at any worker count: every fault die is
+// rolled on the main thread in canonical commit order.
+TEST(EngineDifferential, ChaosFaultPlanDeterministicAcrossEngines) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(2, 2, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    fwd::install_leaf_spine_routing(net, fabric);
+    net.set_observability(true);
+    net.set_forensics(true);
+    const int dep = net.deploy(compile_library_checker("stateful_firewall"));
+
+    net::FaultPlan plan;
+    plan.loss = 0.03;
+    plan.corrupt = 0.1;
+    plan.duplicate = 0.04;
+    plan.reorder = 0.06;
+    plan.reorder_max_s = 40e-6;
+    plan.flap_rate_hz = 2000.0;
+    plan.flap_down_s = 120e-6;
+    plan.horizon_s = 2.5e-3;
+    plan.failures.push_back(
+        {net.topo().link_index({fabric.leaves[0], fabric.leaf_uplink_port(0)}),
+         5e-4, 9e-4});
+    plan.restarts.push_back({fabric.leaves[1], 1.2e-3});
+    plan.restart_warmup_s = 300e-6;
+    plan.rule_push_delay_s = 70e-6;
+    plan.rule_push_jitter_s = 50e-6;
+    net.arm_faults(plan, 1234);
+
+    const auto ip = [&](int h) { return net.topo().node(h).ip; };
+    const int client = fabric.hosts[0][0];
+    const int server = fabric.hosts[1][0];
+    const int intruder = fabric.hosts[0][1];
+    net.dict_insert_all_delayed(dep, "allowed",
+                                {BitVec(32, ip(client)),
+                                 BitVec(32, ip(server))},
+                                {BitVec::from_bool(true)});
+    net.dict_insert_all_delayed(dep, "allowed",
+                                {BitVec(32, ip(server)),
+                                 BitVec(32, ip(client))},
+                                {BitVec::from_bool(true)});
+    for (int i = 0; i < 160; ++i) {
+      const double t = 12e-6 * (i + 1);
+      const int src = i % 4 == 3 ? intruder : client;
+      const std::uint32_t sip = ip(src);
+      const std::uint32_t dip = ip(server);
+      const auto sport = static_cast<std::uint16_t>(6000 + i % 16);
+      net.events().schedule_at(t, [&net, src, sip, dip, sport] {
+        net.send_from_host(src, p4rt::make_udp(sip, dip, sport, 80, 64));
+      });
+    }
+    net.events().run();
     return snapshot(net);
   });
 }

@@ -22,6 +22,7 @@
 //               the forensics show no_termination at the UPF leaf.
 //   leafspine — stateful_firewall on a 2x2 leaf-spine: an unsolicited flow
 //               is rejected at its last hop.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,6 +75,61 @@ void aether_scenario(net::Network& net, const net::LeafSpine& fabric) {
   uplink();
 }
 
+// Chaos mode: the same leaf-spine + stateful_firewall setup, but with the
+// full fault plan armed — loss, corruption, duplication, reordering, link
+// flaps, a mid-run switch restart, and delayed controller rule pushes —
+// all driven by one seed. The run must never throw (damaged telemetry is
+// rejected fail-closed), and the emitted JSON carries no engine name,
+// worker count, or wall clock, so CI byte-compares serial vs parallel.
+void chaos_scenario(net::Network& net, const net::LeafSpine& fabric,
+                    std::uint64_t seed) {
+  fwd::install_leaf_spine_routing(net, fabric);
+  const int dep = net.deploy(compile_library_checker("stateful_firewall"));
+
+  net::FaultPlan plan;
+  plan.loss = 0.02;
+  plan.corrupt = 0.08;
+  plan.duplicate = 0.03;
+  plan.reorder = 0.05;
+  plan.reorder_max_s = 40e-6;
+  plan.flap_rate_hz = 1500.0;
+  plan.flap_down_s = 150e-6;
+  plan.horizon_s = 4e-3;
+  plan.restarts.push_back({fabric.leaves[1], 1.2e-3});
+  plan.restart_warmup_s = 400e-6;
+  plan.rule_push_delay_s = 80e-6;
+  plan.rule_push_jitter_s = 80e-6;
+  net.arm_faults(plan, seed);
+
+  const std::uint32_t client = net.topo().node(fabric.hosts[0][0]).ip;
+  const std::uint32_t server = net.topo().node(fabric.hosts[1][0]).ip;
+  const std::uint32_t intruder = net.topo().node(fabric.hosts[0][1]).ip;
+  // The allow entries land late (push delay + jitter): the client's first
+  // packets are rejected until the rules arrive — a transient violation
+  // window the forensics annotate.
+  net.dict_insert_all_delayed(dep, "allowed",
+                              {BitVec(32, client), BitVec(32, server)},
+                              {BitVec::from_bool(true)});
+  net.dict_insert_all_delayed(dep, "allowed",
+                              {BitVec(32, server), BitVec(32, client)},
+                              {BitVec::from_bool(true)});
+
+  // Deterministic traffic spread over the fault horizon: mostly the
+  // allowed client flow, every fourth packet the unsolicited intruder.
+  for (int i = 0; i < 240; ++i) {
+    const double t = 8e-6 * (i + 1);
+    const bool bad = i % 4 == 3;
+    const int src_host = bad ? fabric.hosts[0][1] : fabric.hosts[0][0];
+    const std::uint32_t src_ip = bad ? intruder : client;
+    const auto sport = static_cast<std::uint16_t>(40000 + i % 16);
+    net.events().schedule_at(t, [&net, src_host, src_ip, server, sport]() {
+      net.send_from_host(src_host,
+                         p4rt::make_udp(src_ip, server, sport, 80, 64));
+    });
+  }
+  net.events().run();
+}
+
 void leafspine_scenario(net::Network& net, const net::LeafSpine& fabric) {
   fwd::install_leaf_spine_routing(net, fabric);
   const int dep = net.deploy(compile_library_checker("stateful_firewall"));
@@ -99,6 +155,7 @@ void leafspine_scenario(net::Network& net, const net::LeafSpine& fabric) {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--scenario aether|leafspine] [--forensics]\n"
+               "          [--chaos SEED]\n"
                "          [--engine serial|parallel[:N]] [--workers N]\n"
                "          [--ring N] [--out FILE] [--trace FILE]\n"
                "          [--min-violations N]\n",
@@ -117,9 +174,14 @@ int main(int argc, char** argv) {
   std::size_t ring = 512;
   long min_violations = 0;
   bool forensics = false;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       scenario = argv[++i];
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      chaos = true;
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -144,12 +206,17 @@ int main(int argc, char** argv) {
   // Engine choice never changes what the forensics observe: ring contents
   // and assembled reports are byte-identical by the engine contract.
   net.set_engine(engine, workers);
-  if (forensics) net.set_forensics(true, ring);
+  // Chaos mode always records forensics — the annotated reports are the
+  // point of the exercise.
+  if (forensics || chaos) net.set_forensics(true, ring);
   // The engine-phase profile is wall-clock (not deterministic), so it is
   // only armed when the caller asks for the trace file.
   if (!trace_path.empty()) net.set_engine_profiling(true);
 
-  if (scenario == "aether") {
+  if (chaos) {
+    scenario = "chaos";
+    chaos_scenario(net, fabric, chaos_seed);
+  } else if (scenario == "aether") {
     aether_scenario(net, fabric);
   } else if (scenario == "leafspine") {
     leafspine_scenario(net, fabric);
@@ -159,20 +226,38 @@ int main(int argc, char** argv) {
   }
 
   const auto& violations = net.violation_reports();
-  for (const auto& v : violations) {
-    std::printf("%s\n", obs::violation_narrative(v).c_str());
+  if (!chaos) {
+    for (const auto& v : violations) {
+      std::printf("%s\n", obs::violation_narrative(v).c_str());
+    }
   }
   std::printf("violations: %zu (rejected=%llu reported=%zu)\n",
               violations.size(),
               static_cast<unsigned long long>(net.counters().rejected),
               net.reports().size());
+  if (chaos) {
+    std::printf("fault stats: %s\n", net.fault_stats().to_json().c_str());
+  }
 
   // The JSON document holds only the scenario name and the assembled
   // reports — no engine name, worker count, or wall clock — so CI can
-  // byte-compare serial and parallel runs.
-  const std::string doc = "{\n\"scenario\": \"" + scenario +
-                          "\",\n\"violations\": " +
-                          obs::violations_json(violations) + "}\n";
+  // byte-compare serial and parallel runs. Chaos mode adds the seed, the
+  // fault stats, the simulation counters, and the full (deterministic)
+  // metrics snapshot, all of which the engine contract covers too.
+  std::string doc = "{\n\"scenario\": \"" + scenario + "\"";
+  if (chaos) {
+    const auto& c = net.counters();
+    doc += ",\n\"seed\": " + std::to_string(chaos_seed);
+    doc += ",\n\"fault_stats\": " + net.fault_stats().to_json();
+    doc += ",\n\"counters\": {\"injected\": " + std::to_string(c.injected) +
+           ", \"delivered\": " + std::to_string(c.delivered) +
+           ", \"rejected\": " + std::to_string(c.rejected) +
+           ", \"fwd_dropped\": " + std::to_string(c.fwd_dropped) +
+           ", \"queue_dropped\": " + std::to_string(c.queue_dropped) +
+           ", \"fault_dropped\": " + std::to_string(c.fault_dropped) + "}";
+    doc += ",\n\"metrics\": " + net.metrics_json();
+  }
+  doc += ",\n\"violations\": " + obs::violations_json(violations) + "}\n";
   if (out_path.empty()) {
     std::printf("%s", doc.c_str());
   } else {
