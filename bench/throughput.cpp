@@ -57,6 +57,16 @@ bool g_obs = false;  // --obs: run with the observability layer enabled
 net::EngineKind g_kind = net::EngineKind::kSerial;
 int g_workers = 0;
 
+// True when the machine has fewer hardware threads than the requested
+// worker count: parallel numbers are then oversubscription artifacts, not
+// speedups. Recorded honestly in the JSON so downstream comparisons (CI
+// perf gates, plots) can discard the run.
+bool degraded_hw(int eff_workers) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return g_kind == net::EngineKind::kParallel && hw != 0 &&
+         hw < static_cast<unsigned>(eff_workers < 1 ? 1 : eff_workers);
+}
+
 void apply_engine(net::Network& net) { net.set_engine(g_kind, g_workers); }
 
 Result iperf_run(bool with_checkers, double duration) {
@@ -214,9 +224,11 @@ void write_json(const std::string& path, const Result& iperf_base,
   std::fprintf(f,
                "{\n  \"bench\": \"throughput\",\n"
                "  \"engine\": \"%s\",\n  \"workers\": %d,\n"
-               "  \"hw_threads\": %u,\n  \"iperf\": {\n",
+               "  \"hw_threads\": %u,\n  \"degraded_hw\": %s,\n"
+               "  \"iperf\": {\n",
                net::engine_kind_name(g_kind), workers,
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(),
+               degraded_hw(workers) ? "true" : "false");
   write_result(f, "baseline", iperf_base, ",");
   write_result(f, "all_checkers", iperf_hydra, ",");
   std::fprintf(f, "    \"delta_pct\": %.4f\n  },\n  \"campus\": {\n",
@@ -251,6 +263,15 @@ int main(int argc, char** argv) {
   }
   const int eff_workers =
       g_kind == net::EngineKind::kSerial ? 1 : g_workers;
+  if (degraded_hw(eff_workers)) {
+    std::fprintf(stderr,
+                 "WARNING: %d workers requested but only %u hardware "
+                 "thread(s) available — parallel wall-clock numbers below "
+                 "measure oversubscription, NOT speedup. The JSON output is "
+                 "tagged \"degraded_hw\": true; do not compare it against "
+                 "multi-core runs.\n",
+                 eff_workers, std::thread::hardware_concurrency());
+  }
   std::printf("Throughput comparison (paper §6.2: 'almost identical with "
               "around 20 Gb/s')%s [engine=%s workers=%d]\n\n",
               g_obs ? " [observability ON]" : "",

@@ -87,8 +87,15 @@ Ipv4EcmpProgram::Decision Ipv4EcmpProgram::process(p4rt::Packet& pkt,
     d.reason = "unknown_switch";
     return d;
   }
-  const p4rt::TableEntry* entry =
-      it->second.routes.lookup({BitVec(32, pkt.ipv4->dst)});
+  // Thread-local: in flow-affinity windows several workers call process()
+  // for the same switch concurrently, so the lookup key and flatten
+  // scratch must not live in the (shared) table or program.
+  thread_local std::vector<BitVec> key;
+  thread_local p4rt::TableScratch scratch;
+  key.assign(1, BitVec(32, pkt.ipv4->dst));
+  const p4rt::TableEntry* entry = concurrent_
+                                      ? it->second.routes.lookup_shared(key, scratch)
+                                      : it->second.routes.lookup(key);
   if (entry == nullptr) {
     miss_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;

@@ -5,6 +5,10 @@
 
 namespace hydra::net {
 
+namespace {
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+}  // namespace
+
 void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) {
     throw std::invalid_argument("cannot schedule an event in the past");
@@ -13,7 +17,7 @@ void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
   item.t = t;
   item.seq = next_seq_++;
   item.fn = std::move(fn);
-  heap_.push(std::move(item));
+  cl_heap_.push(std::move(item));
 }
 
 void EventQueue::schedule_switch_at(SimTime t, int sw, int in_port,
@@ -28,7 +32,7 @@ void EventQueue::schedule_switch_at(SimTime t, int sw, int in_port,
   item.work.sw = sw;
   item.work.in_port = in_port;
   item.work.pkt = std::move(pkt);
-  heap_.push(std::move(item));
+  sw_heap_.push(std::move(item));
 }
 
 void EventQueue::schedule_control_at(SimTime t, int sw,
@@ -42,28 +46,53 @@ void EventQueue::schedule_control_at(SimTime t, int sw,
   item.is_switch_work = true;
   item.work.sw = sw;
   item.work.ctl = std::move(op);
-  heap_.push(std::move(item));
+  sw_heap_.push(std::move(item));
+}
+
+SimTime EventQueue::next_time() const {
+  return switch_heap_first() ? sw_heap_.top().t : cl_heap_.top().t;
+}
+
+SimTime EventQueue::next_closure_time() const {
+  return cl_heap_.empty() ? kInf : cl_heap_.top().t;
+}
+
+SimTime EventQueue::next_switch_time() const {
+  return sw_heap_.empty() ? kInf : sw_heap_.top().t;
+}
+
+bool EventQueue::switch_heap_first() const {
+  if (sw_heap_.empty()) return false;
+  if (cl_heap_.empty()) return true;
+  const Item& s = sw_heap_.top();
+  const Item& c = cl_heap_.top();
+  return s.t < c.t || (s.t == c.t && s.seq < c.seq);
+}
+
+EventQueue::Item EventQueue::pop_heap_top(Heap& heap) {
+  // Move out before pop so handlers may schedule more events.
+  Item item = std::move(const_cast<Item&>(heap.top()));
+  heap.pop();
+  return item;
 }
 
 EventQueue::Item EventQueue::pop_next() {
-  // Copy out before pop so handlers may schedule more events.
-  Item item = std::move(const_cast<Item&>(heap_.top()));
-  heap_.pop();
-  return item;
+  return pop_heap_top(switch_heap_first() ? sw_heap_ : cl_heap_);
 }
 
 void EventQueue::pop_window(SimTime limit, SimTime window_end,
                             std::vector<Item>& out) {
-  if (heap_.empty()) return;
-  const SimTime t0 = heap_.top().t;
-  while (!heap_.empty() && heap_.top().t <= limit &&
-         (heap_.top().t == t0 || heap_.top().t < window_end)) {
+  if (empty()) return;
+  const SimTime t0 = next_time();
+  while (!empty()) {
+    const SimTime t = next_time();
+    if (t > limit || (t != t0 && t >= window_end)) break;
     out.push_back(pop_next());
   }
 }
 
 void EventQueue::run_self(SimTime t) {
-  while (!heap_.empty() && heap_.top().t <= t) {
+  while (!empty() && next_time() <= t) {
     Item item = pop_next();
     now_ = item.t;
     if (item.is_switch_work) {
@@ -84,11 +113,10 @@ void EventQueue::run_until(SimTime t) {
 }
 
 void EventQueue::run() {
-  const SimTime inf = std::numeric_limits<SimTime>::infinity();
   if (executor_ != nullptr) {
-    executor_->drain(*this, inf);
+    executor_->drain(*this, kInf);
   } else {
-    run_self(inf);
+    run_self(kInf);
   }
 }
 

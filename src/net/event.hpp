@@ -93,8 +93,8 @@ class EventQueue {
   // Schedules a control operation on switch `sw`'s shard (see ControlOp).
   void schedule_control_at(SimTime t, int sw, std::unique_ptr<ControlOp> op);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return cl_heap_.empty() && sw_heap_.empty(); }
+  std::size_t pending() const { return cl_heap_.size() + sw_heap_.size(); }
 
   // Runs events until the queue is empty or `t` is passed; `now()` advances
   // to at most t. Delegates to the installed executor, if any.
@@ -107,9 +107,18 @@ class EventQueue {
   // order, so handler-visible time matches serial execution exactly.
   void set_executor(EventExecutor* executor) { executor_ = executor; }
   bool has_ready(SimTime limit) const {
-    return !heap_.empty() && heap_.top().t <= limit;
+    return !empty() && next_time() <= limit;
   }
-  SimTime next_time() const { return heap_.top().t; }
+  SimTime next_time() const;  // earliest pending timestamp (queue non-empty)
+  // Earliest pending generic closure / switch-work timestamp, or +infinity
+  // when that kind has nothing pending. The parallel engine's adaptive
+  // lookahead derives its sound window-extension bound from these: a
+  // closure at time c can spawn switch work no earlier than c + lookahead,
+  // and a switch commit at time s no earlier than s + min-link-delay +
+  // lookahead (see net/engine.hpp). The queue keeps the two kinds in
+  // separate heaps so both reads are O(1).
+  SimTime next_closure_time() const;
+  SimTime next_switch_time() const;
   // Pops the earliest item without advancing now().
   Item pop_next();
   // Pops every item with t <= limit that falls in [t0, window_end), where
@@ -125,12 +134,19 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  using Heap = std::priority_queue<Item, std::vector<Item>, Later>;
 
   void run_self(SimTime t);  // executor-free drain (standalone queues)
+  // True when the next merged (t, seq) pop comes from the switch heap.
+  bool switch_heap_first() const;
+  static Item pop_heap_top(Heap& heap);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  // Split by kind; seq is a single shared stream, so merging the two tops
+  // by (t, seq) reproduces the exact one-heap pop order.
+  Heap cl_heap_;  // generic closures
+  Heap sw_heap_;  // switch work (packet hops + control ops)
   EventExecutor* executor_ = nullptr;
 };
 

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -322,6 +323,34 @@ int Network::pipeline_stages() const {
 
 double Network::switch_latency() const {
   return base_proc_s_ + per_stage_s_ * pipeline_stages();
+}
+
+SimTime Network::min_spawn_delay() const {
+  SimTime d = std::numeric_limits<SimTime>::infinity();
+  for (const auto& l : topo_.links()) d = std::min(d, l.latency_s);
+  return d;
+}
+
+bool Network::flow_sharding_allowed() const {
+  if (obs_ != nullptr || faults_ != nullptr) return false;
+  for (const auto& d : deployments_) {
+    if (!d.checker->ir.registers.empty()) return false;
+  }
+  for (const auto& p : programs_) {
+    if (p != nullptr && !p->concurrent_safe()) return false;
+  }
+  return true;
+}
+
+void Network::set_concurrent_tables(bool on) {
+  for (auto& ctx : contexts_) {
+    for (auto& pd : ctx.deps) {
+      if (pd.interp) pd.interp->set_shared_tables(on);
+    }
+  }
+  for (const auto& p : programs_) {
+    if (p != nullptr) p->set_concurrent(on);
+  }
 }
 
 int Network::packet_wire_bytes(const p4rt::Packet& pkt) const {

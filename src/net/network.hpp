@@ -367,6 +367,34 @@ class Network {
   // this far after the event that creates it, so an engine may treat all
   // events inside one lookahead window as a parallel epoch.
   SimTime lookahead() const { return switch_latency(); }
+  // Smallest link propagation delay: a sound lower bound on how far after
+  // a switch-hop commit the NEXT switch's work for that packet can land
+  // (commit -> transmit -> node_receive adds at least this much plus the
+  // lookahead). Feeds the parallel engine's adaptive window-extension
+  // bound. +infinity for a linkless topology.
+  SimTime min_spawn_delay() const;
+  // True when the parallel engine may shard the current configuration by
+  // FLOW instead of by switch — i.e. hops of the same switch may execute
+  // on different workers within a window. Requires:
+  //   * observability off — Table's last-hit cache must be bypassed
+  //     (lookup_shared), so `*.cache_hits` counters would diverge from
+  //     serial; with obs off nobody observes them (this also rules out
+  //     forensics/tracing/profiling, which imply observability);
+  //   * faults disarmed — cold_until_ stays read-only and telemetry is
+  //     never damaged mid-window;
+  //   * every deployed checker register-free — register state is
+  //     switch-confined but order-sensitive across hops of one switch;
+  //   * every installed forwarding program concurrent_safe().
+  // Report callbacks and in-window ControlOps are excluded per-window by
+  // the engine, not here. The answer only changes at configuration points
+  // (deploy / set_program / set_observability / arm_faults), all of which
+  // require an idle event queue.
+  bool flow_sharding_allowed() const;
+  // Flips every interpreter context and concurrent_safe() program between
+  // the cached single-threaded table-lookup path and the shared
+  // (cache-bypassing) path. The engine brackets flow-sharded drains with
+  // this; serial and switch-sharded execution keep the cached path.
+  void set_concurrent_tables(bool on);
   // Adds shard-local counter accumulators into the main registry (no-op
   // for the serial engine / while observability is off).
   void absorb_shard_metrics();

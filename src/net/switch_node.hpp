@@ -87,6 +87,21 @@ class ForwardingProgram {
   virtual void attach_metrics_sharded(MetricsResolver resolve) {
     attach_metrics(resolve ? resolve(-1) : nullptr);
   }
+
+  // Flow-affinity opt-in. The parallel engine's flow-sharded windows run
+  // process() for the SAME switch on different threads concurrently (hops
+  // of different flows). A program may return true ONLY if process() is
+  // safe under that regime: per-switch lookup structures treated as
+  // read-only (route via p4rt::Table::lookup_shared, not lookup()),
+  // mutations confined to the packet itself or to relaxed atomics.
+  // Default false — the engine then falls back to switch-affinity
+  // sharding, which preserves the one-switch-one-thread rule above.
+  virtual bool concurrent_safe() const { return false; }
+
+  // Toggled by the network when entering/leaving flow-affinity mode, so a
+  // concurrent_safe() program can switch its table probes between the
+  // cached single-threaded path and the shared path. No-op by default.
+  virtual void set_concurrent(bool on) { (void)on; }
 };
 
 }  // namespace hydra::net

@@ -45,7 +45,7 @@ const Registry::Meta& Registry::require(const std::string& name, Kind kind) {
   switch (kind) {
     case Kind::kCounter:
       m.slot = counters_.size();
-      counters_.push_back(0);
+      counters_.emplace_back(0);  // atomics are not copyable; construct in place
       break;
     case Kind::kGauge:
       m.slot = gauges_.size();
@@ -87,7 +87,7 @@ Histogram Registry::histogram(const std::string& name,
 std::uint64_t Registry::counter_value(const std::string& name) const {
   const auto it = by_name_.find(name);
   if (it == by_name_.end() || it->second.kind != Kind::kCounter) return 0;
-  return counters_[it->second.slot];
+  return counters_[it->second.slot].load(std::memory_order_relaxed);
 }
 
 double Registry::gauge_value(const std::string& name) const {
@@ -100,11 +100,13 @@ void Registry::absorb_counters(Registry& src) {
   for (const auto& [name, m] : src.by_name_) {
     switch (m.kind) {
       case Kind::kCounter: {
-        std::uint64_t& v = src.counters_[m.slot];
+        auto& v = src.counters_[m.slot];
         // Register even when zero so exports list the same names regardless
-        // of which shard's switches happened to see traffic.
-        counters_[require(name, Kind::kCounter).slot] += v;
-        v = 0;
+        // of which shard's switches happened to see traffic. Callers merge
+        // at barriers (writers quiesced), so the exchange cannot lose bumps.
+        counters_[require(name, Kind::kCounter).slot].fetch_add(
+            v.exchange(0, std::memory_order_relaxed),
+            std::memory_order_relaxed);
         break;
       }
       case Kind::kGauge: {
@@ -144,7 +146,7 @@ void Registry::absorb_counters(Registry& src) {
 }
 
 void Registry::reset() {
-  for (auto& c : counters_) c = 0;
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
   for (auto& g : gauges_) g = 0.0;
   for (auto& h : histograms_) {
     h.buckets.assign(h.bounds.size() + 1, 0);
@@ -160,7 +162,8 @@ std::string Registry::to_json() const {
     if (m.kind != Kind::kCounter) continue;
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    \"" + name + "\": " + std::to_string(counters_[m.slot]);
+    out += "    \"" + name + "\": " +
+           std::to_string(counters_[m.slot].load(std::memory_order_relaxed));
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"gauges\": {";
@@ -202,7 +205,9 @@ std::string Registry::to_csv() const {
     switch (m.kind) {
       case Kind::kCounter:
         out += "counter," + name + ",value," +
-               std::to_string(counters_[m.slot]) + "\n";
+               std::to_string(
+                   counters_[m.slot].load(std::memory_order_relaxed)) +
+               "\n";
         break;
       case Kind::kGauge:
         out += "gauge," + name + ",value," + format_double(gauges_[m.slot]) +

@@ -7,8 +7,19 @@
 // (nullptr) and every operation on it is one predictable branch — that is
 // the entire disabled-path cost. When a Registry hands out a handle, the
 // increment is a direct pointer write with no lock, no lookup, and no
-// allocation (the simulator, like the pipeline it models, is
-// single-threaded).
+// allocation.
+//
+// Counter slots are relaxed atomics: the parallel engine's dynamic
+// sharding may hand two switches that share one aggregate counter (same
+// (checker, table) name) to two workers in the same epoch, so the bump
+// must be a race-free fetch_add. Relaxed ordering is enough — each event
+// contributes a schedule-independent amount, so the TOTAL a snapshot
+// reads (taken at a barrier, after workers quiesce) is identical under
+// any interleaving, which keeps exports byte-identical across engines.
+// On the serial path an uncontended fetch_add costs the same as the old
+// plain add on mainstream hardware. Gauges and histograms keep plain
+// slots: they are only ever written single-threaded (snapshot pulls on
+// the main thread; per-shard histograms have exactly one writer).
 //
 // Slots live in deques so handles stay valid as more metrics register.
 // Registration is idempotent: asking for the same name (and kind) again
@@ -17,6 +28,7 @@
 // exports are deterministic regardless of registration order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -32,15 +44,17 @@ class Counter {
  public:
   Counter() = default;
   void inc(std::uint64_t n = 1) const {
-    if (slot_ != nullptr) *slot_ += n;
+    if (slot_ != nullptr) slot_->fetch_add(n, std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+  std::uint64_t value() const {
+    return slot_ != nullptr ? slot_->load(std::memory_order_relaxed) : 0;
+  }
   bool attached() const { return slot_ != nullptr; }
 
  private:
   friend class Registry;
-  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
-  std::uint64_t* slot_ = nullptr;
+  explicit Counter(std::atomic<std::uint64_t>* slot) : slot_(slot) {}
+  std::atomic<std::uint64_t>* slot_ = nullptr;
 };
 
 // Point-in-time level (entry counts, utilization). Set, not accumulated.
@@ -129,7 +143,8 @@ class Registry {
   const Meta& require(const std::string& name, Kind kind);
 
   std::map<std::string, Meta> by_name_;  // ordered => deterministic export
-  std::deque<std::uint64_t> counters_;
+  // deque: slots never relocate, so handles (and atomicity) survive growth.
+  std::deque<std::atomic<std::uint64_t>> counters_;
   std::deque<double> gauges_;
   std::deque<HistogramData> histograms_;
 };

@@ -17,6 +17,11 @@ std::vector<double> item_bounds() {
           4096.0};
 }
 
+// The adaptive lookahead multiplier is a power of two in [1, 64].
+std::vector<double> mult_bounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}
+
 std::string format_us(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
@@ -49,8 +54,15 @@ void EngineProfiler::attach_main(Registry& reg) {
   epoch_items_ = reg.histogram("engine.epoch.items", item_bounds());
   epoch_switch_items_ =
       reg.histogram("engine.epoch.switch_items", item_bounds());
+  lookahead_mult_ =
+      reg.histogram("engine.epoch.lookahead_mult", mult_bounds());
   epochs_ = reg.counter("engine.epochs");
   serial_windows_ = reg.counter("engine.epochs_serial_degraded");
+  epochs_parallel_ = reg.counter("engine.epochs.parallel");
+  epochs_flow_ = reg.counter("engine.epochs.flow");
+  epochs_callbacks_ = reg.counter("engine.epochs.callbacks");
+  epochs_one_worker_ = reg.counter("engine.epochs.one_worker");
+  epochs_small_window_ = reg.counter("engine.epochs.small_window");
 }
 
 void EngineProfiler::attach_worker(int shard, Registry& reg) {
@@ -67,8 +79,14 @@ void EngineProfiler::detach() {
   barrier_us_ = {};
   epoch_items_ = {};
   epoch_switch_items_ = {};
+  lookahead_mult_ = {};
   epochs_ = {};
   serial_windows_ = {};
+  epochs_parallel_ = {};
+  epochs_flow_ = {};
+  epochs_callbacks_ = {};
+  epochs_one_worker_ = {};
+  epochs_small_window_ = {};
   for (auto& h : compute_us_) h = {};
 }
 
@@ -95,21 +113,38 @@ void EngineProfiler::pop_window(double t0_us, double t1_us,
 }
 
 void EngineProfiler::epoch(double t0_us, double t1_us, std::size_t items,
-                           std::size_t switch_items, const char* mode) {
+                           std::size_t switch_items, const char* mode,
+                           std::size_t lookahead_mult) {
   epochs_.inc();
   epoch_items_.observe(static_cast<double>(items));
   epoch_switch_items_.observe(static_cast<double>(switch_items));
-  const bool parallel = mode != nullptr && mode[0] == 'p';
-  if (!parallel) serial_windows_.inc();
+  lookahead_mult_.observe(static_cast<double>(lookahead_mult));
+  // "parallel" and "flow" are the concurrent modes; everything else is a
+  // serial degradation.
+  const bool concurrent =
+      mode != nullptr && (mode[0] == 'p' || mode[0] == 'f');
+  if (!concurrent) serial_windows_.inc();
+  if (mode != nullptr) {
+    switch (mode[0]) {
+      case 'p': epochs_parallel_.inc(); break;
+      case 'f': epochs_flow_.inc(); break;
+      case 'c': epochs_callbacks_.inc(); break;
+      case 'o': epochs_one_worker_.inc(); break;
+      case 's': epochs_small_window_.inc(); break;
+      default: break;
+    }
+  }
   Span s;
   s.name = "epoch";
   s.ts_us = t0_us;
   s.dur_us = t1_us - t0_us;
-  s.n_args = 2;
+  s.n_args = 3;
   s.keys[0] = "items";
   s.vals[0] = static_cast<double>(items);
   s.keys[1] = "switch_items";
   s.vals[1] = static_cast<double>(switch_items);
+  s.keys[2] = "lookahead_mult";
+  s.vals[2] = static_cast<double>(lookahead_mult);
   s.note = mode;
   push(0, s);
 }

@@ -57,10 +57,15 @@ class EngineProfiler {
 
   // ---- engine-facing recording hooks -------------------------------------
   void pop_window(double t0_us, double t1_us, std::size_t popped);
-  // One parallel epoch: item counts and execution mode ("parallel", or the
-  // serial-degradation reason: "callbacks", "small_window", "one_worker").
+  // One parallel epoch: item counts, execution mode ("parallel" for
+  // switch-group sharding, "flow" for flow-affinity sharding, or the
+  // serial-degradation reason: "callbacks", "small_window", "one_worker")
+  // and the adaptive lookahead multiplier the window ran at (1 = base
+  // lookahead). Each mode gets its own "engine.epochs.<mode>" counter and
+  // the multiplier feeds the "engine.epoch.lookahead_mult" histogram.
   void epoch(double t0_us, double t1_us, std::size_t items,
-             std::size_t switch_items, const char* mode);
+             std::size_t switch_items, const char* mode,
+             std::size_t lookahead_mult = 1);
   void compute(int shard, double t0_us, double t1_us, std::size_t items);
   void commit(double t0_us, double t1_us);
   void barrier(double t0_us, double t1_us);
@@ -102,8 +107,15 @@ class EngineProfiler {
   Histogram barrier_us_;
   Histogram epoch_items_;
   Histogram epoch_switch_items_;
+  Histogram lookahead_mult_;
   Counter epochs_;
   Counter serial_windows_;
+  // Per-mode epoch counters ("engine.epochs.<mode>"); see epoch().
+  Counter epochs_parallel_;
+  Counter epochs_flow_;
+  Counter epochs_callbacks_;
+  Counter epochs_one_worker_;
+  Counter epochs_small_window_;
   std::vector<Histogram> compute_us_;  // per shard, shadow-registry backed
 };
 

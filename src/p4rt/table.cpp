@@ -263,55 +263,41 @@ void Table::rebuild_index() {
   for (std::uint32_t i = 0; i < entries_.size(); ++i) index_entry(i);
 }
 
-void Table::flatten_key(const std::vector<BitVec>& key) const {
-  raw_scratch_.clear();
-  flat_scratch_.clear();
+void Table::flatten_into(const std::vector<BitVec>& key,
+                         std::vector<std::uint64_t>& raw_out,
+                         std::vector<std::uint64_t>& flat_out) const {
+  raw_out.clear();
+  flat_out.clear();
   for (std::size_t i = 0; i < key.size(); ++i) {
     const std::uint64_t raw = key[i].value();
-    raw_scratch_.push_back(raw);
+    raw_out.push_back(raw);
     switch (key_spec_[i].kind) {
       case MatchKind::kExact:
       case MatchKind::kRange:
-        flat_scratch_.push_back(raw);
+        flat_out.push_back(raw);
         break;
       case MatchKind::kTernary:
       case MatchKind::kLpm:
-        flat_scratch_.push_back(raw & BitVec::mask(key_spec_[i].width));
+        flat_out.push_back(raw & BitVec::mask(key_spec_[i].width));
         break;
     }
   }
 }
 
-const TableEntry* Table::lookup(const std::vector<BitVec>& key) const {
-  if (key.size() != key_spec_.size()) {
-    throw std::invalid_argument("table '" + name_ + "': lookup key arity " +
-                                std::to_string(key.size()) + ", expected " +
-                                std::to_string(key_spec_.size()));
-  }
-  flatten_key(key);
-  if (cache_state_ == CacheState::kValid && raw_scratch_ == cache_key_) {
-    metrics_.cache_hits.inc();
-    if (cache_idx_ < 0) {
-      metrics_.misses.inc();
-      return nullptr;
-    }
-    metrics_.hits.inc();
-    return &entries_[static_cast<std::size_t>(cache_idx_)];
-  }
-
+std::int64_t Table::probe_index(const std::vector<BitVec>& key,
+                                const std::vector<std::uint64_t>& raw,
+                                std::vector<std::uint64_t>& flat) const {
   std::int64_t best = -1;
   if (!exact_.empty()) {
-    const auto it = exact_.find(flat_scratch_);
+    const auto it = exact_.find(flat);
     if (it != exact_.end()) best = it->second;
   }
   if (!lpm_.empty()) {
-    const std::uint64_t raw =
-        raw_scratch_[static_cast<std::size_t>(lpm_field_)];
+    const std::uint64_t r = raw[static_cast<std::size_t>(lpm_field_)];
     const int w = key_spec_[static_cast<std::size_t>(lpm_field_)].width;
     for (const auto& [len, map] : lpm_) {
-      flat_scratch_[static_cast<std::size_t>(lpm_field_)] =
-          raw & prefix_mask(w, len);
-      const auto it = map.find(flat_scratch_);
+      flat[static_cast<std::size_t>(lpm_field_)] = r & prefix_mask(w, len);
+      const auto it = map.find(flat);
       if (it != map.end() &&
           (best < 0 || better(it->second, static_cast<std::uint32_t>(best)))) {
         best = it->second;
@@ -332,10 +318,48 @@ const TableEntry* Table::lookup(const std::vector<BitVec>& key) const {
       break;
     }
   }
+  return best;
+}
+
+const TableEntry* Table::lookup(const std::vector<BitVec>& key) const {
+  if (key.size() != key_spec_.size()) {
+    throw std::invalid_argument("table '" + name_ + "': lookup key arity " +
+                                std::to_string(key.size()) + ", expected " +
+                                std::to_string(key_spec_.size()));
+  }
+  flatten_into(key, raw_scratch_, flat_scratch_);
+  if (cache_state_ == CacheState::kValid && raw_scratch_ == cache_key_) {
+    metrics_.cache_hits.inc();
+    if (cache_idx_ < 0) {
+      metrics_.misses.inc();
+      return nullptr;
+    }
+    metrics_.hits.inc();
+    return &entries_[static_cast<std::size_t>(cache_idx_)];
+  }
+
+  const std::int64_t best = probe_index(key, raw_scratch_, flat_scratch_);
 
   cache_key_ = raw_scratch_;
   cache_idx_ = best;
   cache_state_ = CacheState::kValid;
+  if (best < 0) {
+    metrics_.misses.inc();
+    return nullptr;
+  }
+  metrics_.hits.inc();
+  return &entries_[static_cast<std::size_t>(best)];
+}
+
+const TableEntry* Table::lookup_shared(const std::vector<BitVec>& key,
+                                       TableScratch& scratch) const {
+  if (key.size() != key_spec_.size()) {
+    throw std::invalid_argument("table '" + name_ + "': lookup key arity " +
+                                std::to_string(key.size()) + ", expected " +
+                                std::to_string(key_spec_.size()));
+  }
+  flatten_into(key, scratch.raw, scratch.flat);
+  const std::int64_t best = probe_index(key, scratch.raw, scratch.flat);
   if (best < 0) {
     metrics_.misses.inc();
     return nullptr;

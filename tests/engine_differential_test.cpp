@@ -86,9 +86,13 @@ Snapshot snapshot(net::Network& net) {
   Snapshot s;
   s.counters = dump_counters(net.counters());
   s.reports = dump_reports(net);
-  s.metrics = net.metrics_json();
+  // Metrics and forensics only exist while observability is on; obs-off
+  // scenarios (the flow-sharding fast path) still compare everything else.
+  if (net.observability_enabled()) {
+    s.metrics = net.metrics_json();
+    s.forensics = net.violation_reports_json();
+  }
   s.state = dump_state(net);
-  s.forensics = net.violation_reports_json();
   if (net.faults_armed()) s.faults = net.fault_stats().to_json();
   return s;
 }
@@ -184,6 +188,73 @@ TEST(EngineDifferential, FatTreeRandomTraffic) {
     f1.start(0.0, 1.5e-3);
     f2.start(0.0, 1.5e-3);
     burst(net, ft.hosts[3][0][0], ft.hosts[0][1][0], 8e-4, 32);
+    net.events().run();
+    return snapshot(net);
+  });
+}
+
+// Flow-affinity fast path: observability and forensics OFF, register-free
+// checkers, concurrent-safe forwarding — Network::flow_sharding_allowed()
+// holds, so parallel windows shard by flow hash and hops of the SAME switch
+// execute concurrently through the cache-bypassing table probe. Runs must
+// still be bit-identical in everything observable without the metrics
+// layer: counters, reports, and final checker state.
+TEST(EngineDifferential, FlowShardingObsOffRandomTraffic) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(4, 4, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    // No set_observability / set_forensics: exactly the configuration the
+    // flow-affinity plan requires.
+    const int vf = net.deploy(compile_library_checker("valley_free"));
+    configure_valley_free(net, vf, fabric);
+    net.deploy(compile_library_checker("loops"));
+    EXPECT_TRUE(net.flow_sharding_allowed());
+
+    net::UdpFlood f1(net, fabric.hosts[0][0], fabric.hosts[3][1], 0.9, 700);
+    f1.set_poisson(41);
+    net::UdpFlood f2(net, fabric.hosts[1][0], fabric.hosts[2][1], 0.7, 450);
+    f2.set_poisson(57);
+    net::UdpFlood f3(net, fabric.hosts[2][0], fabric.hosts[0][1], 0.5, 300);
+    f3.set_poisson(73);
+    f1.start(0.0, 2e-3);
+    f2.start(0.0, 2e-3);
+    f3.start(0.0, 2e-3);
+    burst(net, fabric.hosts[3][0], fabric.hosts[1][1], 1e-3, 32);
+    net.events().run();
+    EXPECT_GT(net.counters().delivered, 0u);
+    return snapshot(net);
+  });
+}
+
+// Every flow converges on one leaf: a single hot switch dominates every
+// window, stressing the LPT switch-group planner's balance and the
+// one-switch-one-worker rule that keeps per-table cache behaviour (and
+// thus the metrics snapshot) exact with observability ON.
+TEST(EngineDifferential, HotSwitchSkewedLoadSwitchGroups) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(4, 4, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    net.set_observability(true);
+    net.set_forensics(true);
+    EXPECT_FALSE(net.flow_sharding_allowed());  // obs forces switch groups
+
+    const int ud = net.deploy(compile_library_checker("up_down_routing"));
+    configure_up_down(net, ud, fabric);
+    // All traffic lands on leaf 0's hosts.
+    net::UdpFlood f1(net, fabric.hosts[1][0], fabric.hosts[0][0], 1.0, 600);
+    f1.set_poisson(7);
+    net::UdpFlood f2(net, fabric.hosts[2][1], fabric.hosts[0][1], 0.8, 500);
+    f2.set_poisson(19);
+    net::UdpFlood f3(net, fabric.hosts[3][0], fabric.hosts[0][0], 0.6, 400);
+    f3.set_poisson(31);
+    f1.start(0.0, 2e-3);
+    f2.start(0.0, 2e-3);
+    f3.start(0.0, 2e-3);
+    burst(net, fabric.hosts[3][1], fabric.hosts[0][1], 9e-4, 40);
     net.events().run();
     return snapshot(net);
   });
@@ -324,6 +395,70 @@ TEST(EngineSpec, ParseAndName) {
   EXPECT_STREQ(net::engine_kind_name(net::EngineKind::kSerial), "serial");
   EXPECT_STREQ(net::engine_kind_name(net::EngineKind::kParallel),
                "parallel");
+}
+
+// Under sustained load the profiler must span every engine phase —
+// pop_window, epoch, compute, commit, barrier — with dispatched-parallel
+// epochs present, and the per-mode epoch counters plus the lookahead-
+// multiplier histogram must surface in the metrics snapshot.
+TEST(EngineProfiler, CoversEveryPhaseOnLoadedFabric) {
+  auto fabric = net::make_leaf_spine(4, 4, 2);
+  net::Network net(fabric.topo);
+  net.set_engine(net::EngineKind::kParallel, 4);
+  auto routing = fwd::install_leaf_spine_routing(net, fabric);
+  net.set_observability(true);
+  net.set_engine_profiling(true);
+  const int ud = net.deploy(compile_library_checker("up_down_routing"));
+  configure_up_down(net, ud, fabric);
+
+  net::UdpFlood f1(net, fabric.hosts[0][0], fabric.hosts[3][1], 2.0, 600);
+  f1.set_poisson(11);
+  net::UdpFlood f2(net, fabric.hosts[1][1], fabric.hosts[2][0], 2.0, 600);
+  f2.set_poisson(23);
+  f1.start(0.0, 2e-3);
+  f2.start(0.0, 2e-3);
+  burst(net, fabric.hosts[0][1], fabric.hosts[3][0], 1e-3, 48);
+  net.events().run();
+
+  const std::string trace = net.engine_profiler().to_chrome_trace_json();
+  for (const char* phase :
+       {"pop_window", "epoch", "compute", "commit", "barrier"}) {
+    EXPECT_NE(trace.find(phase), std::string::npos) << phase;
+  }
+  EXPECT_NE(trace.find("\"mode\": \"parallel\""), std::string::npos);
+  EXPECT_NE(trace.find("lookahead_mult"), std::string::npos);
+
+  const std::string metrics = net.metrics_json();
+  for (const char* name :
+       {"engine.epochs.parallel", "engine.epochs.flow",
+        "engine.epochs.callbacks", "engine.epochs.one_worker",
+        "engine.epochs.small_window", "engine.epoch.lookahead_mult"}) {
+    EXPECT_NE(metrics.find(name), std::string::npos) << name;
+  }
+}
+
+// Malformed worker counts must be rejected loudly — not parsed as zero,
+// silently clamped, or treated as a different engine name.
+TEST(EngineSpec, RejectsBadWorkerCounts) {
+  for (const char* spec :
+       {"parallel:0", "parallel:-2", "parallel:abc", "parallel:",
+        "parallel:2x", "parallel:99999", "parallel: 4"}) {
+    EXPECT_THROW(net::parse_engine_kind(spec, nullptr),
+                 std::invalid_argument)
+        << spec;
+  }
+  try {
+    net::parse_engine_kind("parallel:0", nullptr);
+    FAIL() << "parallel:0 accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("parallel:0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker count"), std::string::npos) << msg;
+  }
+  int workers = -1;
+  EXPECT_EQ(net::parse_engine_kind("parallel:1024", &workers),
+            net::EngineKind::kParallel);
+  EXPECT_EQ(workers, 1024);
 }
 
 TEST(EngineSpec, NetworkReportsEngineSelection) {
