@@ -73,10 +73,20 @@ void ExecutionEngine::drain_spawned_before(EventQueue& q, SimTime t) {
 // ---------------------------------------------------------------------------
 
 void SerialEngine::drain(EventQueue& q, SimTime limit) {
-  // Null unless profiling is armed; one branch per event otherwise.
+  // Null unless profiling / streaming export is armed; one branch per
+  // event otherwise.
   obs::EngineProfiler* prof = net_->engine_profiler_ptr();
+  obs::ExportScheduler* sched = net_->export_scheduler_ptr();
   while (q.has_ready(limit)) {
     EventQueue::Item item = q.pop_next();
+    // Export ticks fire on the event timeline: every tick T <= item.t is
+    // captured after all events with t < T committed and before this event
+    // runs. The parallel engine reproduces the same boundary (it never
+    // lets a window cross a pending tick), so the sample sequence is
+    // engine-invariant.
+    if (sched != nullptr && item.t >= sched->next_tick()) {
+      net_->export_tick_until(item.t);
+    }
     q.advance_now(item.t);
     if (item.is_switch_work) {
       if (prof != nullptr) {
@@ -375,6 +385,7 @@ void ParallelEngine::run_window(EventQueue& q) {
 void ParallelEngine::drain(EventQueue& q, SimTime limit) {
   // Refreshed while the pool is idle; the epoch handshake publishes them.
   prof_ = net_->engine_profiler_ptr();
+  sched_ = net_->export_scheduler_ptr();
   lookahead_ = net_->lookahead();
   min_spawn_delay_ = net_->min_spawn_delay();
   // Delayed rule pushes (faults armed) may schedule control work closer
@@ -384,6 +395,12 @@ void ParallelEngine::drain(EventQueue& q, SimTime limit) {
   extension_allowed_ = !net_->faults_armed();
   while (q.has_ready(limit)) {
     const SimTime t0 = q.next_time();
+    // Fire every export tick due at or before the queue head: all earlier
+    // events have committed and the pool is quiesced between windows, so
+    // the captured totals equal the serial engine's at the same boundary.
+    if (sched_ != nullptr && t0 >= sched_->next_tick()) {
+      net_->export_tick_until(t0);
+    }
     SimTime window_end = t0 + lookahead_;
     if (extension_allowed_ && mult_ > 1) {
       // Sound extension bound (see the header): a pending closure at c
@@ -395,6 +412,14 @@ void ParallelEngine::drain(EventQueue& q, SimTime limit) {
       window_end =
           std::min(t0 + lookahead_ * static_cast<SimTime>(mult_), bound);
       if (window_end < t0 + lookahead_) window_end = t0 + lookahead_;
+    }
+    // Never let a window cross a pending export tick: events at or past
+    // the tick must not compute (let alone commit) before the sample is
+    // captured. export_tick_until above guarantees next_tick() > t0, and
+    // pop_window always takes the whole t0 group, so progress holds even
+    // when the clamp shrinks the window below one lookahead.
+    if (sched_ != nullptr && window_end > sched_->next_tick()) {
+      window_end = sched_->next_tick();
     }
     window_.clear();
     const double p0 = prof_ != nullptr ? prof_->now_us() : 0.0;

@@ -171,6 +171,10 @@ class ParallelEngine final : public ExecutionEngine {
   // Phase profiler, refreshed at drain entry while the pool is idle (the
   // epoch handshake publishes it to workers). Null unless armed.
   obs::EngineProfiler* prof_ = nullptr;
+  // Export scheduler, same discipline: refreshed at drain entry (arming
+  // requires an idle queue), consulted only on the main thread. Null
+  // unless streaming export is armed — the zero-overhead branch.
+  obs::ExportScheduler* sched_ = nullptr;
 
   // ---- pop-time shard plan (capacity reused across windows) -------------
   std::vector<std::uint32_t> item_shard_;   // per window index; kNoShard

@@ -447,6 +447,8 @@ void Network::node_receive(int node, int port, p4rt::Packet pkt) {
     ++counters_.delivered;
     if (obs_ != nullptr) {
       obs_->delivered_hops.observe(pkt.hops);
+      // Detached (one branch) unless streaming export armed the handle.
+      obs_->delivered_latency.observe(events_.now() - pkt.created_at);
       if (obs_->traces.tracing()) {
         obs_->traces.finish(pkt.id, obs::PacketFate::kDelivered,
                             events_.now());
@@ -1041,6 +1043,130 @@ obs::EngineProfiler& Network::engine_profiler() {
   return *obs_->profiler;
 }
 
+// ---- streaming export -----------------------------------------------------
+
+namespace {
+
+// Delivered-latency bucket grid: switch traversal is ~1us plus link
+// propagation per hop, so the bounds span a single hop through long
+// multi-hop / queueing tails.
+const std::vector<double>& delivered_latency_bounds() {
+  static const std::vector<double> kBounds{1e-6, 2e-6, 5e-6, 1e-5, 2e-5,
+                                           5e-5, 1e-4, 2e-4, 5e-4, 1e-3,
+                                           1e-2};
+  return kBounds;
+}
+
+}  // namespace
+
+void Network::set_export_interval(double interval_s,
+                                  std::size_t ring_capacity) {
+  if (!events_.empty()) {
+    throw std::logic_error("set_export_interval: event queue must be idle");
+  }
+  if (interval_s <= 0.0) {
+    if (obs_ != nullptr) {
+      obs_->exporter.reset();
+      obs_->delivered_latency = {};
+    }
+    return;
+  }
+  if (ring_capacity == 0) {
+    throw std::invalid_argument(
+        "set_export_interval: ring_capacity must be > 0");
+  }
+  set_observability(true);
+  // Registered here — not in set_observability — so snapshots of
+  // export-free runs keep their exact pre-export byte layout.
+  obs_->delivered_latency = obs_->registry.histogram(
+      "net.delivered.latency_s", "hydra_delivered_latency_seconds", {},
+      delivered_latency_bounds());
+  absorb_shard_metrics();
+  obs_->exporter = std::make_unique<obs::ExportScheduler>(
+      interval_s, events_.now() + interval_s, delivered_latency_bounds(),
+      ring_capacity);
+  // Anchor the delta baseline at the arm point: the first window reports
+  // activity since arming, not since process start.
+  obs_->exporter->rebaseline(export_cumulative());
+}
+
+void Network::set_export_callback(obs::ExportScheduler::TickCallback cb) {
+  if (obs_ == nullptr || obs_->exporter == nullptr) {
+    throw std::logic_error(
+        "streaming export is off; call set_export_interval first");
+  }
+  obs_->exporter->set_on_tick(std::move(cb));
+}
+
+std::string Network::export_prometheus() {
+  collect_metrics();  // throws while observability is off; absorbs shards
+  return obs::to_prometheus(obs_->registry);
+}
+
+std::string Network::window_series_json() const {
+  if (obs_ == nullptr || obs_->exporter == nullptr) {
+    throw std::logic_error(
+        "streaming export is off; call set_export_interval first");
+  }
+  return obs_->exporter->series_json();
+}
+
+obs::ExportCumulative Network::export_cumulative() const {
+  obs::ExportCumulative cum;
+  cum.injected = counters_.injected;
+  cum.delivered = counters_.delivered;
+  cum.rejected = counters_.rejected;
+  cum.fwd_dropped = counters_.fwd_dropped;
+  cum.queue_dropped = counters_.queue_dropped;
+  cum.fault_dropped = counters_.fault_dropped;
+  if (obs_ == nullptr) return cum;
+  const obs::Registry& reg = obs_->registry;
+  for (const auto& d : deployments_) {
+    const std::string& cn = d.checker->name;
+    obs::ExportCumulative::Property p;
+    p.name = cn;
+    p.rejects = reg.counter_value("checker." + cn + ".rejects");
+    p.reports = reg.counter_value("checker." + cn + ".reports");
+    p.check_runs = reg.counter_value("checker." + cn + ".check_runs");
+    p.tele_runs = reg.counter_value("checker." + cn + ".tele_runs");
+    cum.properties.push_back(std::move(p));
+  }
+  std::sort(cum.properties.begin(), cum.properties.end(),
+            [](const obs::ExportCumulative::Property& a,
+               const obs::ExportCumulative::Property& b) {
+              return a.name < b.name;
+            });
+  // Deployments of the same checker share flat counter names; keep one
+  // attribution row per property.
+  cum.properties.erase(
+      std::unique(cum.properties.begin(), cum.properties.end(),
+                  [](const obs::ExportCumulative::Property& a,
+                     const obs::ExportCumulative::Property& b) {
+                    return a.name == b.name;
+                  }),
+      cum.properties.end());
+  // Total reports raised, from the monotone per-property counters
+  // (reports() itself can be cleared mid-run, which would break deltas).
+  for (const auto& p : cum.properties) cum.reports += p.reports;
+  if (const obs::HistogramData* h = obs_->delivered_latency.data()) {
+    cum.latency_buckets = h->buckets;
+    cum.latency_count = h->count;
+    cum.latency_sum = h->sum;
+  }
+  return cum;
+}
+
+void Network::export_tick_until(SimTime t) {
+  obs::ExportScheduler* sched = export_scheduler_ptr();
+  if (sched == nullptr) return;
+  while (sched->next_tick() <= t) {
+    // Engines call this between committed events with workers quiesced, so
+    // after the merge the registry totals equal the serial ones.
+    absorb_shard_metrics();
+    sched->tick(export_cumulative());
+  }
+}
+
 obs::Registry* Network::registry_for_switch(int sw) {
   return contexts_[static_cast<std::size_t>(shard_of(sw))].sink;
 }
@@ -1090,27 +1216,47 @@ void Network::rewire_observability() {
     }
   }
 
+  // Per-property counters are registered under their legacy flat names
+  // (the JSON/CSV snapshot key, unchanged byte-for-byte) with a structured
+  // Prometheus identity layered on top: one family per counter kind,
+  // attributed by a property="<checker>" label.
   for (auto& ctx : contexts_) {
     obs::Registry& reg = *ctx.sink;
     for (std::size_t di = 0; di < deployments_.size(); ++di) {
       const std::string& cn = deployments_[di].checker->name;
+      const std::vector<obs::Label> by_prop{{"property", cn}};
       ExecContext::PerDeployment& pd = ctx.deps[di];
-      pd.init_runs = reg.counter("checker." + cn + ".init_runs");
-      pd.tele_runs = reg.counter("checker." + cn + ".tele_runs");
-      pd.check_runs = reg.counter("checker." + cn + ".check_runs");
-      pd.rejects = reg.counter("checker." + cn + ".rejects");
-      pd.reports = reg.counter("checker." + cn + ".reports");
+      pd.init_runs = reg.counter("checker." + cn + ".init_runs",
+                                 "hydra_checker_init_runs_total", by_prop);
+      pd.tele_runs = reg.counter("checker." + cn + ".tele_runs",
+                                 "hydra_checker_tele_runs_total", by_prop);
+      pd.check_runs = reg.counter("checker." + cn + ".check_runs",
+                                  "hydra_checker_check_runs_total", by_prop);
+      pd.rejects = reg.counter("checker." + cn + ".rejects",
+                               "hydra_checker_rejects_total", by_prop);
+      pd.reports = reg.counter("checker." + cn + ".reports",
+                               "hydra_checker_reports_total", by_prop);
       pd.decode_rejects =
-          reg.counter("checker." + cn + ".tele_decode_rejects");
+          reg.counter("checker." + cn + ".tele_decode_rejects",
+                      "hydra_checker_tele_decode_rejects_total", by_prop);
       pd.decode_recovered =
-          reg.counter("checker." + cn + ".tele_decode_recovered");
-      pd.cold_suppr = reg.counter("checker." + cn + ".cold_suppressed");
+          reg.counter("checker." + cn + ".tele_decode_recovered",
+                      "hydra_checker_tele_decode_recovered_total", by_prop);
+      pd.cold_suppr = reg.counter("checker." + cn + ".cold_suppressed",
+                                  "hydra_checker_cold_suppressed_total",
+                                  by_prop);
 
       p4rt::InterpMetrics im;
-      im.instructions = reg.counter("p4rt.interp." + cn + ".instructions");
-      im.table_lookups = reg.counter("p4rt.interp." + cn + ".table_lookups");
-      im.reg_reads = reg.counter("p4rt.interp." + cn + ".reg_reads");
-      im.reg_writes = reg.counter("p4rt.interp." + cn + ".reg_writes");
+      im.instructions = reg.counter("p4rt.interp." + cn + ".instructions",
+                                    "hydra_interp_instructions_total",
+                                    by_prop);
+      im.table_lookups = reg.counter("p4rt.interp." + cn + ".table_lookups",
+                                     "hydra_interp_table_lookups_total",
+                                     by_prop);
+      im.reg_reads = reg.counter("p4rt.interp." + cn + ".reg_reads",
+                                 "hydra_interp_reg_reads_total", by_prop);
+      im.reg_writes = reg.counter("p4rt.interp." + cn + ".reg_writes",
+                                  "hydra_interp_reg_writes_total", by_prop);
       pd.interp->attach_metrics(im);
       // Provenance capture feeds the flight recorder; disarmed (one branch
       // per lookup/register op) unless forensics is on.
@@ -1123,16 +1269,21 @@ void Network::rewire_observability() {
   // each switch's instance targets the registry of the shard executing it.
   for (auto& d : deployments_) {
     for (std::size_t t = 0; t < d.checker->ir.tables.size(); ++t) {
-      const std::string base =
-          "p4rt.table." + d.checker->name + "." + d.checker->ir.tables[t].name;
+      const std::string& tn = d.checker->ir.tables[t].name;
+      const std::string base = "p4rt.table." + d.checker->name + "." + tn;
+      const std::vector<obs::Label> by_table{{"property", d.checker->name},
+                                             {"table", tn}};
       for (int sw = 0; sw < topo_.node_count(); ++sw) {
         auto& state = d.per_switch[static_cast<std::size_t>(sw)];
         if (t >= state.tables.size()) continue;
         obs::Registry& reg = *registry_for_switch(sw);
         p4rt::TableMetrics tm;
-        tm.hits = reg.counter(base + ".hits");
-        tm.misses = reg.counter(base + ".misses");
-        tm.cache_hits = reg.counter(base + ".cache_hits");
+        tm.hits = reg.counter(base + ".hits", "hydra_table_hits_total",
+                              by_table);
+        tm.misses = reg.counter(base + ".misses", "hydra_table_misses_total",
+                                by_table);
+        tm.cache_hits = reg.counter(base + ".cache_hits",
+                                    "hydra_table_cache_hits_total", by_table);
         state.tables[t].attach_metrics(tm);
       }
     }
@@ -1192,10 +1343,14 @@ void Network::set_observability(bool enabled) {
   for (int i = 0; i < topo_.node_count(); ++i) {
     if (topo_.node(i).kind != NodeKind::kSwitch) continue;
     const std::string base = "net.switch." + topo_.node(i).name;
+    const std::vector<obs::Label> by_switch{{"switch", topo_.node(i).name}};
     auto& c = obs_->switches[static_cast<std::size_t>(i)];
-    c.forwarded = reg.counter(base + ".forwarded");
-    c.fwd_dropped = reg.counter(base + ".fwd_dropped");
-    c.rejected = reg.counter(base + ".rejected");
+    c.forwarded = reg.counter(base + ".forwarded",
+                              "hydra_switch_forwarded_total", by_switch);
+    c.fwd_dropped = reg.counter(base + ".fwd_dropped",
+                                "hydra_switch_fwd_dropped_total", by_switch);
+    c.rejected = reg.counter(base + ".rejected",
+                             "hydra_switch_rejected_total", by_switch);
   }
   obs_->delivered_hops = reg.histogram(
       "net.delivered.hops", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0});
@@ -1274,15 +1429,21 @@ void Network::collect_metrics() {
     for (int dir = 0; dir < 2; ++dir) {
       const PortRef from = dir == 0 ? spec.a : spec.b;
       const PortRef to = dir == 0 ? spec.b : spec.a;
-      const std::string base = "net.link." + topo_.node(from.node).name +
-                               ":" + std::to_string(from.port) + "->" +
-                               topo_.node(to.node).name + ":" +
-                               std::to_string(to.port);
+      const std::string dir_name = topo_.node(from.node).name + ":" +
+                                   std::to_string(from.port) + "->" +
+                                   topo_.node(to.node).name + ":" +
+                                   std::to_string(to.port);
+      const std::string base = "net.link." + dir_name;
+      const std::vector<obs::Label> by_link{{"link", dir_name}};
       const Link::DirStats& s = links_[li].stats(dir);
-      reg.gauge(base + ".packets").set(static_cast<double>(s.packets));
-      reg.gauge(base + ".bytes").set(static_cast<double>(s.bytes));
-      reg.gauge(base + ".drops").set(static_cast<double>(s.drops));
-      reg.gauge(base + ".utilization").set(links_[li].utilization(dir, now));
+      reg.gauge(base + ".packets", "hydra_link_packets", by_link)
+          .set(static_cast<double>(s.packets));
+      reg.gauge(base + ".bytes", "hydra_link_bytes", by_link)
+          .set(static_cast<double>(s.bytes));
+      reg.gauge(base + ".drops", "hydra_link_drops", by_link)
+          .set(static_cast<double>(s.drops));
+      reg.gauge(base + ".utilization", "hydra_link_utilization", by_link)
+          .set(links_[li].utilization(dir, now));
     }
   }
 
@@ -1292,8 +1453,10 @@ void Network::collect_metrics() {
       for (const auto& state : d.per_switch) {
         if (t < state.tables.size()) entries += state.tables[t].size();
       }
-      reg.gauge("p4rt.table." + d.checker->name + "." +
-                d.checker->ir.tables[t].name + ".entries")
+      const std::string& tn = d.checker->ir.tables[t].name;
+      reg.gauge("p4rt.table." + d.checker->name + "." + tn + ".entries",
+                "hydra_table_entries",
+                {{"property", d.checker->name}, {"table", tn}})
           .set(static_cast<double>(entries));
     }
   }
@@ -1313,6 +1476,11 @@ void Network::reset_observability() {
   obs_->violations.clear();
   obs_->violations_seen = 0;
   if (obs_->profiler != nullptr) obs_->profiler->clear();
+  if (obs_->exporter != nullptr) {
+    // The metrics just went back to zero; re-anchor the delta baseline so
+    // the next window does not see a negative (wrapped) delta.
+    obs_->exporter->rebaseline(export_cumulative());
+  }
 }
 
 }  // namespace hydra::net

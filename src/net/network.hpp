@@ -51,6 +51,7 @@
 #include "net/link.hpp"
 #include "net/switch_node.hpp"
 #include "net/topology.hpp"
+#include "obs/exporter.hpp"
 #include "obs/forensics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -346,6 +347,32 @@ class Network {
     return obs_ != nullptr ? obs_->profiler.get() : nullptr;
   }
 
+  // ---- streaming export (Prometheus + windowed series) ------------------
+  // Arms the export scheduler: every `interval_s` of VIRTUAL time the
+  // engines capture a window sample (interval deltas, rates, delivered-
+  // latency percentiles) into a bounded ring of `ring_capacity` windows.
+  // Ticks fire between events in commit order — after everything with
+  // t < tick has committed, before anything with t >= tick runs — so the
+  // series (and any Prometheus scrape taken at a tick) is byte-identical
+  // across engines and worker counts. Implies observability and registers
+  // the delivered-latency histogram. `interval_s` <= 0 disarms. Must be
+  // called while the event queue is idle. Off means free: engines hold a
+  // null scheduler pointer.
+  void set_export_interval(double interval_s, std::size_t ring_capacity = 128);
+  bool export_armed() const {
+    return obs_ != nullptr && obs_->exporter != nullptr;
+  }
+  // Fires on the main thread at every captured window; for --watch style
+  // periodic rewrites. Throws std::logic_error while export is disarmed.
+  void set_export_callback(obs::ExportScheduler::TickCallback cb);
+  // Prometheus text exposition of the full registry (collect_metrics() +
+  // obs::to_prometheus). Throws std::logic_error while observability is
+  // off.
+  std::string export_prometheus();
+  // Windowed series JSON; throws std::logic_error while export is
+  // disarmed.
+  std::string window_series_json() const;
+
   // ---- engine-facing API (internal to net/engine.cpp and tests) --------
   // Side-effect-confined per-hop pipeline execution; see the execution
   // engine contract at the top of this header. `t` is the event's
@@ -398,6 +425,16 @@ class Network {
   // Adds shard-local counter accumulators into the main registry (no-op
   // for the serial engine / while observability is off).
   void absorb_shard_metrics();
+  // Engine-facing: null while export is disarmed (the disabled-path
+  // branch — one pointer check per event/window).
+  obs::ExportScheduler* export_scheduler_ptr() {
+    return obs_ != nullptr ? obs_->exporter.get() : nullptr;
+  }
+  // Fires every export tick with next_tick() <= t. Engines call this
+  // before running any event at time t, with all earlier events committed
+  // and (parallel) workers quiesced, so the captured totals are exactly
+  // the serial ones.
+  void export_tick_until(SimTime t);
 
  private:
   struct Deployment {
@@ -424,6 +461,12 @@ class Network {
     std::uint64_t violations_seen = 0;  // includes ones past the report cap
     // Engine phase profiler (null unless set_engine_profiling(true)).
     std::unique_ptr<obs::EngineProfiler> profiler;
+    // Streaming export (null unless set_export_interval armed). The
+    // delivered-latency histogram is registered only alongside it, so
+    // snapshots of export-free runs stay byte-identical to earlier
+    // releases.
+    std::unique_ptr<obs::ExportScheduler> exporter;
+    obs::Histogram delivered_latency;
   };
 
   // Rebuilds per-worker execution contexts for the current engine and
@@ -463,6 +506,11 @@ class Network {
   // (commit path; called when a hop rejected or reported).
   void build_violation(const SwitchWork& work, const HopResult& res,
                        SimTime t);
+
+  // Assembles the cumulative export totals (sim counters + per-property
+  // registry reads + delivered-latency histogram). Callers must have
+  // absorbed shard metrics first.
+  obs::ExportCumulative export_cumulative() const;
 
   void node_receive(int node, int port, p4rt::Packet pkt);
   void emit_report(ReportRecord record);

@@ -5,7 +5,7 @@
 
 namespace hydra::obs {
 
-namespace {
+namespace detail {
 
 // Shortest-roundtrip float formatting; %.17g would round-trip too but
 // litters exports with noise digits, so try increasing precision.
@@ -20,7 +20,9 @@ std::string format_double(double v) {
   return buf;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::format_double;
 
 void Histogram::observe(double v) const {
   if (data_ == nullptr) return;
@@ -31,7 +33,9 @@ void Histogram::observe(double v) const {
   data_->sum += v;
 }
 
-const Registry::Meta& Registry::require(const std::string& name, Kind kind) {
+const Registry::Meta& Registry::require(const std::string& name, Kind kind,
+                                        const std::string* family,
+                                        const std::vector<Label>* labels) {
   auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     if (it->second.kind != kind) {
@@ -42,6 +46,8 @@ const Registry::Meta& Registry::require(const std::string& name, Kind kind) {
   }
   Meta m;
   m.kind = kind;
+  if (family != nullptr) m.family = *family;
+  if (labels != nullptr) m.labels = *labels;
   switch (kind) {
     case Kind::kCounter:
       m.slot = counters_.size();
@@ -69,6 +75,24 @@ Gauge Registry::gauge(const std::string& name) {
 
 Histogram Registry::histogram(const std::string& name,
                               std::vector<double> bounds) {
+  return histogram(name, std::string(), {}, std::move(bounds));
+}
+
+Counter Registry::counter(const std::string& name, const std::string& family,
+                          std::vector<Label> labels) {
+  return Counter(
+      &counters_[require(name, Kind::kCounter, &family, &labels).slot]);
+}
+
+Gauge Registry::gauge(const std::string& name, const std::string& family,
+                      std::vector<Label> labels) {
+  return Gauge(&gauges_[require(name, Kind::kGauge, &family, &labels).slot]);
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              const std::string& family,
+                              std::vector<Label> labels,
+                              std::vector<double> bounds) {
   for (std::size_t i = 1; i < bounds.size(); ++i) {
     if (bounds[i] <= bounds[i - 1]) {
       throw std::invalid_argument("histogram '" + name +
@@ -76,7 +100,8 @@ Histogram Registry::histogram(const std::string& name,
     }
   }
   const bool fresh = by_name_.find(name) == by_name_.end();
-  HistogramData& h = histograms_[require(name, Kind::kHistogram).slot];
+  HistogramData& h =
+      histograms_[require(name, Kind::kHistogram, &family, &labels).slot];
   if (fresh) {
     h.bounds = std::move(bounds);
     h.buckets.assign(h.bounds.size() + 1, 0);
@@ -98,30 +123,35 @@ double Registry::gauge_value(const std::string& name) const {
 
 void Registry::absorb_counters(Registry& src) {
   for (const auto& [name, m] : src.by_name_) {
+    // Fresh registrations inherit the source's Prometheus identity, so a
+    // metric first seen in a shard registry exports identically to one
+    // first registered in the main registry.
     switch (m.kind) {
       case Kind::kCounter: {
         auto& v = src.counters_[m.slot];
         // Register even when zero so exports list the same names regardless
         // of which shard's switches happened to see traffic. Callers merge
         // at barriers (writers quiesced), so the exchange cannot lose bumps.
-        counters_[require(name, Kind::kCounter).slot].fetch_add(
-            v.exchange(0, std::memory_order_relaxed),
-            std::memory_order_relaxed);
+        counters_[require(name, Kind::kCounter, &m.family, &m.labels).slot]
+            .fetch_add(v.exchange(0, std::memory_order_relaxed),
+                       std::memory_order_relaxed);
         break;
       }
       case Kind::kGauge: {
         // Max-wins: a shard gauge is a local high-water mark (e.g. items
         // per worker); summing levels across shards would be meaningless.
         double& v = src.gauges_[m.slot];
-        double& dst = gauges_[require(name, Kind::kGauge).slot];
+        double& dst =
+            gauges_[require(name, Kind::kGauge, &m.family, &m.labels).slot];
         if (v > dst) dst = v;
         v = 0.0;
         break;
       }
       case Kind::kHistogram: {
         HistogramData& h = src.histograms_[m.slot];
-        HistogramData& dst =
-            histograms_[require(name, Kind::kHistogram).slot];
+        HistogramData& dst = histograms_[require(name, Kind::kHistogram,
+                                                 &m.family, &m.labels)
+                                             .slot];
         if (dst.bounds.empty() && !h.bounds.empty()) {
           dst.bounds = h.bounds;
           dst.buckets.assign(dst.bounds.size() + 1, 0);
@@ -197,6 +227,24 @@ std::string Registry::to_json() const {
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;
+}
+
+void Registry::visit(const std::function<void(const MetricView&)>& fn) const {
+  for (const auto& [name, m] : by_name_) {
+    MetricView v{name, m.family, m.labels, m.kind};
+    switch (m.kind) {
+      case Kind::kCounter:
+        v.counter_value = counters_[m.slot].load(std::memory_order_relaxed);
+        break;
+      case Kind::kGauge:
+        v.gauge_value = gauges_[m.slot];
+        break;
+      case Kind::kHistogram:
+        v.hist = &histograms_[m.slot];
+        break;
+    }
+    fn(v);
+  }
 }
 
 std::string Registry::to_csv() const {

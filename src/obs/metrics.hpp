@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -38,6 +39,22 @@
 namespace hydra::obs {
 
 class Registry;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One structured dimension of a metric (e.g. {"property", "waypoint"}).
+// Labels are export-side metadata: the registry stays keyed on the flat
+// compatibility name, so JSON/CSV snapshots are unaffected, while the
+// Prometheus exporter groups same-family metrics into labeled samples.
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+namespace detail {
+// Shortest-roundtrip float formatting shared by every obs serializer.
+std::string format_double(double v);
+}  // namespace detail
 
 // Monotonic event count (table hits, packets forwarded, rejects...).
 class Counter {
@@ -110,6 +127,18 @@ class Registry {
   // `bounds` must be ascending; ignored if `name` is already registered.
   Histogram histogram(const std::string& name, std::vector<double> bounds);
 
+  // Labeled registration: `name` remains the snapshot key (JSON/CSV output
+  // is byte-for-byte what the unlabeled overload produces), while
+  // `family` + `labels` describe the Prometheus identity of the same slot
+  // (e.g. hydra_checker_rejects_total{property="waypoint"}). Family and
+  // labels are fixed by the first registration of `name`.
+  Counter counter(const std::string& name, const std::string& family,
+                  std::vector<Label> labels);
+  Gauge gauge(const std::string& name, const std::string& family,
+              std::vector<Label> labels);
+  Histogram histogram(const std::string& name, const std::string& family,
+                      std::vector<Label> labels, std::vector<double> bounds);
+
   std::size_t size() const { return by_name_.size(); }
   // Point reads by name for tests and tools; 0 when absent.
   std::uint64_t counter_value(const std::string& name) const;
@@ -133,14 +162,33 @@ class Registry {
   // CSV: kind,name,field,value — histograms expand to one row per bucket.
   std::string to_csv() const;
 
+  // Read-only walk over every metric in name order (so visitors inherit
+  // the registry's deterministic iteration). `family` is empty for metrics
+  // registered without Prometheus identity; exporters derive one.
+  struct MetricView {
+    const std::string& name;
+    const std::string& family;
+    const std::vector<Label>& labels;
+    MetricKind kind;
+    std::uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    const HistogramData* hist = nullptr;  // non-null iff kind == kHistogram
+  };
+  void visit(const std::function<void(const MetricView&)>& fn) const;
+
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  using Kind = MetricKind;
   struct Meta {
     Kind kind = Kind::kCounter;
     std::size_t slot = 0;
+    // Prometheus identity; empty family => exporter derives one from name.
+    std::string family;
+    std::vector<Label> labels;
   };
 
-  const Meta& require(const std::string& name, Kind kind);
+  const Meta& require(const std::string& name, Kind kind,
+                      const std::string* family = nullptr,
+                      const std::vector<Label>* labels = nullptr);
 
   std::map<std::string, Meta> by_name_;  // ordered => deterministic export
   // deque: slots never relocate, so handles (and atomicity) survive growth.

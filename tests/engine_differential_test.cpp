@@ -27,6 +27,8 @@ struct Snapshot {
   std::string state;      // per-switch checker registers + table entries
   std::string forensics;  // assembled ViolationReports as canonical JSON
   std::string faults;     // FaultStats JSON when a fault plan is armed
+  std::string prom;       // Prometheus exposition when export is armed
+  std::string series;     // windowed series JSON when export is armed
 };
 
 std::string dump_counters(const net::Network::Counters& c) {
@@ -94,6 +96,10 @@ Snapshot snapshot(net::Network& net) {
   }
   s.state = dump_state(net);
   if (net.faults_armed()) s.faults = net.fault_stats().to_json();
+  if (net.export_armed()) {
+    s.prom = net.export_prometheus();
+    s.series = net.window_series_json();
+  }
   return s;
 }
 
@@ -105,6 +111,8 @@ void expect_identical(const Snapshot& a, const Snapshot& b,
   EXPECT_EQ(a.state, b.state) << label;
   EXPECT_EQ(a.forensics, b.forensics) << label;
   EXPECT_EQ(a.faults, b.faults) << label;
+  EXPECT_EQ(a.prom, b.prom) << label;
+  EXPECT_EQ(a.series, b.series) << label;
 }
 
 // Runs `scenario` once per engine configuration (fresh network each time)
@@ -352,6 +360,41 @@ TEST(EngineDifferential, ChaosFaultPlanDeterministicAcrossEngines) {
       });
     }
     net.events().run();
+    return snapshot(net);
+  });
+}
+
+// Streaming export armed: windows tick at virtual-time boundaries inside
+// both engines' commit phases, so the Prometheus exposition AND the
+// windowed series (deltas, rates, latency percentiles per window) must be
+// byte-identical across engines and worker counts — not just the final
+// totals.
+TEST(EngineDifferential, StreamingExportByteIdenticalAcrossEngines) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(4, 4, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    net.set_forensics(true);
+
+    const int lb = net.deploy(compile_library_checker("dc_uplink_load_balance"));
+    configure_load_balance(net, lb, fabric, 4000);
+    const int ud = net.deploy(compile_library_checker("up_down_routing"));
+    configure_up_down(net, ud, fabric);
+    // 40 windows over the 2 ms run; implies observability.
+    net.set_export_interval(5e-5);
+    EXPECT_TRUE(net.export_armed());
+
+    net::UdpFlood f1(net, fabric.hosts[0][0], fabric.hosts[3][1], 0.7, 900);
+    f1.set_poisson(11);
+    net::UdpFlood f2(net, fabric.hosts[1][1], fabric.hosts[2][0], 0.5, 300);
+    f2.set_poisson(23);
+    f1.start(0.0, 2e-3);
+    f2.start(0.0, 2e-3);
+    burst(net, fabric.hosts[0][1], fabric.hosts[3][0], 1e-3, 24);
+    net.events().run();
+
+    EXPECT_GT(net.export_scheduler_ptr()->captured(), 10u);
     return snapshot(net);
   });
 }

@@ -6,6 +6,7 @@
 #include "forwarding/ipv4_ecmp.hpp"
 #include "hydra/hydra.hpp"
 #include "net/network.hpp"
+#include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "p4rt/table.hpp"
@@ -349,6 +350,251 @@ TEST(NetworkObs, TraceRecordsRejectVerdictAndReportGainsFlowIdentity) {
   // Narrative renders the verdict for terminal consumption.
   EXPECT_NE(obs::TraceSink::narrative(t).find("VERDICT: reject"),
             std::string::npos);
+}
+
+// ---- Prometheus exposition ------------------------------------------------
+
+TEST(Prometheus, EscapesLabelValues) {
+  EXPECT_EQ(obs::prom_escape("plain"), "plain");
+  EXPECT_EQ(obs::prom_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+
+  obs::Registry reg;
+  reg.counter("weird", "hydra_weird_total", {{"name", "q\"v\\x\ny"}}).inc();
+  EXPECT_NE(obs::to_prometheus(reg).find(
+                "hydra_weird_total{name=\"q\\\"v\\\\x\\ny\"} 1"),
+            std::string::npos);
+}
+
+TEST(Prometheus, FamilyFromNameSanitizesAndSuffixes) {
+  using obs::MetricKind;
+  EXPECT_EQ(obs::prom_family_from_name("net.packets.delivered",
+                                       MetricKind::kCounter),
+            "hydra_net_packets_delivered_total");
+  // Counters already ending in _total keep a single suffix.
+  EXPECT_EQ(obs::prom_family_from_name("x_total", MetricKind::kCounter),
+            "hydra_x_total");
+  EXPECT_EQ(obs::prom_family_from_name("net.time_s", MetricKind::kGauge),
+            "hydra_net_time_s");
+  EXPECT_EQ(obs::prom_family_from_name("net.delivered.hops",
+                                       MetricKind::kHistogram),
+            "hydra_net_delivered_hops");
+}
+
+TEST(Prometheus, ExpositionIsSortedTypedAndCumulative) {
+  obs::Registry reg;
+  // Registered deliberately out of order: families and samples must still
+  // come out sorted.
+  reg.counter("b.count", "hydra_zeta_total", {{"property", "p1"}}).inc(2);
+  reg.counter("a.count", "hydra_zeta_total", {{"property", "p0"}}).inc();
+  reg.gauge("g", "hydra_alpha", {{"k", "v"}}).set(1.5);
+  obs::Histogram h =
+      reg.histogram("h", "hydra_lat_seconds", {}, {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+
+  const std::string text = obs::to_prometheus(reg);
+  const std::string one = obs::detail::format_double(1.0);
+  const std::string ten = obs::detail::format_double(10.0);
+  const auto pos = [&text](const std::string& needle) {
+    const std::size_t p = text.find(needle);
+    EXPECT_NE(p, std::string::npos) << needle << "\nin:\n" << text;
+    return p;
+  };
+  // TYPE line per family, families in sorted order.
+  const std::size_t alpha = pos("# TYPE hydra_alpha gauge\n");
+  const std::size_t lat = pos("# TYPE hydra_lat_seconds histogram\n");
+  const std::size_t zeta = pos("# TYPE hydra_zeta_total counter\n");
+  EXPECT_LT(alpha, lat);
+  EXPECT_LT(lat, zeta);
+  // Samples within a family sorted by label body.
+  EXPECT_LT(pos("hydra_zeta_total{property=\"p0\"} 1\n"),
+            pos("hydra_zeta_total{property=\"p1\"} 2\n"));
+  // Buckets are cumulative, +Inf terminated, with _sum and _count.
+  pos("hydra_lat_seconds_bucket{le=\"" + one + "\"} 1\n");
+  pos("hydra_lat_seconds_bucket{le=\"" + ten + "\"} 2\n");
+  pos("hydra_lat_seconds_bucket{le=\"+Inf\"} 3\n");
+  pos("hydra_lat_seconds_sum " + obs::detail::format_double(105.5) + "\n");
+  pos("hydra_lat_seconds_count 3\n");
+  pos("hydra_alpha{k=\"v\"} " + obs::detail::format_double(1.5) + "\n");
+}
+
+TEST(Prometheus, FamilyKindConflictThrows) {
+  obs::Registry reg;
+  reg.counter("c", "hydra_same", {});
+  reg.gauge("g", "hydra_same", {});
+  EXPECT_THROW(obs::to_prometheus(reg), std::invalid_argument);
+}
+
+TEST(Prometheus, HistogramQuantileInterpolatesAndClamps) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> buckets{0, 10, 0, 10};  // overflow last
+  // rank 5 of 10 in [1, 2) -> midpoint.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.25, bounds, buckets), 1.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.5, bounds, buckets), 2.0);
+  // Overflow bucket clamps to the last finite bound.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.99, bounds, buckets), 4.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.5, bounds, {0, 0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.5, {}, {}), 0.0);
+}
+
+// ---- export scheduler -----------------------------------------------------
+
+TEST(ExportScheduler, WindowDeltasRatesRingAndRebaseline) {
+  obs::ExportScheduler sched(1e-3, 1e-3, {1.0, 10.0}, /*ring_capacity=*/2);
+  EXPECT_DOUBLE_EQ(sched.next_tick(), 1e-3);
+
+  int fires = 0;
+  sched.set_on_tick([&fires](const obs::WindowSample&) { ++fires; });
+
+  obs::ExportCumulative c1;
+  c1.delivered = 5;
+  c1.rejected = 1;
+  c1.latency_buckets = {3, 1, 1};
+  c1.latency_count = 5;
+  c1.latency_sum = 7.5;
+  c1.properties.push_back({"fw", 1, 1, 5, 10});
+  sched.tick(c1);
+  ASSERT_EQ(sched.windows().size(), 1u);
+  const obs::WindowSample& w0 = sched.windows().front();
+  EXPECT_DOUBLE_EQ(w0.t0, 0.0);
+  EXPECT_DOUBLE_EQ(w0.t1, 1e-3);
+  EXPECT_EQ(w0.delta.delivered, 5u);
+  EXPECT_DOUBLE_EQ(w0.pps, 5000.0);
+  EXPECT_DOUBLE_EQ(w0.rejects_per_s, 1000.0);
+  ASSERT_EQ(w0.delta.properties.size(), 1u);
+  EXPECT_EQ(w0.delta.properties[0].check_runs, 5u);
+  EXPECT_DOUBLE_EQ(sched.next_tick(), 2e-3);
+
+  obs::ExportCumulative c2 = c1;
+  c2.delivered = 8;
+  c2.properties[0].check_runs = 9;
+  sched.tick(c2);
+  EXPECT_EQ(sched.windows().back().delta.delivered, 3u);
+  EXPECT_DOUBLE_EQ(sched.windows().back().pps, 3000.0);
+  EXPECT_EQ(sched.windows().back().delta.properties[0].check_runs, 4u);
+
+  // Third capture evicts the oldest; indices stay monotone.
+  sched.tick(c2);
+  EXPECT_EQ(sched.captured(), 3u);
+  ASSERT_EQ(sched.windows().size(), 2u);
+  EXPECT_EQ(sched.windows().front().index, 1u);
+  EXPECT_EQ(sched.windows().back().delta.delivered, 0u);
+  EXPECT_EQ(fires, 3);
+
+  // Rebaseline drops windows and re-anchors deltas without rewinding the
+  // tick clock.
+  const double tick_before = sched.next_tick();
+  sched.rebaseline(obs::ExportCumulative{});
+  EXPECT_EQ(sched.captured(), 0u);
+  EXPECT_TRUE(sched.windows().empty());
+  EXPECT_DOUBLE_EQ(sched.next_tick(), tick_before);
+  sched.tick(c1);
+  EXPECT_EQ(sched.windows().back().delta.delivered, 5u);
+}
+
+namespace {
+
+// Leaf-spine run with the exporter armed: an allowed flow sent on a fixed
+// schedule so virtual time crosses several tick boundaries in one drain.
+struct ExportBed : Bed {
+  explicit ExportBed(std::size_t ring_capacity = 128) {
+    const int h0 = fabric.hosts[0][0];
+    const int h2 = fabric.hosts[1][0];
+    allow(h0, h2);
+    net.set_export_interval(5e-6, ring_capacity);
+    for (int i = 0; i < 20; ++i) {
+      const double t = 2e-6 * (i + 1);
+      net.events().schedule_at(t, [this, h0, h2] {
+        net.send_from_host(h0,
+                           p4rt::make_udp(ip(h0), ip(h2), 40000, 80, 64));
+      });
+    }
+    net.events().run();
+  }
+};
+
+}  // namespace
+
+TEST(NetworkObs, StreamingExportLabeledFamiliesAndCompatNames) {
+  ExportBed bed;
+  EXPECT_TRUE(bed.net.export_armed());
+  EXPECT_TRUE(bed.net.observability_enabled());
+  ASSERT_GT(bed.net.export_scheduler_ptr()->captured(), 0u);
+
+  const std::string prom = bed.net.export_prometheus();
+  for (const char* needle :
+       {"# TYPE hydra_checker_rejects_total counter",
+        "hydra_checker_rejects_total{property=\"stateful_firewall\"} 0",
+        "hydra_checker_check_runs_total{property=\"stateful_firewall\"}",
+        "hydra_switch_forwarded_total{switch=\"leaf1\"}",
+        "hydra_table_hits_total{property=\"stateful_firewall\","
+        "table=\"allowed\"}",
+        "hydra_delivered_latency_seconds_bucket",
+        "le=\"+Inf\"", "hydra_delivered_latency_seconds_count",
+        "hydra_link_utilization{",
+        "# TYPE hydra_net_packets_delivered gauge"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+
+  // The flat snapshot names survive untouched next to the labeled families.
+  const std::string json = bed.net.metrics_json();
+  EXPECT_NE(json.find("\"checker.stateful_firewall.rejects\": 0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"net.switch.leaf1.forwarded\""), std::string::npos);
+
+  const std::string series = bed.net.window_series_json();
+  EXPECT_NE(series.find("\"property\": \"stateful_firewall\""),
+            std::string::npos);
+  EXPECT_NE(series.find("\"pps\": "), std::string::npos);
+}
+
+TEST(NetworkObs, WindowSeriesDeterministicAcrossRuns) {
+  ExportBed a;
+  ExportBed b;
+  EXPECT_EQ(a.net.window_series_json(), b.net.window_series_json());
+  EXPECT_EQ(a.net.export_prometheus(), b.net.export_prometheus());
+}
+
+TEST(NetworkObs, WindowRingEvictsButKeepsCaptureCount) {
+  ExportBed small(/*ring_capacity=*/4);
+  const std::uint64_t captured = small.net.export_scheduler_ptr()->captured();
+  ASSERT_GT(captured, 4u);
+  const std::string series = small.net.window_series_json();
+  std::size_t windows = 0;
+  for (std::size_t p = series.find("\"index\": "); p != std::string::npos;
+       p = series.find("\"index\": ", p + 1)) {
+    ++windows;
+  }
+  EXPECT_EQ(windows, 4u);
+  EXPECT_NE(series.find("\"captured\": " + std::to_string(captured)),
+            std::string::npos);
+}
+
+TEST(NetworkObs, ExportGuardsAndDisarm) {
+  Bed bed;
+  EXPECT_FALSE(bed.net.export_armed());
+  EXPECT_THROW(bed.net.window_series_json(), std::logic_error);
+  EXPECT_THROW(bed.net.set_export_callback([](const obs::WindowSample&) {}),
+               std::logic_error);
+
+  bed.net.set_export_interval(1e-5);
+  EXPECT_TRUE(bed.net.export_armed());
+  int fires = 0;
+  bed.net.set_export_callback(
+      [&fires](const obs::WindowSample&) { ++fires; });
+
+  bed.net.set_export_interval(0);  // disarm
+  EXPECT_FALSE(bed.net.export_armed());
+  EXPECT_THROW(bed.net.window_series_json(), std::logic_error);
+  // Observability stays on; traffic still flows with a null scheduler.
+  EXPECT_TRUE(bed.net.observability_enabled());
+  const int h0 = bed.fabric.hosts[0][0];
+  const int h2 = bed.fabric.hosts[1][0];
+  bed.allow(h0, h2);
+  bed.send(h0, h2);
+  EXPECT_EQ(bed.net.counters().delivered, 1u);
+  EXPECT_EQ(fires, 0);
 }
 
 TEST(NetworkObs, ResetSemantics) {

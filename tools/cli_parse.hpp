@@ -1,0 +1,84 @@
+// Strict numeric argv parsing shared by the CLI tools.
+//
+// atoi/atol silently turn garbage into 0 and saturate nothing; a typo like
+// `--workers 8x` or `--ring 1e9` must instead fail loudly with the flag
+// name and the accepted range — the same strictness parse_engine_kind
+// applies to `--engine parallel:N`. Each helper prints a one-line
+// diagnostic to stderr and returns false on bad input; callers follow up
+// with their usage text and exit 2.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hydra::tools {
+
+// Base-10 integer in [lo, hi]; rejects empty input, trailing characters,
+// and out-of-range values.
+inline bool parse_long_arg(const char* prog, const char* flag,
+                           const char* text, long lo, long hi, long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::fprintf(
+        stderr, "%s: bad value '%s' for %s: expected an integer in [%ld, %ld]\n",
+        prog, text, flag, lo, hi);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Base-10 unsigned 64-bit integer (full range); rejects signs, empty
+// input, trailing characters, and overflow.
+inline bool parse_u64_arg(const char* prog, const char* flag,
+                          const char* text, std::uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v =
+      text[0] == '-' || text[0] == '+' ? (errno = ERANGE, 0ULL)
+                                       : std::strtoull(text, &end, 10);
+  if (end == text || end == nullptr || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "%s: bad value '%s' for %s: expected an unsigned integer\n",
+                 prog, text, flag);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Strictly-positive double (scientific notation fine: `--interval 5e-6`).
+inline bool parse_positive_double_arg(const char* prog, const char* flag,
+                                      const char* text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0.0)) {
+    std::fprintf(stderr,
+                 "%s: bad value '%s' for %s: expected a number > 0\n", prog,
+                 text, flag);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Writes `content` to `path`; false (with a diagnostic) on I/O failure.
+inline bool write_text_file(const std::string& path,
+                            const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hydra::tools

@@ -28,6 +28,8 @@
 #include <cstring>
 #include <string>
 
+#include "cli_parse.hpp"
+
 #include "aether/controller.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
 #include "forwarding/upf.hpp"
@@ -158,7 +160,9 @@ int usage(const char* prog) {
                "          [--chaos SEED]\n"
                "          [--engine serial|parallel[:N]] [--workers N]\n"
                "          [--ring N] [--out FILE] [--trace FILE]\n"
-               "          [--min-violations N]\n",
+               "          [--min-violations N]\n"
+               "          [--prom FILE] [--series FILE] [--interval SEC]\n"
+               "          [--watch]\n",
                prog);
   return 2;
 }
@@ -169,36 +173,68 @@ int main(int argc, char** argv) {
   std::string scenario = "aether";
   std::string out_path;
   std::string trace_path;
+  std::string prom_path;
+  std::string series_path;
   net::EngineKind engine = net::EngineKind::kSerial;
   int workers = 0;
-  std::size_t ring = 512;
+  long ring = 512;
   long min_violations = 0;
+  double interval_s = 0.0;  // 0 = derive a default when export is requested
   bool forensics = false;
   bool chaos = false;
+  bool watch = false;
   std::uint64_t chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       scenario = argv[++i];
     } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
       chaos = true;
-      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+      if (!tools::parse_u64_arg(argv[0], "--chaos", argv[++i], &chaos_seed)) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
+      series_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      if (!tools::parse_positive_double_arg(argv[0], "--interval", argv[++i],
+                                            &interval_s)) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine = net::parse_engine_kind(argv[++i], &workers);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      workers = std::atoi(argv[++i]);
+      long w = 0;
+      if (!tools::parse_long_arg(argv[0], "--workers", argv[++i], 0, 1024,
+                                 &w)) {
+        return usage(argv[0]);
+      }
+      workers = static_cast<int>(w);
     } else if (std::strcmp(argv[i], "--ring") == 0 && i + 1 < argc) {
-      ring = static_cast<std::size_t>(std::atol(argv[++i]));
+      if (!tools::parse_long_arg(argv[0], "--ring", argv[++i], 1, 1 << 20,
+                                 &ring)) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--min-violations") == 0 && i + 1 < argc) {
-      min_violations = std::atol(argv[++i]);
+      if (!tools::parse_long_arg(argv[0], "--min-violations", argv[++i], 0,
+                                 1000000000L, &min_violations)) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--forensics") == 0) {
       forensics = true;
     } else {
       return usage(argv[0]);
     }
+  }
+  if (watch && prom_path.empty()) {
+    std::fprintf(stderr, "%s: --watch requires --prom FILE\n", argv[0]);
+    return usage(argv[0]);
   }
 
   auto fabric = net::make_leaf_spine(2, 2, 2);
@@ -208,10 +244,28 @@ int main(int argc, char** argv) {
   net.set_engine(engine, workers);
   // Chaos mode always records forensics — the annotated reports are the
   // point of the exercise.
-  if (forensics || chaos) net.set_forensics(true, ring);
+  if (forensics || chaos) {
+    net.set_forensics(true, static_cast<std::size_t>(ring));
+  }
   // The engine-phase profile is wall-clock (not deterministic), so it is
   // only armed when the caller asks for the trace file.
   if (!trace_path.empty()) net.set_engine_profiling(true);
+  // Streaming export: armed before any traffic so the window series spans
+  // the whole run. Ticks fire on the virtual-time axis in commit order, so
+  // both the exposition and the series are byte-identical across engines.
+  const bool exporting =
+      !prom_path.empty() || !series_path.empty() || interval_s > 0.0;
+  if (exporting) {
+    if (interval_s <= 0.0) interval_s = chaos ? 2e-4 : 5e-6;
+    net.set_export_interval(interval_s);
+    if (watch) {
+      // --watch: rewrite the exposition file at every captured window (the
+      // long-running service loop a scraper would poll).
+      net.set_export_callback([&net, prom_path](const obs::WindowSample&) {
+        tools::write_text_file(prom_path, net.export_prometheus());
+      });
+    }
+  }
 
   if (chaos) {
     scenario = "chaos";
@@ -282,6 +336,19 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s (load in https://ui.perfetto.dev)\n",
                 trace_path.c_str());
+  }
+
+  // Final scrape + window series. Written after the run regardless of
+  // --watch, so the file always reflects the terminal state.
+  if (!prom_path.empty()) {
+    if (!tools::write_text_file(prom_path, net.export_prometheus())) return 1;
+    std::printf("wrote %s\n", prom_path.c_str());
+  }
+  if (!series_path.empty()) {
+    if (!tools::write_text_file(series_path, net.window_series_json())) {
+      return 1;
+    }
+    std::printf("wrote %s\n", series_path.c_str());
   }
 
   if (static_cast<long>(violations.size()) < min_violations) {

@@ -20,11 +20,14 @@
 //   leafspine — a 2x2 leaf-spine running the stateful_firewall checker:
 //               one allowed flow is delivered, one unsolicited flow is
 //               rejected at its last hop. Both packets are traced.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include <cstdlib>
+
+#include "cli_parse.hpp"
 
 #include "aether/controller.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
@@ -102,28 +105,99 @@ void leafspine_scenario(net::Network& net, const net::LeafSpine& fabric) {
   net.events().run();
 }
 
+// Chaos parity with hydrascope: the same leaf-spine + stateful_firewall
+// fabric under the full fault plan (loss, corruption, duplication,
+// reordering, link flaps, a mid-run restart, delayed rule pushes), driven
+// by one seed, with the observability layer on so the snapshot captures
+// the fault-path counters. Deterministic: the same (plan, seed) replays
+// bit-identically on either engine.
+void chaos_scenario(net::Network& net, const net::LeafSpine& fabric,
+                    std::uint64_t seed) {
+  fwd::install_leaf_spine_routing(net, fabric);
+  const int dep = net.deploy(compile_library_checker("stateful_firewall"));
+  net.set_observability(true);
+
+  net::FaultPlan plan;
+  plan.loss = 0.02;
+  plan.corrupt = 0.08;
+  plan.duplicate = 0.03;
+  plan.reorder = 0.05;
+  plan.reorder_max_s = 40e-6;
+  plan.flap_rate_hz = 1500.0;
+  plan.flap_down_s = 150e-6;
+  plan.horizon_s = 4e-3;
+  plan.restarts.push_back({fabric.leaves[1], 1.2e-3});
+  plan.restart_warmup_s = 400e-6;
+  plan.rule_push_delay_s = 80e-6;
+  plan.rule_push_jitter_s = 80e-6;
+  net.arm_faults(plan, seed);
+
+  const std::uint32_t client = net.topo().node(fabric.hosts[0][0]).ip;
+  const std::uint32_t server = net.topo().node(fabric.hosts[1][0]).ip;
+  const std::uint32_t intruder = net.topo().node(fabric.hosts[0][1]).ip;
+  net.dict_insert_all_delayed(dep, "allowed",
+                              {BitVec(32, client), BitVec(32, server)},
+                              {BitVec::from_bool(true)});
+  net.dict_insert_all_delayed(dep, "allowed",
+                              {BitVec(32, server), BitVec(32, client)},
+                              {BitVec::from_bool(true)});
+
+  for (int i = 0; i < 240; ++i) {
+    const double t = 8e-6 * (i + 1);
+    const bool bad = i % 4 == 3;
+    const int src_host = bad ? fabric.hosts[0][1] : fabric.hosts[0][0];
+    const std::uint32_t src_ip = bad ? intruder : client;
+    const auto sport = static_cast<std::uint16_t>(40000 + i % 16);
+    net.events().schedule_at(t, [&net, src_host, src_ip, server, sport]() {
+      net.send_from_host(src_host,
+                         p4rt::make_udp(src_ip, server, sport, 80, 64));
+    });
+  }
+  net.events().run();
+}
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario aether|leafspine] [--chaos SEED]\n"
+               "          [--out FILE] [--prom FILE]\n"
+               "          [--engine serial|parallel[:N]] [--workers N]\n",
+               prog);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string scenario = "aether";
   std::string out_path;
+  std::string prom_path;
   net::EngineKind engine = net::EngineKind::kSerial;
   int workers = 0;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       scenario = argv[++i];
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      chaos = true;
+      if (!tools::parse_u64_arg(argv[0], "--chaos", argv[++i], &chaos_seed)) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine = net::parse_engine_kind(argv[++i], &workers);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      workers = std::atoi(argv[++i]);
+      long w = 0;
+      if (!tools::parse_long_arg(argv[0], "--workers", argv[++i], 0, 1024,
+                                 &w)) {
+        return usage(argv[0]);
+      }
+      workers = static_cast<int>(w);
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--scenario aether|leafspine] [--out FILE] "
-                   "[--engine serial|parallel[:N]] [--workers N]\n",
-                   argv[0]);
-      return 2;
+      return usage(argv[0]);
     }
   }
 
@@ -132,7 +206,10 @@ int main(int argc, char** argv) {
   // Engine choice never changes what a scenario observes — traces, reports
   // and metrics below are identical by the engine contract.
   net.set_engine(engine, workers);
-  if (scenario == "aether") {
+  if (chaos) {
+    scenario = "chaos";
+    chaos_scenario(net, fabric, chaos_seed);
+  } else if (scenario == "aether") {
     aether_scenario(net, fabric);
   } else if (scenario == "leafspine") {
     leafspine_scenario(net, fabric);
@@ -150,21 +227,22 @@ int main(int argc, char** argv) {
                 r.flow.to_string().c_str());
   }
 
-  const std::string doc = "{\n\"scenario\": \"" + scenario +
-                          "\",\n\"metrics\": " + net.metrics_json() +
-                          ",\n\"traces\": " + net.trace_sink().to_json() +
-                          "\n}\n";
+  std::string doc = "{\n\"scenario\": \"" + scenario + "\"";
+  if (chaos) {
+    doc += ",\n\"seed\": " + std::to_string(chaos_seed);
+    doc += ",\n\"fault_stats\": " + net.fault_stats().to_json();
+  }
+  doc += ",\n\"metrics\": " + net.metrics_json() +
+         ",\n\"traces\": " + net.trace_sink().to_json() + "\n}\n";
   if (out_path.empty()) {
     std::printf("%s", doc.c_str());
   } else {
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-      return 1;
-    }
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
+    if (!tools::write_text_file(out_path, doc)) return 1;
     std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    if (!tools::write_text_file(prom_path, net.export_prometheus())) return 1;
+    std::printf("wrote %s\n", prom_path.c_str());
   }
   return 0;
 }

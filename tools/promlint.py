@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text-exposition files produced by the hydra tools.
+
+Self-contained (standard library only). Checks, per file:
+
+  * every line is a `# TYPE` comment or a well-formed sample;
+  * each family is declared by exactly one `# TYPE` line before its samples;
+  * families appear in sorted order and each family's samples are
+    contiguous (the deterministic-exposition contract, stricter than the
+    Prometheus spec);
+  * label bodies are well quoted (escapes limited to \\\\, \\", \\n),
+    keys are sorted and unique within a sample;
+  * sample values parse as integers/floats (+Inf allowed on buckets);
+  * histogram series carry `_bucket`/`_sum`/`_count`, buckets are
+    cumulative (non-decreasing in `le` order), end at `le="+Inf"`, and the
+    +Inf count equals the `_count` sample for the same label set.
+
+Exit status 0 with a one-line summary on success; 1 with a diagnostic
+naming the offending line otherwise.
+
+  $ python3 tools/promlint.py metrics.prom [more.prom ...]
+"""
+
+import re
+import sys
+
+TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+NAME_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)")
+KEY_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class LintError(Exception):
+    pass
+
+
+def parse_labels(body, where):
+    """Parses the inside of a `{...}` label body; returns [(key, value)]."""
+    pairs = []
+    i = 0
+    while i < len(body):
+        m = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)=\"", body[i:])
+        if not m:
+            raise LintError(f"{where}: malformed label at ...{body[i:]!r}")
+        key = m.group(1)
+        i += m.end()
+        value = []
+        while True:
+            if i >= len(body):
+                raise LintError(f"{where}: unterminated label value")
+            c = body[i]
+            if c == "\\":
+                if i + 1 >= len(body) or body[i + 1] not in '\\"n':
+                    raise LintError(f"{where}: bad escape in label value")
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[body[i + 1]])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            elif c == "\n":
+                raise LintError(f"{where}: raw newline in label value")
+            else:
+                value.append(c)
+                i += 1
+        pairs.append((key, "".join(value)))
+        if i < len(body):
+            if body[i] != ",":
+                raise LintError(f"{where}: expected ',' between labels")
+            i += 1
+    keys = [k for k, _ in pairs]
+    if len(set(keys)) != len(keys):
+        raise LintError(f"{where}: duplicate label key")
+    if keys != sorted(keys):
+        raise LintError(f"{where}: label keys not sorted: {keys}")
+    return pairs
+
+
+def parse_value(text, where, allow_inf=False):
+    if text == "+Inf":
+        if not allow_inf:
+            raise LintError(f"{where}: +Inf only valid as a bucket bound")
+        return float("inf")
+    try:
+        return float(text)
+    except ValueError:
+        raise LintError(f"{where}: unparseable value {text!r}")
+
+
+def base_family(name, declared):
+    """Maps a sample name to its declared family (histogram suffixes)."""
+    if name in declared:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in declared:
+            return name[: -len(suffix)]
+    return None
+
+
+def lint(path):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    if raw and not raw.endswith("\n"):
+        raise LintError(f"{path}: missing trailing newline")
+
+    declared = {}  # family -> kind
+    order = []  # families in declaration order
+    current = None  # family whose block we are inside
+    finished = set()  # families whose block has ended
+    # histogram state: family -> {labelset: {"buckets": [(le, v)],
+    #                                        "sum": v, "count": v}}
+    hist = {}
+    samples = 0
+
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        where = f"{path}:{lineno}"
+        if not line:
+            raise LintError(f"{where}: blank line")
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if not m:
+                raise LintError(f"{where}: malformed comment {line!r}")
+            fam, kind = m.group(1), m.group(2)
+            if fam in declared:
+                raise LintError(f"{where}: duplicate TYPE for {fam}")
+            declared[fam] = kind
+            order.append(fam)
+            if current is not None:
+                finished.add(current)
+            current = fam
+            if kind == "histogram":
+                hist[fam] = {}
+            continue
+
+        m = NAME_RE.match(line)
+        if not m:
+            raise LintError(f"{where}: unparseable sample {line!r}")
+        name = m.group(1)
+        rest = line[m.end():]
+        fam = base_family(name, declared)
+        if fam is None:
+            raise LintError(f"{where}: sample {name!r} has no TYPE line")
+        if fam != current:
+            raise LintError(
+                f"{where}: sample for {fam!r} outside its family block "
+                "(families must be contiguous)")
+        kind = declared[fam]
+        if kind != "histogram" and name != fam:
+            raise LintError(f"{where}: suffix {name!r} on non-histogram")
+        if kind == "histogram" and name == fam:
+            raise LintError(f"{where}: bare sample name on histogram {fam!r}")
+
+        labels = []
+        if rest.startswith("{"):
+            close = rest.rfind("}")
+            if close < 0:
+                raise LintError(f"{where}: unterminated label body")
+            labels = parse_labels(rest[1:close], where)
+            rest = rest[close + 1:]
+        if not rest.startswith(" ") or " " in rest[1:]:
+            raise LintError(f"{where}: expected single space before value")
+        value_text = rest[1:]
+        samples += 1
+
+        if kind == "histogram":
+            le = [v for k, v in labels if k == "le"]
+            others = tuple((k, v) for k, v in labels if k != "le")
+            series = hist[fam].setdefault(
+                others, {"buckets": [], "sum": None, "count": None})
+            if name.endswith("_bucket"):
+                if len(le) != 1:
+                    raise LintError(f"{where}: bucket needs exactly one le")
+                bound = parse_value(le[0], where, allow_inf=True)
+                val = parse_value(value_text, where)
+                series["buckets"].append((bound, val, where))
+            else:
+                if le:
+                    raise LintError(f"{where}: le label on {name!r}")
+                val = parse_value(value_text, where)
+                series["sum" if name.endswith("_sum") else "count"] = (
+                    val, where)
+        else:
+            val = parse_value(value_text, where)
+            if kind == "counter" and (val < 0 or val != int(val)):
+                raise LintError(
+                    f"{where}: counter value {value_text!r} not a "
+                    "non-negative integer")
+
+    if order != sorted(order):
+        raise LintError(f"{path}: families not in sorted order: {order}")
+
+    for fam, by_labels in hist.items():
+        for labels, series in by_labels.items():
+            desc = f"{path}: {fam}{dict(labels)}"
+            buckets = series["buckets"]
+            if not buckets:
+                raise LintError(f"{desc}: histogram without buckets")
+            bounds = [b for b, _, _ in buckets]
+            if bounds != sorted(bounds):
+                raise LintError(f"{desc}: bucket bounds not ascending")
+            counts = [v for _, v, _ in buckets]
+            if counts != sorted(counts):
+                raise LintError(f"{desc}: bucket counts not cumulative")
+            if bounds[-1] != float("inf"):
+                raise LintError(f"{desc}: missing le=\"+Inf\" bucket")
+            if series["sum"] is None or series["count"] is None:
+                raise LintError(f"{desc}: missing _sum or _count")
+            if counts[-1] != series["count"][0]:
+                raise LintError(
+                    f"{desc}: +Inf bucket {counts[-1]} != _count "
+                    f"{series['count'][0]}")
+
+    return len(order), samples
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: promlint.py FILE [FILE ...]", file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            families, samples = lint(path)
+        except LintError as e:
+            print(f"promlint: {e}", file=sys.stderr)
+            return 1
+        except OSError as e:
+            print(f"promlint: {e}", file=sys.stderr)
+            return 1
+        print(f"{path}: OK ({families} families, {samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
