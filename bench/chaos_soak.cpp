@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_parse.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
 #include "hydra/hydra.hpp"
 #include "net/engine.hpp"
@@ -129,7 +130,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
+      if (!tools::parse_u64_arg(argv[0], "--seed", argv[++i], &seed)) {
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       g_kind = net::parse_engine_kind(argv[i] + 9, &g_workers);
     }

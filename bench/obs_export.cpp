@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "cli_parse.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
 #include "hydra/hydra.hpp"
 #include "net/engine.hpp"
@@ -146,12 +147,21 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = std::atoi(argv[++i]);
-      if (reps < 1) reps = 1;
+      long r = 0;
+      if (!tools::parse_long_arg(argv[0], "--reps", argv[++i], 1, 1000000,
+                                 &r)) {
+        return 2;
+      }
+      reps = static_cast<int>(r);
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       g_kind = net::parse_engine_kind(argv[i] + 9, &g_workers);
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
-      g_workers = std::atoi(argv[i] + 10);
+      long w = 0;
+      if (!tools::parse_long_arg(argv[0], "--workers", argv[i] + 10, 1, 1024,
+                                 &w)) {
+        return 2;
+      }
+      g_workers = static_cast<int>(w);
     }
   }
   const int eff_workers = g_kind == net::EngineKind::kSerial ? 1 : g_workers;

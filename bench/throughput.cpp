@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "cli_parse.hpp"
 #include "forwarding/anonymizer.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
 #include "hydra/hydra.hpp"
@@ -258,7 +259,12 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       g_kind = net::parse_engine_kind(argv[i] + 9, &g_workers);
     } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
-      g_workers = std::atoi(argv[i] + 10);
+      long w = 0;
+      if (!tools::parse_long_arg(argv[0], "--workers", argv[i] + 10, 1, 1024,
+                                 &w)) {
+        return 2;
+      }
+      g_workers = static_cast<int>(w);
     }
   }
   const int eff_workers =

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "aether/slice.hpp"
@@ -55,8 +56,17 @@ class AetherController {
   void attach_client(std::uint32_t slice_id, const Client& client,
                      std::uint32_t enb_ip, std::uint32_t n3_ip);
 
+  // PFCP session teardown: removes the client's sessions, terminations,
+  // and Hydra policy entries, and releases its references on the slice's
+  // shared Applications entries (an entry is uninstalled only when its
+  // last referencing client detaches — the sharing optimization in
+  // reverse). O(rules) per call; returns false for an unknown/detached
+  // imsi. The client id -> imsi binding survives for re-attach.
+  bool detach_client(std::uint64_t imsi);
+
   std::uint32_t client_id(std::uint64_t imsi) const;
   const std::vector<Client>& clients(std::uint32_t slice_id) const;
+  std::size_t attached_count() const { return attached_index_.size(); }
 
   // Number of distinct app IDs allocated so far (app IDs start at 1).
   std::uint32_t app_ids_allocated() const { return next_app_id_ - 1; }
@@ -66,19 +76,38 @@ class AetherController {
     Slice config;
     std::vector<Client> attached;
     // Shared Applications entries already installed for this slice:
-    // rule (match+priority) -> app id.
-    std::vector<std::pair<FilteringRule, std::uint32_t>> installed_apps;
+    // rule (match+priority) -> app id, plus the number of attached clients
+    // referencing the entry (for teardown of the shared entry).
+    struct InstalledApp {
+      FilteringRule rule;
+      std::uint32_t app_id = 0;
+      std::uint32_t refs = 0;
+    };
+    std::vector<InstalledApp> installed_apps;
+  };
+
+  struct AttachedRecord {
+    std::uint32_t slice_id = 0;
+    std::uint32_t cid = 0;
+    std::size_t pos = 0;  // index into SliceState::attached
+    std::vector<std::uint32_t> app_ids;  // shared entries this attach refs
   };
 
   std::uint32_t ensure_application(SliceState& s, const FilteringRule& rule);
-  void install_terminations(const SliceState& s, std::uint32_t cid);
+  void release_application(SliceState& s, std::uint32_t app_id);
   void install_hydra_policy(const SliceState& s, const Client& client);
+  void remove_hydra_policy(const SliceState& s, const Client& client);
+  // The per-client filtering_actions entries (shared by install/remove).
+  std::vector<p4rt::TableEntry> build_policy_entries(
+      const SliceState& s, const Client& client) const;
 
   net::Network& net_;
   std::shared_ptr<fwd::UpfProgram> upf_;
   int hydra_deployment_;
   std::map<std::uint32_t, SliceState> slices_;
-  std::map<std::uint64_t, std::uint32_t> client_ids_;  // imsi -> client id
+  // imsi -> client id; hash maps, sized for million-subscriber churn.
+  std::unordered_map<std::uint64_t, std::uint32_t> client_ids_;
+  std::unordered_map<std::uint64_t, AttachedRecord> attached_index_;
   std::uint32_t next_client_id_ = 1;
   std::uint32_t next_app_id_ = 1;
 };

@@ -24,6 +24,16 @@ void UpfProgram::add_downlink_session(std::uint32_t ue_ip,
        BitVec(32, enb_ip), BitVec(32, n3_ip)});
 }
 
+int UpfProgram::remove_uplink_session(std::uint32_t teid) {
+  return sessions_ul_.remove_if_key_equals(
+      {p4rt::KeyPattern::exact(BitVec(32, teid))});
+}
+
+int UpfProgram::remove_downlink_session(std::uint32_t ue_ip) {
+  return sessions_dl_.remove_if_key_equals(
+      {p4rt::KeyPattern::exact(BitVec(32, ue_ip))});
+}
+
 void UpfProgram::add_application(std::uint32_t slice_id, int priority,
                                  std::uint32_t app_prefix, int prefix_len,
                                  std::optional<std::uint8_t> proto,
@@ -46,11 +56,38 @@ void UpfProgram::add_application(std::uint32_t slice_id, int priority,
   applications_.insert(std::move(e));
 }
 
+int UpfProgram::remove_application(std::uint32_t slice_id,
+                                   std::uint32_t app_prefix, int prefix_len,
+                                   std::optional<std::uint8_t> proto,
+                                   std::uint16_t port_lo,
+                                   std::uint16_t port_hi) {
+  // Mirrors add_application's pattern construction field for field.
+  const std::uint64_t mask =
+      prefix_len == 0 ? 0 : (BitVec::mask(32) << (32 - prefix_len)) &
+                                BitVec::mask(32);
+  std::vector<p4rt::KeyPattern> patterns;
+  patterns.push_back(p4rt::KeyPattern::exact(BitVec(32, slice_id)));
+  patterns.push_back(
+      p4rt::KeyPattern::ternary(BitVec(32, app_prefix), BitVec(32, mask)));
+  patterns.push_back(
+      p4rt::KeyPattern::range(BitVec(16, port_lo), BitVec(16, port_hi)));
+  patterns.push_back(proto ? p4rt::KeyPattern::exact(BitVec(8, *proto))
+                           : p4rt::KeyPattern::wildcard(8));
+  return applications_.remove_if_key_equals(patterns);
+}
+
 void UpfProgram::add_termination(std::uint32_t client_id,
                                  std::uint32_t app_id, bool allow) {
   terminations_.insert_exact(
       {BitVec(32, client_id), BitVec(32, app_id)},
       {BitVec::from_bool(allow)}, allow ? "forward" : "drop");
+}
+
+int UpfProgram::remove_termination(std::uint32_t client_id,
+                                   std::uint32_t app_id) {
+  return terminations_.remove_if_key_equals(
+      {p4rt::KeyPattern::exact(BitVec(32, client_id)),
+       p4rt::KeyPattern::exact(BitVec(32, app_id))});
 }
 
 void UpfProgram::attach_metrics(obs::Registry* registry) {
@@ -92,7 +129,7 @@ UpfProgram::Decision UpfProgram::process(p4rt::Packet& pkt, int in_port,
     }
     client_id = static_cast<std::uint32_t>(s->action_data[0].value());
     slice_id = static_cast<std::uint32_t>(s->action_data[1].value());
-    pkt = p4rt::gtpu_decap(pkt);
+    p4rt::gtpu_decap_inplace(pkt);
     // The application is identified by the destination side.
     if (pkt.ipv4) {
       app_ip = pkt.ipv4->dst;
@@ -113,7 +150,7 @@ UpfProgram::Decision UpfProgram::process(p4rt::Packet& pkt, int in_port,
       const auto teid = static_cast<std::uint32_t>(s->action_data[2].value());
       const auto enb = static_cast<std::uint32_t>(s->action_data[3].value());
       const auto n3 = static_cast<std::uint32_t>(s->action_data[4].value());
-      pkt = p4rt::gtpu_encap(pkt, n3, enb, teid);
+      p4rt::gtpu_encap_inplace(pkt, n3, enb, teid);
       is_upf_traffic = true;
     }
   }

@@ -40,6 +40,10 @@ class UpfProgram : public net::ForwardingProgram {
   void add_downlink_session(std::uint32_t ue_ip, std::uint32_t client_id,
                             std::uint32_t slice_id, std::uint32_t teid,
                             std::uint32_t enb_ip, std::uint32_t n3_ip);
+  // PFCP session teardown. O(1) hash-probe removals (the churn hot path);
+  // return the number of entries removed (0 or 1).
+  int remove_uplink_session(std::uint32_t teid);
+  int remove_downlink_session(std::uint32_t ue_ip);
 
   // ---- Applications (shared within a slice) -------------------------------
   void add_application(std::uint32_t slice_id, int priority,
@@ -47,10 +51,17 @@ class UpfProgram : public net::ForwardingProgram {
                        std::optional<std::uint8_t> proto,
                        std::uint16_t port_lo, std::uint16_t port_hi,
                        std::uint32_t app_id);
+  // Removes the shared entry with this exact match (priority/app id are not
+  // part of the identity; the controller never installs two entries with
+  // the same match). Returns the number removed.
+  int remove_application(std::uint32_t slice_id, std::uint32_t app_prefix,
+                         int prefix_len, std::optional<std::uint8_t> proto,
+                         std::uint16_t port_lo, std::uint16_t port_hi);
 
   // ---- Terminations (per client) -------------------------------------------
   void add_termination(std::uint32_t client_id, std::uint32_t app_id,
                        bool allow);
+  int remove_termination(std::uint32_t client_id, std::uint32_t app_id);
 
   Decision process(p4rt::Packet& pkt, int in_port, int switch_id) override;
   std::string name() const override { return "aether-upf"; }

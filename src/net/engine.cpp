@@ -30,8 +30,9 @@ inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
 // Purely a locality/balance heuristic — in flow mode ANY assignment is
 // correct (compute is read-only on shared state) — but it must be
 // deterministic so profiling numbers are reproducible.
-std::uint64_t flow_shard_hash(const SwitchWork& work) {
-  const p4rt::FlowId f = p4rt::flow_of(work.pkt);
+std::uint64_t flow_shard_hash(const SwitchWork& work,
+                              const p4rt::Packet& pkt) {
+  const p4rt::FlowId f = p4rt::flow_of(pkt);
   std::uint64_t h = 0xcbf29ce484222325ULL;
   if (f.parsed) {
     h = fnv_mix(h, f.src_ip);
@@ -51,20 +52,33 @@ std::uint64_t flow_shard_hash(const SwitchWork& work) {
 // ExecutionEngine
 // ---------------------------------------------------------------------------
 
+void ExecutionEngine::exec_inline(EventQueue::Item& item) {
+  switch (item.kind) {
+    case EventKind::kClosure:
+      item.fn();
+      break;
+    case EventKind::kTick:
+      item.tick->tick(item.t);
+      break;
+    case EventKind::kPacketSend:
+      net_->deliver_packet(item.work);
+      break;
+    case EventKind::kSwitchWork:
+      net_->process_hop_serial(item.t, std::move(item.work));
+      break;
+  }
+}
+
 void ExecutionEngine::drain_spawned_before(EventQueue& q, SimTime t) {
   // Items spawned while draining carry larger seqs than every window item,
-  // so a strict time comparison reproduces full (t, seq) order.
+  // so a strict time comparison reproduces full (t, seq) order. Switch
+  // work landing here is unreachable while the lookahead invariant holds;
+  // exec_inline runs it serially, keeping even a violated invariant
+  // deterministic.
   while (!q.empty() && q.next_time() < t) {
     EventQueue::Item item = q.pop_next();
     q.advance_now(item.t);
-    if (item.is_switch_work) {
-      // Unreachable while the lookahead invariant holds (switch work is
-      // scheduled >= lookahead after its creator); executing it serially
-      // here keeps even a violated invariant deterministic.
-      net_->process_hop_serial(item.t, std::move(item.work));
-    } else {
-      item.fn();
-    }
+    exec_inline(item);
   }
 }
 
@@ -88,7 +102,7 @@ void SerialEngine::drain(EventQueue& q, SimTime limit) {
       net_->export_tick_until(item.t);
     }
     q.advance_now(item.t);
-    if (item.is_switch_work) {
+    if (item.is_switch_work()) {
       if (prof != nullptr) {
         const double t0 = prof->now_us();
         net_->process_hop_serial(item.t, std::move(item.work));
@@ -97,7 +111,7 @@ void SerialEngine::drain(EventQueue& q, SimTime limit) {
         net_->process_hop_serial(item.t, std::move(item.work));
       }
     } else {
-      item.fn();
+      exec_inline(item);
     }
   }
 }
@@ -175,7 +189,7 @@ void ParallelEngine::plan_switch_groups() {
   item_shard_.assign(window_.size(), kNoShard);
   sw_touched_.clear();
   for (const auto& item : window_) {
-    if (!item.is_switch_work) continue;
+    if (!item.is_switch_work()) continue;
     if (sw_count_[static_cast<std::size_t>(item.work.sw)]++ == 0) {
       sw_touched_.push_back(item.work.sw);
     }
@@ -200,7 +214,7 @@ void ParallelEngine::plan_switch_groups() {
   }
   for (std::size_t i = 0; i < window_.size(); ++i) {
     const auto& item = window_[i];
-    if (!item.is_switch_work) continue;
+    if (!item.is_switch_work()) continue;
     item_shard_[i] = static_cast<std::uint32_t>(
         sw_shard_[static_cast<std::size_t>(item.work.sw)]);
   }
@@ -211,9 +225,9 @@ void ParallelEngine::plan_flow_affinity() {
   const auto w = static_cast<std::uint64_t>(workers_);
   for (std::size_t i = 0; i < window_.size(); ++i) {
     const auto& item = window_[i];
-    if (!item.is_switch_work) continue;
-    item_shard_[i] =
-        static_cast<std::uint32_t>(flow_shard_hash(item.work) % w);
+    if (!item.is_switch_work()) continue;
+    item_shard_[i] = static_cast<std::uint32_t>(
+        flow_shard_hash(item.work, net_->packet(item.work.pkt)) % w);
   }
 }
 
@@ -252,10 +266,10 @@ void ParallelEngine::run_window_serial(EventQueue& q) {
       head = pend > 0 ? q.next_time() : kInfTime;
     }
     q.advance_now(item.t);
-    if (item.is_switch_work) {
+    if (item.is_switch_work()) {
       net_->process_hop_serial(item.t, std::move(item.work));
     } else {
-      item.fn();
+      exec_inline(item);
     }
     const std::size_t p = q.pending();
     if (p != pend) {  // events only get added here; a change moves the head
@@ -281,10 +295,10 @@ void ParallelEngine::commit_window(EventQueue& q) {
       head = pend > 0 ? q.next_time() : kInfTime;
     }
     q.advance_now(item.t);
-    if (item.is_switch_work) {
+    if (item.is_switch_work()) {
       net_->commit_hop(item.t, std::move(item.work), std::move(results_[i]));
     } else {
-      item.fn();
+      exec_inline(item);
     }
     const std::size_t p = q.pending();
     if (p != pend) {
@@ -299,9 +313,9 @@ void ParallelEngine::run_window(EventQueue& q) {
   std::size_t switch_items = 0;
   bool has_control = false;
   for (const auto& item : window_) {
-    if (!item.is_switch_work) continue;
+    if (!item.is_switch_work()) continue;
     ++switch_items;
-    if (item.work.ctl != nullptr) has_control = true;
+    if (item.work.ctl != kNullHandle) has_control = true;
   }
   const std::size_t mult_used = mult_;
 
@@ -312,7 +326,7 @@ void ParallelEngine::run_window(EventQueue& q) {
   // window; otherwise switch-group sharding keeps one switch on one
   // worker.
   const char* mode = "parallel";
-  if (net_->has_report_callbacks()) {
+  if (net_->has_report_callbacks() || net_->has_control_loop()) {
     mode = "callbacks";
   } else if (workers_ == 1) {
     mode = "one_worker";

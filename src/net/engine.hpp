@@ -104,6 +104,10 @@ class ExecutionEngine : public EventExecutor {
   // as the serial engine would.
   void drain_spawned_before(EventQueue& q, SimTime t);
 
+  // Executes a non-switch-work item inline: closures run, tick targets
+  // tick, packet arrivals resolve through the network's pools.
+  void exec_inline(EventQueue::Item& item);
+
   Network* net_;
 };
 

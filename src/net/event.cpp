@@ -7,45 +7,68 @@ namespace hydra::net {
 
 namespace {
 constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+void check_not_past(SimTime t, SimTime now) {
+  if (t < now) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+}
 }  // namespace
 
 void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
-  if (t < now_) {
-    throw std::invalid_argument("cannot schedule an event in the past");
-  }
+  check_not_past(t, now_);
   Item item;
   item.t = t;
   item.seq = next_seq_++;
+  item.kind = EventKind::kClosure;
   item.fn = std::move(fn);
   cl_heap_.push(std::move(item));
 }
 
-void EventQueue::schedule_switch_at(SimTime t, int sw, int in_port,
-                                    p4rt::Packet pkt) {
-  if (t < now_) {
-    throw std::invalid_argument("cannot schedule an event in the past");
-  }
+void EventQueue::schedule_tick_at(SimTime t, TickTarget* target) {
+  check_not_past(t, now_);
   Item item;
   item.t = t;
   item.seq = next_seq_++;
-  item.is_switch_work = true;
+  item.kind = EventKind::kTick;
+  item.tick = target;
+  cl_heap_.push(std::move(item));
+}
+
+void EventQueue::schedule_packet_at(SimTime t, int dest, int dest_port,
+                                    PacketHandle pkt) {
+  check_not_past(t, now_);
+  Item item;
+  item.t = t;
+  item.seq = next_seq_++;
+  item.kind = EventKind::kPacketSend;
+  item.work.sw = dest;
+  item.work.in_port = dest_port;
+  item.work.pkt = pkt;
+  cl_heap_.push(std::move(item));
+}
+
+void EventQueue::schedule_switch_at(SimTime t, int sw, int in_port,
+                                    PacketHandle pkt) {
+  check_not_past(t, now_);
+  Item item;
+  item.t = t;
+  item.seq = next_seq_++;
+  item.kind = EventKind::kSwitchWork;
   item.work.sw = sw;
   item.work.in_port = in_port;
-  item.work.pkt = std::move(pkt);
+  item.work.pkt = pkt;
   sw_heap_.push(std::move(item));
 }
 
-void EventQueue::schedule_control_at(SimTime t, int sw,
-                                     std::unique_ptr<ControlOp> op) {
-  if (t < now_) {
-    throw std::invalid_argument("cannot schedule an event in the past");
-  }
+void EventQueue::schedule_control_at(SimTime t, int sw, ControlHandle op) {
+  check_not_past(t, now_);
   Item item;
   item.t = t;
   item.seq = next_seq_++;
-  item.is_switch_work = true;
+  item.kind = EventKind::kSwitchWork;
   item.work.sw = sw;
-  item.work.ctl = std::move(op);
+  item.work.ctl = op;
   sw_heap_.push(std::move(item));
 }
 
@@ -95,11 +118,20 @@ void EventQueue::run_self(SimTime t) {
   while (!empty() && next_time() <= t) {
     Item item = pop_next();
     now_ = item.t;
-    if (item.is_switch_work) {
-      throw std::logic_error(
-          "switch work scheduled on an EventQueue with no executor");
+    switch (item.kind) {
+      case EventKind::kClosure:
+        item.fn();
+        break;
+      case EventKind::kTick:
+        item.tick->tick(now_);
+        break;
+      case EventKind::kPacketSend:
+      case EventKind::kSwitchWork:
+        // Packet handles resolve through the owning Network's pools; a
+        // bare queue has no way to execute them.
+        throw std::logic_error(
+            "network event scheduled on an EventQueue with no executor");
     }
-    item.fn();
   }
 }
 

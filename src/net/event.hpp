@@ -2,32 +2,52 @@
 // equal timestamps fire in scheduling order (stable), which keeps runs
 // deterministic for a fixed seed.
 //
-// Two event kinds live in the queue:
-//   * generic closures (traffic generators, link arrivals, host delivery) —
-//     opaque, always executed serially in (time, seq) order;
-//   * switch work (a packet due for pipeline processing at a switch) —
-//     carried as *data* so an installed execution engine can shard it by
-//     switch id and run the per-hop pipeline on worker threads.
+// Events are TYPED, not closures-by-default. At million-session scale a
+// `std::function` per scheduled event is a malloc per packet per link
+// traversal; the hot-path kinds instead carry plain data (switch id, port,
+// and a 32-bit arena handle to the pooled packet — see util/arena.hpp and
+// Network's packet pool):
+//
+//   * kPacketSend  — a packet arriving at a node after a link traversal;
+//   * kSwitchWork  — a packet due for pipeline processing at a switch (or,
+//                    rarely, a control op for that switch), carried as data
+//                    so an execution engine can shard it across workers;
+//   * kTick        — a periodic generator callback (TickTarget), replacing
+//                    the self-rescheduling closures traffic sources used;
+//   * kClosure     — the general-purpose escape hatch (tests, control
+//                    logic, fault arming); still a std::function.
+//
+// The queue itself never dereferences packet/control handles — only the
+// Network (which owns the arenas) and its engines do. kClosure, kTick and
+// kPacketSend live in the closure heap; kSwitchWork in the switch heap;
+// both heaps share one seq stream so merging the tops by (time, seq)
+// reproduces the exact one-heap pop order (the PR-6 invariant the
+// parallel engine's commit order is built on).
 //
 // Draining is delegated to an EventExecutor (see net/engine.hpp) when one
 // is installed; net::Network installs a SerialEngine by default. A bare
-// EventQueue with no executor drains itself one event at a time, exactly
-// as before — standalone users (tests, examples) are unaffected.
+// EventQueue with no executor drains itself one event at a time and can
+// run closures and ticks; packet/switch kinds need the owning Network.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "p4rt/packet.hpp"
+#include "util/bitvec.hpp"
 
 namespace hydra::net {
 
 using SimTime = double;
+
+// Arena handles into the Network-owned pools (util::Arena<T>::Handle).
+// 32 bits, stable across slab growth; kNullHandle means "none".
+using PacketHandle = std::uint32_t;
+using ControlHandle = std::uint32_t;
+inline constexpr std::uint32_t kNullHandle = 0xffffffffu;
 
 // A control-plane operation targeting ONE switch's checker state. Routed
 // through the switch-work channel (not a generic closure) on purpose: a
@@ -38,6 +58,8 @@ using SimTime = double;
 // register wipes and delayed rule installs land between that switch's hops
 // exactly as they would under the serial engine. Used by the
 // fault-injection subsystem (switch restarts, delayed rule pushes).
+// Instances are pooled in the Network's control arena and referenced by
+// ControlHandle.
 struct ControlOp {
   enum class Kind { kRestart, kDictInsert };
   Kind kind = Kind::kRestart;
@@ -48,13 +70,33 @@ struct ControlOp {
   std::vector<BitVec> value;
 };
 
-// The hot-path event: one packet arriving at one switch's pipeline — or,
-// rarely, a control operation for that switch (ctl != nullptr, pkt unused).
+enum class EventKind : std::uint8_t {
+  kClosure = 0,
+  kTick,
+  kPacketSend,
+  kSwitchWork,
+};
+
+// A periodic event target: traffic generators implement this instead of
+// capturing themselves in per-send closures. The target reschedules itself
+// from inside tick() (via schedule_tick_in), so steady-state generation
+// allocates nothing.
+class TickTarget {
+ public:
+  virtual ~TickTarget() = default;
+  virtual void tick(SimTime now) = 0;
+};
+
+// The hot-path payload: one packet at one node. For kSwitchWork, `sw` is
+// the switch and `in_port` its ingress port (ctl != kNullHandle marks a
+// control op instead; pkt unused). For kPacketSend, `sw`/`in_port` name
+// the DESTINATION node and port of the link traversal. Trivially copyable
+// — 16 bytes, no heap.
 struct SwitchWork {
   int sw = -1;
   int in_port = -1;
-  p4rt::Packet pkt;
-  std::unique_ptr<ControlOp> ctl;  // null on the packet hot path
+  PacketHandle pkt = kNullHandle;
+  ControlHandle ctl = kNullHandle;
 };
 
 class EventQueue;
@@ -69,13 +111,17 @@ class EventExecutor {
 
 class EventQueue {
  public:
-  // One scheduled event. `fn` is empty iff `is_switch_work`.
+  // One scheduled event. `fn` is engaged only for kClosure; `tick` only
+  // for kTick; `work` for the packet/switch kinds.
   struct Item {
     SimTime t = 0.0;
     std::uint64_t seq = 0;
+    EventKind kind = EventKind::kClosure;
     std::function<void()> fn;
-    bool is_switch_work = false;
+    TickTarget* tick = nullptr;
     SwitchWork work;
+
+    bool is_switch_work() const { return kind == EventKind::kSwitchWork; }
   };
 
   SimTime now() const { return now_; }
@@ -84,14 +130,28 @@ class EventQueue {
   void schedule_in(SimTime delay, std::function<void()> fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
-  // Schedules pipeline processing of `pkt` at switch `sw`.
-  void schedule_switch_at(SimTime t, int sw, int in_port, p4rt::Packet pkt);
+  // Schedules target->tick(t) at time t. The target must outlive the event
+  // (generators own their lifetime; see net/traffic.hpp).
+  void schedule_tick_at(SimTime t, TickTarget* target);
+  void schedule_tick_in(SimTime delay, TickTarget* target) {
+    schedule_tick_at(now_ + delay, target);
+  }
+  // Schedules delivery of pooled packet `pkt` at node `dest`'s port
+  // `dest_port` (a link arrival; the Network resolves host vs switch).
+  void schedule_packet_at(SimTime t, int dest, int dest_port,
+                          PacketHandle pkt);
+  void schedule_packet_in(SimTime delay, int dest, int dest_port,
+                          PacketHandle pkt) {
+    schedule_packet_at(now_ + delay, dest, dest_port, pkt);
+  }
+  // Schedules pipeline processing of pooled packet `pkt` at switch `sw`.
+  void schedule_switch_at(SimTime t, int sw, int in_port, PacketHandle pkt);
   void schedule_switch_in(SimTime delay, int sw, int in_port,
-                          p4rt::Packet pkt) {
-    schedule_switch_at(now_ + delay, sw, in_port, std::move(pkt));
+                          PacketHandle pkt) {
+    schedule_switch_at(now_ + delay, sw, in_port, pkt);
   }
   // Schedules a control operation on switch `sw`'s shard (see ControlOp).
-  void schedule_control_at(SimTime t, int sw, std::unique_ptr<ControlOp> op);
+  void schedule_control_at(SimTime t, int sw, ControlHandle op);
 
   bool empty() const { return cl_heap_.empty() && sw_heap_.empty(); }
   std::size_t pending() const { return cl_heap_.size() + sw_heap_.size(); }
@@ -110,13 +170,14 @@ class EventQueue {
     return !empty() && next_time() <= limit;
   }
   SimTime next_time() const;  // earliest pending timestamp (queue non-empty)
-  // Earliest pending generic closure / switch-work timestamp, or +infinity
+  // Earliest pending closure-heap / switch-work timestamp, or +infinity
   // when that kind has nothing pending. The parallel engine's adaptive
   // lookahead derives its sound window-extension bound from these: a
-  // closure at time c can spawn switch work no earlier than c + lookahead,
-  // and a switch commit at time s no earlier than s + min-link-delay +
-  // lookahead (see net/engine.hpp). The queue keeps the two kinds in
-  // separate heaps so both reads are O(1).
+  // closure-heap event at time c (closure, tick, or packet arrival) can
+  // spawn switch work no earlier than c + lookahead, and a switch commit
+  // at time s no earlier than s + min-link-delay + lookahead (see
+  // net/engine.hpp). The queue keeps the two kinds in separate heaps so
+  // both reads are O(1).
   SimTime next_closure_time() const;
   SimTime next_switch_time() const;
   // Pops the earliest item without advancing now().
@@ -144,9 +205,10 @@ class EventQueue {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   // Split by kind; seq is a single shared stream, so merging the two tops
-  // by (t, seq) reproduces the exact one-heap pop order.
-  Heap cl_heap_;  // generic closures
-  Heap sw_heap_;  // switch work (packet hops + control ops)
+  // by (t, seq) reproduces the exact one-heap pop order. Closure heap:
+  // kClosure + kTick + kPacketSend; switch heap: kSwitchWork.
+  Heap cl_heap_;
+  Heap sw_heap_;
   EventExecutor* executor_ = nullptr;
 };
 

@@ -162,10 +162,21 @@ void Network::arm_faults(const FaultPlan& plan, std::uint64_t seed) {
         topo_.node(r.sw).kind != NodeKind::kSwitch) {
       continue;
     }
-    auto op = std::make_unique<ControlOp>();
-    op->kind = ControlOp::Kind::kRestart;
-    events_.schedule_control_at(t0 + r.at, r.sw, std::move(op));
+    const ControlHandle op = alloc_control();
+    control_op(op).kind = ControlOp::Kind::kRestart;
+    events_.schedule_control_at(t0 + r.at, r.sw, op);
   }
+}
+
+ControlHandle Network::alloc_control() {
+  const ControlHandle h = control_pool_.alloc();
+  ControlOp& op = control_pool_.get(h);
+  op.kind = ControlOp::Kind::kRestart;
+  op.deployment = -1;
+  op.var.clear();
+  op.key.clear();
+  op.value.clear();
+  return h;
 }
 
 void Network::disarm_faults() {
@@ -199,14 +210,15 @@ void Network::dict_insert_all_delayed(int deployment, const std::string& var,
   }
   for (int sw = 0; sw < topo_.node_count(); ++sw) {
     if (topo_.node(sw).kind != NodeKind::kSwitch) continue;
-    auto op = std::make_unique<ControlOp>();
-    op->kind = ControlOp::Kind::kDictInsert;
-    op->deployment = deployment;
-    op->var = var;
-    op->key = key;
-    op->value = value;
+    const ControlHandle h = alloc_control();
+    ControlOp& op = control_op(h);
+    op.kind = ControlOp::Kind::kDictInsert;
+    op.deployment = deployment;
+    op.var = var;
+    op.key = key;
+    op.value = value;
     events_.schedule_control_at(events_.now() + faults_->next_push_delay(),
-                                sw, std::move(op));
+                                sw, h);
   }
 }
 
@@ -366,26 +378,39 @@ int Network::packet_wire_bytes(const p4rt::Packet& pkt) const {
 }
 
 void Network::send_from_host(int host_id, p4rt::Packet pkt) {
-  Host& h = host(host_id);
+  const PacketHandle h = packet_pool_.alloc();
+  // Copy-assign into the pooled slot: the slot's vectors keep their
+  // capacity, and slab addresses are stable across the alloc above.
+  packet(h) = std::move(pkt);
+  send_pooled(host_id, h);
+}
+
+void Network::send_pooled(int host_id, PacketHandle h) {
+  Host& host_obj = host(host_id);
+  p4rt::Packet& pkt = packet(h);
   pkt.id = next_packet_id_++;
   pkt.created_at = events_.now();
-  if (pkt.eth.src == 0) pkt.eth.src = h.mac();
+  if (pkt.eth.src == 0) pkt.eth.src = host_obj.mac();
   ++counters_.injected;
   if (obs_ != nullptr && obs_->sampler && obs_->traces.has_capacity() &&
       obs_->sampler(pkt)) {
     obs_->traces.begin(pkt.id, events_.now(),
                        p4rt::flow_of(pkt).to_string());
   }
-  transmit({host_id, 0}, std::move(pkt));
+  transmit({host_id, 0}, h);
 }
 
-void Network::transmit(PortRef from, p4rt::Packet pkt) {
+void Network::transmit(PortRef from, PacketHandle ph) {
   const int li = topo_.link_index(from);
-  if (li < 0) return;  // unconnected port: packet vanishes
+  if (li < 0) {
+    free_packet(ph);  // unconnected port: packet vanishes
+    return;
+  }
   const LinkSpec& spec = topo_.links()[static_cast<std::size_t>(li)];
   const int dir = spec.a == from ? 0 : 1;
   const PortRef dest = dir == 0 ? spec.b : spec.a;
   Link& link = links_[static_cast<std::size_t>(li)];
+  p4rt::Packet& pkt = packet(ph);
 
   // Fault injection rolls its dice here and nowhere else on the packet
   // path: transmit runs on the commit path (main thread, canonical order)
@@ -394,13 +419,14 @@ void Network::transmit(PortRef from, p4rt::Packet pkt) {
   double extra_delay = 0.0;
   if (faults_ != nullptr) {
     const LinkFaultAction action =
-        faults_->on_transmit(li, dir, !pkt.tele.empty());
+        faults_->on_transmit(li, dir, pkt.has_live_tele());
     if (action.drop) {
       ++counters_.fault_dropped;
       if (obs_ != nullptr && obs_->traces.tracing()) {
         obs_->traces.finish(pkt.id, obs::PacketFate::kFaultDropped,
                             events_.now());
       }
+      free_packet(ph);
       return;
     }
     if (action.corrupt) corrupt_frame(pkt, action.corrupt_entropy);
@@ -408,18 +434,17 @@ void Network::transmit(PortRef from, p4rt::Packet pkt) {
       // The copy is its own packet (fresh id, never sampled for tracing)
       // and does NOT re-roll the fault dice — one draw per original
       // transmit keeps the streams packet-count-independent.
-      p4rt::Packet dup = pkt;
+      const PacketHandle dh = packet_pool_.alloc();
+      p4rt::Packet& dup = packet(dh);
+      dup = pkt;
       dup.id = next_packet_id_++;
       const auto dup_arrival =
           link.transmit(dir, events_.now(), packet_wire_bytes(dup));
       if (dup_arrival) {
-        events_.schedule_at(*dup_arrival,
-                            [this, dest, p = std::move(dup)]() mutable {
-                              node_receive(dest.node, dest.port,
-                                           std::move(p));
-                            });
+        events_.schedule_packet_at(*dup_arrival, dest.node, dest.port, dh);
       } else {
         ++counters_.queue_dropped;
+        free_packet(dh);
       }
     }
     extra_delay = action.extra_delay_s;
@@ -433,17 +458,21 @@ void Network::transmit(PortRef from, p4rt::Packet pkt) {
       obs_->traces.finish(pkt.id, obs::PacketFate::kQueueDropped,
                           events_.now());
     }
+    free_packet(ph);
     return;
   }
-  events_.schedule_at(*arrival + extra_delay,
-                      [this, dest, p = std::move(pkt)]() mutable {
-                        node_receive(dest.node, dest.port, std::move(p));
-                      });
+  events_.schedule_packet_at(*arrival + extra_delay, dest.node, dest.port,
+                             ph);
 }
 
-void Network::node_receive(int node, int port, p4rt::Packet pkt) {
+void Network::deliver_packet(const SwitchWork& work) {
+  node_receive(work.sw, work.in_port, work.pkt);
+}
+
+void Network::node_receive(int node, int port, PacketHandle ph) {
   const NodeSpec& spec = topo_.node(node);
   if (spec.kind == NodeKind::kHost) {
+    p4rt::Packet& pkt = packet(ph);
     ++counters_.delivered;
     if (obs_ != nullptr) {
       obs_->delivered_hops.observe(pkt.hops);
@@ -456,20 +485,22 @@ void Network::node_receive(int node, int port, p4rt::Packet pkt) {
     }
     Host& h = hosts_[static_cast<std::size_t>(node)];
     auto reply = h.deliver(pkt, events_.now());
+    // Recycle the slot before injecting the reply so short request/reply
+    // exchanges circulate through a single pooled packet.
+    free_packet(ph);
     if (reply) send_from_host(node, std::move(*reply));
     return;
   }
   // Switch: model pipeline traversal latency, then process. The delay is
   // the engines' lookahead — switch work never lands inside the epoch
   // window that created it (see net/engine.hpp).
-  events_.schedule_switch_in(switch_latency(), node, port, std::move(pkt));
+  events_.schedule_switch_in(switch_latency(), node, port, ph);
 }
 
 // ---- per-hop pipeline (engine-driven) -------------------------------------
 
 void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
                           HopResult& res) {
-  p4rt::Packet& pkt = work.pkt;
   const int sw = work.sw;
 
   res.decision = {};
@@ -489,11 +520,15 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
 
   // Control-plane work rides the same channel so it is sharded to this
   // switch's owner and ordered against its packet hops (see ControlOp).
-  if (work.ctl != nullptr) {
-    apply_control(t, sw, *work.ctl, res);
+  if (work.ctl != kNullHandle) {
+    apply_control(t, sw, control_op(work.ctl), res);
     return;
   }
 
+  // Workers only READ pool slabs during compute; alloc/free happen on the
+  // commit path, and slab addresses are stable across growth, so this
+  // reference stays valid for the whole hop.
+  p4rt::Packet& pkt = packet(work.pkt);
   ++pkt.hops;
   HopContext hctx;
   hctx.switch_id = sw;
@@ -562,8 +597,9 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
       pd.interp->run(d.checker->ir.init_block, vals,
                      d.per_switch[static_cast<std::size_t>(sw)], resolver,
                      out);
-      p4rt::TeleFrame frame;
-      frame.checker = static_cast<int>(di);
+      // Re-arm a retired tele slot in place (deployment order matches the
+      // old push_back order; all slots retire together at the last hop).
+      p4rt::TeleFrame& frame = pkt.add_frame(static_cast<int>(di));
       pd.interp->store_frame(vals, frame);
       if (cold_sw) frame.cold = true;
       if (hop != nullptr) {
@@ -572,7 +608,6 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
                                  /*init=*/true, /*tele=*/false,
                                  /*check=*/false));
       }
-      pkt.tele.push_back(std::move(frame));
       pd.reports.inc(out.reports.size());
       collect_reports(di, d, out);
     }
@@ -701,8 +736,9 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     rejected = rejected || out.reject;
   }
 
-  // Strip telemetry before the packet exits the network.
-  if (hctx.last_hop) pkt.tele.clear();
+  // Strip telemetry before the packet exits the network (retire, not
+  // erase: the slots' capacity belongs to the pooled packet).
+  if (hctx.last_hop) pkt.retire_frames();
 
   if (hop != nullptr) {
     hop->eg_port = hctx.eg_port;
@@ -720,14 +756,17 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
 
 void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
   const int sw = work.sw;
-  // Control-plane work carried no packet; only fault bookkeeping commits.
+  // Control-plane work carried no packet; only fault bookkeeping commits,
+  // then the pooled op returns to its arena.
   if (res.control) {
     if (faults_ != nullptr) {
       if (res.restarted) ++faults_->stats().restarts;
       if (res.rule_pushed) ++faults_->stats().delayed_pushes;
     }
+    if (work.ctl != kNullHandle) control_pool_.free(work.ctl);
     return;
   }
+  const p4rt::Packet& pkt = packet(work.pkt);
   // Fault effects produced in compute fold into the injector's stats here,
   // on the canonical commit path, so totals match across engines.
   if (faults_ != nullptr &&
@@ -746,7 +785,7 @@ void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
   }
   for (auto& rec : res.reports) emit_report(std::move(rec));
   if (res.traced) {
-    if (obs::PacketTrace* tr = obs_->traces.active(work.pkt.id)) {
+    if (obs::PacketTrace* tr = obs_->traces.active(pkt.id)) {
       tr->hops.push_back(std::move(res.hop));
     }
   }
@@ -756,10 +795,11 @@ void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
     if (obs_ != nullptr) {
       obs_->switches[static_cast<std::size_t>(sw)].fwd_dropped.inc();
       if (obs_->traces.tracing()) {
-        obs_->traces.finish(work.pkt.id, obs::PacketFate::kFwdDropped,
+        obs_->traces.finish(pkt.id, obs::PacketFate::kFwdDropped,
                             events_.now());
       }
     }
+    free_packet(work.pkt);
     return;
   }
   if (res.rejected) {
@@ -767,16 +807,17 @@ void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
     if (obs_ != nullptr) {
       obs_->switches[static_cast<std::size_t>(sw)].rejected.inc();
       if (obs_->traces.tracing()) {
-        obs_->traces.finish(work.pkt.id, obs::PacketFate::kRejected,
+        obs_->traces.finish(pkt.id, obs::PacketFate::kRejected,
                             events_.now());
       }
     }
+    free_packet(work.pkt);
     return;
   }
   if (obs_ != nullptr) {
     obs_->switches[static_cast<std::size_t>(sw)].forwarded.inc();
   }
-  transmit({sw, res.decision.eg_port}, std::move(work.pkt));
+  transmit({sw, res.decision.eg_port}, work.pkt);
 }
 
 void Network::process_hop_serial(SimTime t, SwitchWork&& work) {
@@ -893,8 +934,9 @@ void Network::build_violation(const SwitchWork& work, const HopResult& res,
   ++obs_->violations_seen;
   if (obs_->violations.size() >= kMaxViolationReports) return;
 
+  const p4rt::Packet& pkt = packet(work.pkt);
   std::vector<const obs::HopRecord*> recs;
-  obs_->recorder->collect(work.pkt.id, recs);
+  obs_->recorder->collect(pkt.id, recs);
   std::sort(recs.begin(), recs.end(),
             [](const obs::HopRecord* a, const obs::HopRecord* b) {
               if (a->hop != b->hop) return a->hop < b->hop;
@@ -902,8 +944,8 @@ void Network::build_violation(const SwitchWork& work, const HopResult& res,
             });
 
   obs::ViolationReport vr;
-  vr.packet_id = work.pkt.id;
-  vr.flow = p4rt::flow_of(work.pkt).to_string();
+  vr.packet_id = pkt.id;
+  vr.flow = p4rt::flow_of(pkt).to_string();
   vr.kind = res.rejected ? "reject" : "report";
   vr.reason = res.reject_reason != nullptr
                   ? res.reject_reason
@@ -911,7 +953,7 @@ void Network::build_violation(const SwitchWork& work, const HopResult& res,
   vr.switch_id = work.sw;
   vr.switch_name = topo_.node(work.sw).name;
   vr.time = t;
-  vr.hop_count = work.pkt.hops;
+  vr.hop_count = pkt.hops;
   for (const auto& rep : res.reports) {
     std::vector<std::uint64_t> payload;
     payload.reserve(rep.values.size());
@@ -920,7 +962,7 @@ void Network::build_violation(const SwitchWork& work, const HopResult& res,
   }
   // Checkers behind the verdict: final-hop records that rejected/reported.
   for (const obs::HopRecord* r : recs) {
-    if (r->hop != work.pkt.hops || (!r->reject && r->report_count == 0)) {
+    if (r->hop != pkt.hops || (!r->reject && r->report_count == 0)) {
       continue;
     }
     const std::string& name =

@@ -57,6 +57,7 @@
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "p4rt/interp.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace hydra::net {
@@ -242,9 +243,44 @@ class Network {
   void subscribe_reports(ReportCallback callback);
   bool has_report_callbacks() const { return !report_callbacks_.empty(); }
 
+  // Tick-driven control loops (e.g. the Aether session-churn generator)
+  // mutate table state synchronously from TickTarget::tick — the same
+  // hazard as a report callback: same-epoch switch work may have computed
+  // against pre-mutation tables. Registering here makes the parallel
+  // engine degrade to serial per-event execution, preserving the
+  // byte-identical differential at any worker count.
+  void set_control_loop_active(bool on) { control_loop_active_ = on; }
+  bool has_control_loop() const { return control_loop_active_; }
+
   // ---- traffic ----------------------------------------------------------
-  // Sends from a host onto its access link at the current time.
+  // Sends from a host onto its access link at the current time. The
+  // by-value overload moves `pkt` into a pooled slot (generic/test path);
+  // hot-path generators use alloc_packet + the in-place builders +
+  // send_pooled and never construct a Packet temporary.
   void send_from_host(int host_id, p4rt::Packet pkt);
+  void send_pooled(int host_id, PacketHandle h);
+
+  // ---- pooled in-flight storage -----------------------------------------
+  // Packets and control ops live in slab arenas owned by the network;
+  // events carry 32-bit handles, and slot buffers (tele frames, header
+  // optionals) survive recycling so the steady-state hot path never
+  // allocates (audited by util::arena_allocations()). OWNERSHIP: whoever
+  // holds the handle frees it — alloc/free happen only on the main thread
+  // (inject, commit, serial execution); parallel workers only READ slots
+  // through these stable references during compute, which never overlaps a
+  // main-thread alloc (see DESIGN.md "Arena storage").
+  PacketHandle alloc_packet() {
+    const PacketHandle h = packet_pool_.alloc();
+    packet_pool_.get(h).reuse();
+    return h;
+  }
+  p4rt::Packet& packet(PacketHandle h) { return packet_pool_.get(h); }
+  const p4rt::Packet& packet(PacketHandle h) const {
+    return packet_pool_.get(h);
+  }
+  void free_packet(PacketHandle h) { packet_pool_.free(h); }
+  ControlOp& control_op(ControlHandle h) { return control_pool_.get(h); }
+  std::size_t packets_in_flight() const { return packet_pool_.live(); }
 
   struct Counters {
     std::uint64_t injected = 0;
@@ -383,6 +419,9 @@ class Network {
   // compute + commit through the owning shard's context — the serial
   // execution path.
   void process_hop_serial(SimTime t, SwitchWork&& work);
+  // Executes a kPacketSend item (link arrival at work.sw / work.in_port);
+  // engines call it inline in commit order.
+  void deliver_packet(const SwitchWork& work);
   int shard_of(int sw) const {
     return engine_workers_ > 1 ? sw % engine_workers_ : 0;
   }
@@ -512,9 +551,10 @@ class Network {
   // absorbed shard metrics first.
   obs::ExportCumulative export_cumulative() const;
 
-  void node_receive(int node, int port, p4rt::Packet pkt);
+  void node_receive(int node, int port, PacketHandle pkt);
   void emit_report(ReportRecord record);
-  void transmit(PortRef from, p4rt::Packet pkt);
+  void transmit(PortRef from, PacketHandle pkt);
+  ControlHandle alloc_control();
   int packet_wire_bytes(const p4rt::Packet& pkt) const;
   std::uint32_t switch_tag(int sw) const {
     return static_cast<std::uint32_t>(sw + 1);
@@ -528,6 +568,7 @@ class Network {
   std::vector<Deployment> deployments_;
   std::vector<ReportRecord> reports_;
   std::vector<ReportCallback> report_callbacks_;
+  bool control_loop_active_ = false;
   Counters counters_;
   compiler::BaselineProfile baseline_ = compiler::simple_router_profile();
   double base_proc_s_ = 8e-7;
@@ -539,6 +580,9 @@ class Network {
   // touched only from compute on sw's owning shard, so it needs no lock.
   std::unique_ptr<FaultInjector> faults_;
   std::vector<double> cold_until_;
+  // In-flight packet / control-op pools (see "pooled in-flight storage").
+  util::Arena<p4rt::Packet> packet_pool_{1024};
+  util::Arena<ControlOp> control_pool_{64};
   std::unique_ptr<ObsState> obs_;  // null while observability is off
   std::vector<ExecContext> contexts_;  // one per engine worker
   EngineKind engine_kind_ = EngineKind::kSerial;

@@ -1,5 +1,6 @@
 #include "net/traffic.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -15,7 +16,9 @@ PingProbe::PingProbe(Network& net, int src_host, int dst_host,
       src_host_(src_host),
       dst_host_(dst_host),
       interval_s_(interval_s),
-      ident_(ident) {
+      ident_(ident),
+      sent_times_(kSeqRing, -1.0),
+      echoed_(kSeqRing, 1) {
   net_.host(src_host_).add_sink(
       [this](const p4rt::Packet& pkt, double now) {
         if (!pkt.icmp || pkt.icmp->type != 0 || pkt.icmp->ident != ident_) {
@@ -24,32 +27,35 @@ PingProbe::PingProbe(Network& net, int src_host, int dst_host,
         // Deduplicate by sequence number: the network may deliver the same
         // echo reply more than once (fault-injected duplication), and a
         // doubly-counted sample would both skew the RTT distribution and
-        // drive lost() negative.
-        const std::size_t seq = pkt.icmp->seq;
-        if (seq < sent_times_.size() && !echoed_[seq]) {
-          echoed_[seq] = true;
-          samples_.push_back({sent_times_[seq], now - sent_times_[seq]});
+        // drive lost() negative. The ring slot holds the most recent send
+        // with this wire sequence; a slot with a negative send time was
+        // never used.
+        const std::size_t slot = pkt.icmp->seq % kSeqRing;
+        if (sent_times_[slot] >= 0.0 && echoed_[slot] == 0) {
+          echoed_[slot] = 1;
+          samples_.push_back({sent_times_[slot], now - sent_times_[slot]});
         }
       });
 }
 
 void PingProbe::start(double t0, double duration_s) {
   deadline_ = t0 + duration_s;
-  net_.events().schedule_at(t0, [this] { send_next(); });
+  net_.events().schedule_tick_at(t0, this);
 }
 
-void PingProbe::send_next() {
-  const double now = net_.events().now();
+void PingProbe::tick(SimTime now) {
   if (now > deadline_) return;
-  p4rt::Packet p = p4rt::make_icmp_echo(net_.host(src_host_).ip(),
-                                        net_.host(dst_host_).ip(), ident_,
-                                        next_seq_);
-  sent_times_.push_back(now);
-  echoed_.push_back(false);
+  const std::size_t slot = static_cast<std::size_t>(next_seq_ % kSeqRing);
+  const PacketHandle h = net_.alloc_packet();
+  p4rt::make_icmp_echo_into(net_.packet(h), net_.host(src_host_).ip(),
+                            net_.host(dst_host_).ip(), ident_,
+                            static_cast<std::uint16_t>(slot));
+  sent_times_[slot] = now;
+  echoed_[slot] = 0;
   ++next_seq_;
   ++sent_;
-  net_.send_from_host(src_host_, std::move(p));
-  net_.events().schedule_in(interval_s_, [this] { send_next(); });
+  net_.send_pooled(src_host_, h);
+  net_.events().schedule_tick_in(interval_s_, this);
 }
 
 std::vector<double> PingProbe::rtts() const {
@@ -73,7 +79,7 @@ UdpFlood::UdpFlood(Network& net, int src_host, int dst_host,
       sport_(sport),
       dport_(dport) {
   // Both guards close real foot-guns: packet_bytes < 42 underflowed the
-  // payload computation in send_next (42 bytes of L2-L4 overhead), and a
+  // payload computation in tick (42 bytes of L2-L4 overhead), and a
   // non-positive rate produced a zero or negative send interval.
   if (packet_bytes < 42) {
     throw std::invalid_argument(
@@ -89,22 +95,22 @@ UdpFlood::UdpFlood(Network& net, int src_host, int dst_host,
 
 void UdpFlood::start(double t0, double duration_s) {
   deadline_ = t0 + duration_s;
-  net_.events().schedule_at(t0, [this] { send_next(); });
+  net_.events().schedule_tick_at(t0, this);
 }
 
-void UdpFlood::send_next() {
-  const double now = net_.events().now();
+void UdpFlood::tick(SimTime now) {
   if (now > deadline_) return;
   // Header bytes are accounted separately by the wire model; subtract the
   // typical 42-byte Ethernet+IP+UDP overhead from the payload request.
-  p4rt::Packet p = p4rt::make_udp(net_.host(src_host_).ip(),
-                                  net_.host(dst_host_).ip(), sport_, dport_,
-                                  packet_bytes_ - 42);
+  const PacketHandle h = net_.alloc_packet();
+  p4rt::make_udp_into(net_.packet(h), net_.host(src_host_).ip(),
+                      net_.host(dst_host_).ip(), sport_, dport_,
+                      packet_bytes_ - 42);
   ++sent_;
-  net_.send_from_host(src_host_, std::move(p));
+  net_.send_pooled(src_host_, h);
   const double wait =
       poisson_ ? rng_.exponential(interval_s_) : interval_s_;
-  net_.events().schedule_in(wait, [this] { send_next(); });
+  net_.events().schedule_tick_in(wait, this);
 }
 
 // ---------------------------------------------------------------------------
@@ -119,7 +125,7 @@ CampusReplay::CampusReplay(Network& net, int src_host, int dst_host,
       pps_(pps),
       rng_(seed) {
   // A fixed flow population; a Zipf-ish skew comes from quadratic index
-  // sampling in synthesize().
+  // sampling in synthesize_into().
   for (int i = 0; i < 512; ++i) {
     flows_.emplace_back(static_cast<std::uint16_t>(1024 + rng_.below(60000)),
                         static_cast<std::uint16_t>(rng_.chance(0.7)
@@ -128,7 +134,7 @@ CampusReplay::CampusReplay(Network& net, int src_host, int dst_host,
   }
 }
 
-p4rt::Packet CampusReplay::synthesize() {
+void CampusReplay::synthesize_into(p4rt::Packet& p) {
   // Skewed flow choice: squaring a uniform sample favours low indices.
   const double u = rng_.uniform();
   const auto idx = static_cast<std::size_t>(u * u *
@@ -141,24 +147,27 @@ p4rt::Packet CampusReplay::synthesize() {
   const bool tcp = rng_.chance(0.85);
   const std::uint32_t src = net_.host(src_host_).ip();
   const std::uint32_t dst = net_.host(dst_host_).ip();
-  return tcp ? p4rt::make_tcp(src, dst, sport, dport, size)
-             : p4rt::make_udp(src, dst, sport, dport, size);
+  if (tcp) {
+    p4rt::make_tcp_into(p, src, dst, sport, dport, size);
+  } else {
+    p4rt::make_udp_into(p, src, dst, sport, dport, size);
+  }
 }
 
 void CampusReplay::start(double t0, double duration_s) {
   deadline_ = t0 + duration_s;
-  net_.events().schedule_at(t0, [this] { send_next(); });
+  net_.events().schedule_tick_at(t0, this);
 }
 
-void CampusReplay::send_next() {
-  const double now = net_.events().now();
+void CampusReplay::tick(SimTime now) {
   if (now > deadline_) return;
-  p4rt::Packet p = synthesize();
+  const PacketHandle h = net_.alloc_packet();
+  p4rt::Packet& p = net_.packet(h);
+  synthesize_into(p);
   bytes_ += static_cast<std::uint64_t>(p.base_wire_bytes());
   ++sent_;
-  net_.send_from_host(src_host_, std::move(p));
-  net_.events().schedule_in(rng_.exponential(1.0 / pps_),
-                            [this] { send_next(); });
+  net_.send_pooled(src_host_, h);
+  net_.events().schedule_tick_in(rng_.exponential(1.0 / pps_), this);
 }
 
 }  // namespace hydra::net

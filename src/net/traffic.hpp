@@ -4,6 +4,11 @@
 //   * CampusReplay  — synthetic stand-in for the paper's anonymized campus
 //                     trace (350 Kpps): a heavy-tailed mix of TCP/UDP flows
 //                     with empirical packet sizes.
+//
+// All three are TickTargets: steady-state generation reschedules the
+// generator itself (no per-send closure) and builds packets in place in
+// the network's pool (no per-send Packet temporaries), so a warmed-up run
+// allocates nothing on the hot path.
 #pragma once
 
 #include <cstdint>
@@ -22,20 +27,30 @@ struct RttSample {
 
 // Sends ICMP echo requests from `src_host` to `dst_host` every `interval_s`
 // and records RTTs via the destination's automatic echo responder.
-class PingProbe {
+//
+// The ICMP sequence field is 16 bits, so a long fast-ping run wraps it:
+// send/echo state lives in a 65536-slot ring indexed by the wire sequence
+// number, and `next_seq_` counts the full (unwrapped) send sequence. A
+// slot's send time is overwritten 65536 pings later — far beyond any
+// plausible in-flight RTT.
+class PingProbe : public TickTarget {
  public:
   PingProbe(Network& net, int src_host, int dst_host, double interval_s,
             std::uint16_t ident = 1);
 
   void start(double t0, double duration_s);
+  void tick(SimTime now) override;
 
   const std::vector<RttSample>& samples() const { return samples_; }
   std::vector<double> rtts() const;
-  int sent() const { return sent_; }
-  int lost() const { return sent_ - static_cast<int>(samples_.size()); }
+  std::uint64_t sent() const { return sent_; }
+  std::int64_t lost() const {
+    return static_cast<std::int64_t>(sent_) -
+           static_cast<std::int64_t>(samples_.size());
+  }
 
  private:
-  void send_next();
+  static constexpr std::size_t kSeqRing = 65536;  // one slot per wire seq
 
   Network& net_;
   int src_host_;
@@ -43,16 +58,16 @@ class PingProbe {
   double interval_s_;
   std::uint16_t ident_;
   double deadline_ = 0.0;
-  int sent_ = 0;
-  std::uint16_t next_seq_ = 0;
-  std::vector<double> sent_times_;
-  std::vector<bool> echoed_;  // seq -> reply already sampled (dedup)
+  std::uint64_t sent_ = 0;
+  std::uint64_t next_seq_ = 0;  // unwrapped; wire seq is next_seq_ % 65536
+  std::vector<double> sent_times_;   // ring: wire seq -> send time (<0 unused)
+  std::vector<std::uint8_t> echoed_; // ring: reply already sampled (dedup)
   std::vector<RttSample> samples_;
 };
 
 // UDP flow between two hosts: constant bit rate by default, or Poisson
 // arrivals at the same mean rate (set_poisson) for realistic queueing.
-class UdpFlood {
+class UdpFlood : public TickTarget {
  public:
   UdpFlood(Network& net, int src_host, int dst_host, double rate_gbps,
            int packet_bytes = 1400, std::uint16_t sport = 5001,
@@ -65,11 +80,10 @@ class UdpFlood {
   }
 
   void start(double t0, double duration_s);
+  void tick(SimTime now) override;
   std::uint64_t packets_sent() const { return sent_; }
 
  private:
-  void send_next();
-
   Network& net_;
   int src_host_;
   int dst_host_;
@@ -87,18 +101,18 @@ class UdpFlood {
 // from a heavy-tailed population, bimodal packet sizes (~60% small ACK-ish,
 // ~40% MTU-ish), ~85% TCP / 15% UDP — the observable mix of a campus
 // uplink, replayed towards one leaf as in Figure 13.
-class CampusReplay {
+class CampusReplay : public TickTarget {
  public:
   CampusReplay(Network& net, int src_host, int dst_host, double pps,
                std::uint64_t seed = 42);
 
   void start(double t0, double duration_s);
+  void tick(SimTime now) override;
   std::uint64_t packets_sent() const { return sent_; }
   std::uint64_t bytes_sent() const { return bytes_; }
 
  private:
-  void send_next();
-  p4rt::Packet synthesize();
+  void synthesize_into(p4rt::Packet& p);
 
   Network& net_;
   int src_host_;

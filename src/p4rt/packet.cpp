@@ -55,6 +55,50 @@ const TeleFrame* Packet::frame(int checker) const {
   return nullptr;
 }
 
+void Packet::reuse() {
+  id = 0;
+  created_at = 0.0;
+  hops = 0;
+  eth = EthernetH{};
+  vlan.reset();
+  sr_stack.clear();
+  has_sr = false;
+  ipv4.reset();
+  l4.reset();
+  icmp.reset();
+  gtpu.reset();
+  inner_ipv4.reset();
+  inner_l4.reset();
+  payload_bytes = 0;
+  retire_frames();
+  fwd_drop = false;
+}
+
+TeleFrame& Packet::add_frame(int checker) {
+  for (auto& f : tele) {
+    if (!f.live()) {
+      f.checker = checker;
+      return f;
+    }
+  }
+  tele.emplace_back();
+  tele.back().checker = checker;
+  return tele.back();
+}
+
+void Packet::retire_frames() {
+  for (auto& f : tele) {
+    if (f.live()) f.retire();
+  }
+}
+
+bool Packet::has_live_tele() const {
+  for (const auto& f : tele) {
+    if (f.live()) return true;
+  }
+  return false;
+}
+
 int Packet::base_wire_bytes() const {
   int bytes = EthernetH::kBytes;
   if (vlan) bytes += VlanH::kBytes;
@@ -125,12 +169,66 @@ Packet gtpu_encap(const Packet& inner, std::uint32_t outer_src,
 
 Packet gtpu_decap(const Packet& outer) {
   Packet p = outer;
-  p.ipv4 = outer.inner_ipv4;
-  p.l4 = outer.inner_l4;
+  gtpu_decap_inplace(p);
+  return p;
+}
+
+void gtpu_encap_inplace(Packet& p, std::uint32_t outer_src,
+                        std::uint32_t outer_dst, std::uint32_t teid) {
+  p.inner_ipv4 = p.ipv4;
+  p.inner_l4 = p.l4;
+  p.ipv4 = Ipv4H{outer_src, outer_dst, kProtoUdp, 64, 0};
+  p.l4 = L4H{kGtpuPort, kGtpuPort};
+  p.gtpu = GtpuH{teid};
+}
+
+void gtpu_decap_inplace(Packet& p) {
+  p.ipv4 = p.inner_ipv4;
+  p.l4 = p.inner_l4;
   p.gtpu.reset();
   p.inner_ipv4.reset();
   p.inner_l4.reset();
-  return p;
+}
+
+void make_udp_into(Packet& p, std::uint32_t src_ip, std::uint32_t dst_ip,
+                   std::uint16_t sport, std::uint16_t dport,
+                   int payload_bytes) {
+  p.reuse();
+  p.ipv4 = Ipv4H{src_ip, dst_ip, kProtoUdp, 64, 0};
+  p.l4 = L4H{sport, dport};
+  p.payload_bytes = payload_bytes;
+}
+
+void make_tcp_into(Packet& p, std::uint32_t src_ip, std::uint32_t dst_ip,
+                   std::uint16_t sport, std::uint16_t dport,
+                   int payload_bytes) {
+  p.reuse();
+  p.ipv4 = Ipv4H{src_ip, dst_ip, kProtoTcp, 64, 0};
+  p.l4 = L4H{sport, dport};
+  p.payload_bytes = payload_bytes;
+}
+
+void make_icmp_echo_into(Packet& p, std::uint32_t src_ip,
+                         std::uint32_t dst_ip, std::uint16_t ident,
+                         std::uint16_t seq) {
+  p.reuse();
+  p.ipv4 = Ipv4H{src_ip, dst_ip, kProtoIcmp, 64, 0};
+  p.icmp = IcmpH{8, ident, seq};
+  p.payload_bytes = 56;  // standard ping payload
+}
+
+void make_gtpu_udp_into(Packet& p, std::uint32_t outer_src,
+                        std::uint32_t outer_dst, std::uint32_t teid,
+                        std::uint32_t inner_src, std::uint32_t inner_dst,
+                        std::uint16_t sport, std::uint16_t dport,
+                        int payload_bytes) {
+  p.reuse();
+  p.inner_ipv4 = Ipv4H{inner_src, inner_dst, kProtoUdp, 64, 0};
+  p.inner_l4 = L4H{sport, dport};
+  p.ipv4 = Ipv4H{outer_src, outer_dst, kProtoUdp, 64, 0};
+  p.l4 = L4H{kGtpuPort, kGtpuPort};
+  p.gtpu = GtpuH{teid};
+  p.payload_bytes = payload_bytes;
 }
 
 }  // namespace hydra::p4rt

@@ -85,6 +85,20 @@ struct TeleFrame {
   // are suppressed — zeroed registers would otherwise raise false
   // violations. Metadata only; conceptually one reserved header bit.
   bool cold = false;
+
+  // A frame with checker < 0 is RETIRED: its slot (and the capacity of
+  // `values`/`wire`) stays in the packet for reuse, but it is not live on
+  // the wire — frame lookups, wire sizing, and corruption all skip it.
+  // Pooled packets retire frames instead of erasing them so the per-hop
+  // telemetry path stays allocation-free (see Packet::retire_frames).
+  bool live() const { return checker >= 0; }
+  void retire() {
+    checker = -1;
+    values.clear();  // keeps capacity
+    wire.clear();
+    damaged = false;
+    cold = false;
+  }
 };
 
 // Flow identity parsed from a packet's headers, preferring the inner
@@ -133,6 +147,23 @@ struct Packet {
   TeleFrame* frame(int checker);
   const TeleFrame* frame(int checker) const;
 
+  // ---- pooling support (util::Arena<Packet>) -----------------------------
+  // Pooled packets are default-constructed once and recycled; these reset a
+  // recycled slot without surrendering any internal buffer capacity.
+
+  // Back to the default-constructed observable state; tele frames are
+  // retired in place (capacity kept), sr_stack/wire cleared not shrunk.
+  void reuse();
+  // First retired tele slot re-armed for `checker` (appends only when no
+  // retired slot exists — steady state after the first circulation never
+  // appends). Returns the live frame.
+  TeleFrame& add_frame(int checker);
+  // Retires every live frame (the last-hop telemetry strip).
+  void retire_frames();
+  // Any live telemetry aboard? Replaces `!tele.empty()` checks now that
+  // retired slots linger in `tele`.
+  bool has_live_tele() const;
+
   // Total wire size, telemetry included.
   int wire_bytes(const std::vector<int>& tele_bytes_per_checker = {}) const;
   // Wire size given explicit per-frame telemetry byte counts is used by
@@ -153,5 +184,29 @@ Packet make_icmp_echo(std::uint32_t src_ip, std::uint32_t dst_ip,
 Packet gtpu_encap(const Packet& inner, std::uint32_t outer_src,
                   std::uint32_t outer_dst, std::uint32_t teid);
 Packet gtpu_decap(const Packet& outer);
+// In-place encap/decap: same header transforms as the by-value pair but
+// mutating `p` directly — no Packet copy (and thus no vector allocations
+// for its telemetry frames) on the UPF hot path.
+void gtpu_encap_inplace(Packet& p, std::uint32_t outer_src,
+                        std::uint32_t outer_dst, std::uint32_t teid);
+void gtpu_decap_inplace(Packet& p);
+
+// In-place builders for pooled slots: Packet::reuse() + the same header
+// setup as the by-value builders, no temporary Packet.
+void make_udp_into(Packet& p, std::uint32_t src_ip, std::uint32_t dst_ip,
+                   std::uint16_t sport, std::uint16_t dport,
+                   int payload_bytes);
+void make_tcp_into(Packet& p, std::uint32_t src_ip, std::uint32_t dst_ip,
+                   std::uint16_t sport, std::uint16_t dport,
+                   int payload_bytes);
+void make_icmp_echo_into(Packet& p, std::uint32_t src_ip,
+                         std::uint32_t dst_ip, std::uint16_t ident,
+                         std::uint16_t seq);
+// In-place GTP-U uplink build: UDP inner headers + tunnel in one pass.
+void make_gtpu_udp_into(Packet& p, std::uint32_t outer_src,
+                        std::uint32_t outer_dst, std::uint32_t teid,
+                        std::uint32_t inner_src, std::uint32_t inner_dst,
+                        std::uint16_t sport, std::uint16_t dport,
+                        int payload_bytes);
 
 }  // namespace hydra::p4rt

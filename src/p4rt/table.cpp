@@ -101,9 +101,58 @@ bool Table::pattern_equal(MatchKind kind, const KeyPattern& a,
 }
 
 int Table::remove_if_key_equals(const std::vector<KeyPattern>& patterns) {
+  if (patterns.size() != key_spec_.size()) return 0;
+  if (dup_pinned_ == 0 && !key_spec_.empty()) {
+    bool all_pinned = true;
+    std::vector<std::uint64_t> flat(patterns.size(), 0);
+    for (std::size_t i = 0; all_pinned && i < patterns.size(); ++i) {
+      const FieldClass c = classify_field(patterns[i], key_spec_[i]);
+      all_pinned = c.pins_single_key;
+      flat[i] = c.bits;
+    }
+    // Fully-pinned query: it can only pattern_equal a fully-pinned entry
+    // (an unpinned entry field has a different mask / real range / partial
+    // prefix), and with no duplicate pinned keys that entry — if any — is
+    // exactly the one exact_ maps the flattened bits to. O(1).
+    if (all_pinned) {
+      const auto it = exact_.find(flat);
+      if (it == exact_.end()) return 0;
+      remove_entry(it->second);
+      return 1;
+    }
+    // Field-0-pinned query on an LPM-free table: every candidate shares
+    // the unpinned shape, so it lives in the field-0 residue bucket — scan
+    // just that bucket (re-found per removal: remove_entry reindexes the
+    // swapped-in entry, which may reshuffle bucket vectors).
+    const FieldClass c0 = classify_field(patterns[0], key_spec_[0]);
+    if (lpm_field_ < 0 && c0.pins_single_key) {
+      int removed = 0;
+      for (bool again = true; again;) {
+        again = false;
+        const auto bit = residue_buckets_.find(c0.bits);
+        if (bit == residue_buckets_.end()) break;
+        for (const std::uint32_t idx : bit->second) {
+          bool same = true;
+          const TableEntry& e = entries_[idx];
+          for (std::size_t i = 0; same && i < patterns.size(); ++i) {
+            same = pattern_equal(key_spec_[i].kind, e.patterns[i],
+                                 patterns[i]);
+          }
+          if (same) {
+            remove_entry(idx);
+            ++removed;
+            again = true;
+            break;
+          }
+        }
+      }
+      return removed;
+    }
+  }
+  // Reference path: scan, erase, rebuild.
   int removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    bool same = it->patterns.size() == patterns.size();
+    bool same = true;
     for (std::size_t i = 0; same && i < patterns.size(); ++i) {
       same = pattern_equal(key_spec_[i].kind, it->patterns[i], patterns[i]);
     }
@@ -125,7 +174,9 @@ void Table::clear() {
   entries_.clear();
   exact_.clear();
   lpm_.clear();
-  residue_.clear();
+  residue_buckets_.clear();
+  residue_any_.clear();
+  dup_pinned_ = 0;
   invalidate_cache();
 }
 
@@ -240,26 +291,94 @@ void Table::index_entry(std::uint32_t idx) {
 
   if (all_pinned) {
     auto [it, fresh] = exact_.emplace(std::move(flat), idx);
-    if (!fresh && better(idx, it->second)) it->second = idx;
+    if (!fresh) {
+      ++dup_pinned_;
+      if (better(idx, it->second)) it->second = idx;
+    }
     return;
   }
   if (lpm_prefix >= 0) {
     auto [it, fresh] = lpm_[lpm_prefix].emplace(std::move(flat), idx);
-    if (!fresh && better(idx, it->second)) it->second = idx;
+    if (!fresh) {
+      ++dup_pinned_;
+      if (better(idx, it->second)) it->second = idx;
+    }
     return;
   }
-  // Residue stays sorted by (priority desc, insertion order asc) so the
-  // scan can stop as soon as the best hit dominates the remainder.
+  // Residue vectors stay sorted by (priority desc, index asc) so the scan
+  // can stop as soon as the best hit dominates the remainder.
+  const FieldClass c0 = classify_field(e.patterns[0], key_spec_[0]);
+  std::vector<std::uint32_t>& vec =
+      c0.pins_single_key ? residue_buckets_[c0.bits] : residue_any_;
   const auto pos = std::upper_bound(
-      residue_.begin(), residue_.end(), idx,
+      vec.begin(), vec.end(), idx,
       [this](std::uint32_t a, std::uint32_t b) { return better(a, b); });
-  residue_.insert(pos, idx);
+  vec.insert(pos, idx);
+}
+
+void Table::unindex_entry(std::uint32_t idx) {
+  const TableEntry& e = entries_[idx];
+  bool all_pinned = true;
+  int lpm_prefix = -1;
+  std::vector<std::uint64_t> flat(e.patterns.size(), 0);
+  for (std::size_t i = 0; i < e.patterns.size(); ++i) {
+    const FieldClass c = classify_field(e.patterns[i], key_spec_[i]);
+    flat[i] = c.bits;
+    if (c.pins_single_key) continue;
+    all_pinned = false;
+    if (c.lpm_general && static_cast<int>(i) == lpm_field_ &&
+        lpm_prefix == -1) {
+      lpm_prefix = c.prefix;
+    } else {
+      lpm_prefix = -2;
+    }
+  }
+  if (all_pinned) {
+    exact_.erase(flat);
+    return;
+  }
+  if (lpm_prefix >= 0) {
+    const auto it = lpm_.find(lpm_prefix);
+    if (it != lpm_.end()) {
+      it->second.erase(flat);
+      if (it->second.empty()) lpm_.erase(it);
+    }
+    return;
+  }
+  const FieldClass c0 = classify_field(e.patterns[0], key_spec_[0]);
+  if (c0.pins_single_key) {
+    const auto bit = residue_buckets_.find(c0.bits);
+    if (bit == residue_buckets_.end()) return;
+    std::vector<std::uint32_t>& vec = bit->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), idx), vec.end());
+    if (vec.empty()) residue_buckets_.erase(bit);
+    return;
+  }
+  residue_any_.erase(
+      std::remove(residue_any_.begin(), residue_any_.end(), idx),
+      residue_any_.end());
+}
+
+void Table::remove_entry(std::uint32_t idx) {
+  unindex_entry(idx);
+  const auto last = static_cast<std::uint32_t>(entries_.size() - 1);
+  if (idx != last) {
+    unindex_entry(last);
+    entries_[idx] = std::move(entries_[last]);
+    entries_.pop_back();
+    index_entry(idx);
+  } else {
+    entries_.pop_back();
+  }
+  invalidate_cache();
 }
 
 void Table::rebuild_index() {
   exact_.clear();
   lpm_.clear();
-  residue_.clear();
+  residue_buckets_.clear();
+  residue_any_.clear();
+  dup_pinned_ = 0;
   for (std::uint32_t i = 0; i < entries_.size(); ++i) index_entry(i);
 }
 
@@ -288,6 +407,9 @@ std::int64_t Table::probe_index(const std::vector<BitVec>& key,
                                 const std::vector<std::uint64_t>& raw,
                                 std::vector<std::uint64_t>& flat) const {
   std::int64_t best = -1;
+  // Bucket key for the field-0 residue split, captured before the LPM
+  // probe loop below mutates flat[lpm_field_] (which may be field 0).
+  const std::uint64_t bucket_key = flat.empty() ? 0 : flat[0];
   if (!exact_.empty()) {
     const auto it = exact_.find(flat);
     if (it != exact_.end()) best = it->second;
@@ -304,9 +426,26 @@ std::int64_t Table::probe_index(const std::vector<BitVec>& key,
       }
     }
   }
-  for (const std::uint32_t idx : residue_) {
+  // Residue: merge the field-0 bucket for this key with the unbucketed
+  // entries, in better() order, stopping once the best hit so far
+  // dominates both heads. A field-0-pinned entry can only match a key
+  // whose flattened field-0 bits equal its own, so scanning one bucket
+  // covers every bucketed candidate.
+  const std::vector<std::uint32_t>* bucket = nullptr;
+  if (!residue_buckets_.empty()) {
+    const auto it = residue_buckets_.find(bucket_key);
+    if (it != residue_buckets_.end()) bucket = &it->second;
+  }
+  std::size_t bi = 0;
+  std::size_t ai = 0;
+  const std::size_t bn = bucket != nullptr ? bucket->size() : 0;
+  while (bi < bn || ai < residue_any_.size()) {
+    const bool take_bucket =
+        bi < bn && (ai >= residue_any_.size() ||
+                    better((*bucket)[bi], residue_any_[ai]));
+    const std::uint32_t idx = take_bucket ? (*bucket)[bi] : residue_any_[ai];
     if (best >= 0 && !could_beat(idx, static_cast<std::uint32_t>(best))) {
-      break;  // sorted residue: nothing later can win either
+      break;  // sorted vectors: nothing later can win either
     }
     const TableEntry& e = entries_[idx];
     bool hit = true;
@@ -314,8 +453,13 @@ std::int64_t Table::probe_index(const std::vector<BitVec>& key,
       hit = matches(e.patterns[i], key_spec_[i].kind, key[i]);
     }
     if (hit) {
-      best = idx;  // first residue match dominates the rest of the residue
+      best = idx;  // first match in merge order dominates the rest
       break;
+    }
+    if (take_bucket) {
+      ++bi;
+    } else {
+      ++ai;
     }
   }
   return best;

@@ -100,6 +100,15 @@ class Table {
   // Removes all entries whose patterns match `patterns` on the fields the
   // table's match kinds actually consult (exact: value; ternary/lpm:
   // mask and masked value; range: bounds). Returns count.
+  //
+  // When every query field pins a single key value and the table has never
+  // seen a duplicate pinned entry, this is O(1): one hash probe plus a
+  // swap-with-last removal and local reindex (the million-session churn
+  // path). Otherwise it falls back to the reference scan + full index
+  // rebuild. NOTE the swap reorders storage, so equal-priority ties among
+  // surviving entries follow the post-removal storage order — consistent
+  // between lookup() and lookup_linear_reference(), which both key ties on
+  // storage order.
   int remove_if_key_equals(const std::vector<KeyPattern>& patterns);
   void clear();
   std::size_t size() const { return entries_.size(); }
@@ -176,6 +185,12 @@ class Table {
   bool better(std::uint32_t a, std::uint32_t b) const;
   bool could_beat(std::uint32_t a, std::uint32_t b) const;
   void index_entry(std::uint32_t idx);
+  // Removes entry `idx` from whichever index structure holds it. Only
+  // valid while dup_pinned_ == 0 (each pinned key maps to one entry).
+  void unindex_entry(std::uint32_t idx);
+  // Swap-with-last removal: unindexes `idx`, moves the last entry into its
+  // slot, and reindexes the moved entry under its new index.
+  void remove_entry(std::uint32_t idx);
   void rebuild_index();
   void invalidate_cache() const { cache_state_ = CacheState::kInvalid; }
   // Flattens `key` into `raw` (raw values, for the cache) and `flat`
@@ -198,12 +213,25 @@ class Table {
   std::vector<BitVec> default_data_;
   TableMetrics metrics_;  // detached unless observability is wired
 
-  // ---- index (maintained by insert; rebuilt after removal) --------------
+  // ---- index (maintained by insert and removal) -------------------------
   int lpm_field_ = -1;  // position of the table's single LPM field, or -1
   FlatMap exact_;
   // prefix length -> hash map over (pinned fields ++ masked LPM field).
   std::map<int, FlatMap, std::greater<int>> lpm_;
-  std::vector<std::uint32_t> residue_;  // sorted: priority desc, index asc
+  // Residue entries, bucketed by their FIRST field when it pins a single
+  // key value (the shape the Aether policy/application tables take: exact
+  // slice or UE ip up front, partial ternary behind it). A probe only
+  // scans the bucket for its own field-0 bits, merged in better() order
+  // with residue_any_ — entries whose field 0 does not pin. Each vector is
+  // sorted (priority desc, index asc) so the scan keeps its early exit.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+      residue_buckets_;
+  std::vector<std::uint32_t> residue_any_;
+  // Times a pinned insert collided with an already-indexed pinned entry
+  // (duplicate key). Sticky until rebuild_index()/clear(): while nonzero,
+  // the hash maps under-describe the duplicates, so removal falls back to
+  // the reference scan + rebuild.
+  std::uint64_t dup_pinned_ = 0;
 
   // ---- per-lookup scratch + last-hit cache (single-threaded sim) --------
   enum class CacheState { kInvalid, kValid };

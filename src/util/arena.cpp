@@ -1,0 +1,23 @@
+#include "util/arena.hpp"
+
+#include <atomic>
+
+namespace hydra::util {
+
+namespace {
+// Relaxed is enough: the counter is read for before/after deltas on the
+// main thread; slab growth itself is main-thread-only.
+std::atomic<std::uint64_t> g_arena_allocations{0};
+}  // namespace
+
+std::uint64_t arena_allocations() {
+  return g_arena_allocations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void note_arena_allocation(std::uint64_t n) {
+  g_arena_allocations.fetch_add(n, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+}  // namespace hydra::util

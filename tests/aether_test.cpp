@@ -224,6 +224,50 @@ TEST(Aether, CheckerRejectsWronglyForwardedDeniedTraffic) {
   EXPECT_EQ(tb.net.reports().back().values[4].value(), 1u);  // intended deny
 }
 
+// PFCP teardown in reverse of the sharing optimization: a detach removes
+// the client's sessions/terminations/policy but a shared Applications
+// entry survives until its LAST referencing client detaches.
+TEST(Aether, DetachReleasesSharedEntriesByRefcount) {
+  Testbed tb;
+  tb.controller.attach_client(1, {123450001, Testbed::kUe1, 1001}, tb.enb_ip,
+                              tb.n3_ip);
+  tb.controller.attach_client(1, {123450002, Testbed::kUe2, 1002}, tb.enb_ip,
+                              tb.n3_ip);
+  const auto shared_apps = tb.upf->application_entries();
+  EXPECT_EQ(tb.controller.attached_count(), 2u);
+
+  ASSERT_TRUE(tb.controller.detach_client(123450001));
+  EXPECT_EQ(tb.controller.attached_count(), 1u);
+  // Client 2 still references the shared entries; nothing was uninstalled.
+  EXPECT_EQ(tb.upf->application_entries(), shared_apps);
+  // Client 1's tunnel is gone: its uplink now session-misses.
+  const auto misses = tb.upf->session_miss_drops();
+  tb.send_uplink(Testbed::kUe1, 1001, 81);
+  EXPECT_EQ(tb.upf->session_miss_drops(), misses + 1);
+  EXPECT_EQ(tb.delivered(), 0u);
+  // Client 2 is untouched.
+  tb.send_uplink(Testbed::kUe2, 1002, 81);
+  EXPECT_EQ(tb.delivered(), 1u);
+  EXPECT_TRUE(tb.net.reports().empty());
+
+  // Last reference gone: the shared entries are uninstalled too.
+  ASSERT_TRUE(tb.controller.detach_client(123450002));
+  EXPECT_EQ(tb.upf->application_entries(), 0u);
+  EXPECT_EQ(tb.controller.attached_count(), 0u);
+  // Idempotence + unknown imsi.
+  EXPECT_FALSE(tb.controller.detach_client(123450002));
+  EXPECT_FALSE(tb.controller.detach_client(999));
+
+  // Re-attach reuses the imsi -> client-id binding and fresh entries work.
+  const auto cid = tb.controller.client_id(123450001);
+  tb.controller.attach_client(1, {123450001, Testbed::kUe1, 1001}, tb.enb_ip,
+                              tb.n3_ip);
+  EXPECT_EQ(tb.controller.client_id(123450001), cid);
+  tb.send_uplink(Testbed::kUe1, 1001, 81);
+  EXPECT_EQ(tb.delivered(), 2u);
+  EXPECT_TRUE(tb.net.reports().empty());
+}
+
 TEST(Aether, UnknownSliceThrows) {
   Testbed tb;
   EXPECT_THROW(tb.controller.attach_client(9, {1, 2, 3}, 0, 0),

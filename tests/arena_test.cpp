@@ -1,0 +1,179 @@
+// Arena storage contract tests (DESIGN.md "Arena storage"):
+//   - handles stay valid (and object contents intact) across slab growth;
+//   - the freelist reuses slots LIFO, with deterministic fresh-slab order;
+//   - reset() is an epoch boundary: slots recycle, slabs are retained;
+//   - the audit counter proves an in-capacity steady state allocates no
+//     slabs;
+//   - recycled objects keep their internal buffers (the allocation-free
+//     steady-state mechanism);
+// plus two network-level regressions that ride on the arena rework:
+//   - typed tick events are observationally identical to the closure path
+//     they replaced;
+//   - PingProbe survives 16-bit ICMP sequence wraparound.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "forwarding/ipv4_ecmp.hpp"
+#include "hydra/hydra.hpp"
+#include "net/network.hpp"
+#include "net/traffic.hpp"
+#include "util/arena.hpp"
+
+namespace hydra {
+namespace {
+
+TEST(Arena, HandlesAndPointersSurviveSlabGrowth) {
+  util::Arena<std::string> a(4);
+  std::vector<util::Arena<std::string>::Handle> handles;
+  std::vector<std::string*> ptrs;
+  for (int i = 0; i < 4; ++i) {
+    const auto h = a.alloc();
+    a.get(h) = "slab0-" + std::to_string(i);
+    handles.push_back(h);
+    ptrs.push_back(&a.get(h));
+  }
+  // Force many slab growths.
+  for (int i = 0; i < 100; ++i) a.alloc();
+  EXPECT_GE(a.capacity(), 104u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(&a.get(handles[static_cast<std::size_t>(i)]),
+              ptrs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(a.get(handles[static_cast<std::size_t>(i)]),
+              "slab0-" + std::to_string(i));
+  }
+}
+
+TEST(Arena, FreshSlabAllocatesLowIndicesFirstAndFreelistIsLifo) {
+  util::Arena<int> a(8);
+  EXPECT_EQ(a.alloc(), 0u);
+  EXPECT_EQ(a.alloc(), 1u);
+  const auto h2 = a.alloc();
+  EXPECT_EQ(h2, 2u);
+  a.free(1u);
+  a.free(h2);
+  // LIFO: the most recently freed slot comes back first.
+  EXPECT_EQ(a.alloc(), 2u);
+  EXPECT_EQ(a.alloc(), 1u);
+  EXPECT_EQ(a.alloc(), 3u);
+  EXPECT_EQ(a.live(), 4u);
+}
+
+TEST(Arena, ResetRecyclesSlotsWithoutReleasingSlabs) {
+  util::Arena<int> a(4);
+  for (int i = 0; i < 10; ++i) a.alloc();  // three slabs
+  const std::size_t cap = a.capacity();
+  EXPECT_EQ(cap, 12u);
+  const std::uint64_t slabs_before = util::arena_allocations();
+  a.reset();
+  EXPECT_EQ(a.live(), 0u);
+  EXPECT_EQ(a.capacity(), cap);
+  // Post-reset allocation order restarts at slab 0, slot 0.
+  EXPECT_EQ(a.alloc(), 0u);
+  EXPECT_EQ(a.alloc(), 1u);
+  // reset() and in-capacity allocs grew nothing.
+  EXPECT_EQ(util::arena_allocations(), slabs_before);
+}
+
+TEST(Arena, AuditCounterFlatInSteadyStateBumpedByGrowth) {
+  util::Arena<int> a(16);
+  a.alloc();  // first slab
+  const std::uint64_t before = util::arena_allocations();
+  // Churn within capacity: alloc/free cycles never grow a slab.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<util::Arena<int>::Handle> hs;
+    for (int i = 0; i < 15; ++i) hs.push_back(a.alloc());
+    for (const auto h : hs) a.free(h);
+  }
+  EXPECT_EQ(util::arena_allocations(), before);
+  for (int i = 0; i < 16; ++i) a.alloc();  // spills into a second slab
+  EXPECT_EQ(util::arena_allocations(), before + 1);
+}
+
+TEST(Arena, RecycledObjectsKeepTheirBuffers) {
+  util::Arena<std::vector<int>> a(2);
+  const auto h = a.alloc();
+  a.get(h).assign(1000, 7);
+  const std::size_t cap = a.get(h).capacity();
+  a.get(h).clear();  // caller-side reuse protocol (cf. Packet::reuse)
+  a.free(h);
+  const auto h2 = a.alloc();
+  ASSERT_EQ(h2, h);  // LIFO hands the slot straight back
+  EXPECT_TRUE(a.get(h2).empty());
+  EXPECT_GE(a.get(h2).capacity(), cap);
+}
+
+// The typed kTick/pooled-send path must be observationally identical to
+// the per-send closure path it replaced: same packets at the same times
+// through the same fabric give byte-identical counters and metrics.
+TEST(ArenaEventPath, TypedTickMatchesClosureScheduling) {
+  struct Result {
+    std::uint64_t injected, delivered;
+    std::string metrics;
+  };
+  const auto run = [](bool typed) {
+    auto fabric = net::make_leaf_spine(2, 2, 2);
+    net::Network net(fabric.topo);
+    fwd::install_leaf_spine_routing(net, fabric);
+    net.set_observability(true);
+    const int src = fabric.hosts[0][0];
+    const int dst = fabric.hosts[1][1];
+    const double rate_gbps = 0.4;
+    const int bytes = 1400;
+    const double dur = 5e-4;
+    if (typed) {
+      net::UdpFlood flood(net, src, dst, rate_gbps, bytes, 5001, 5201);
+      flood.start(0.0, dur);
+      net.events().run();
+    } else {
+      // The pre-arena idiom: a self-rescheduling closure building a
+      // Packet temporary per send.
+      const double interval =
+          1.0 / (rate_gbps * 1e9 / (static_cast<double>(bytes) * 8.0));
+      const double deadline = dur;
+      const std::uint32_t sip = net.host(src).ip();
+      const std::uint32_t dip = net.host(dst).ip();
+      std::function<void()> send = [&] {
+        if (net.events().now() > deadline) return;
+        net.send_from_host(src,
+                           p4rt::make_udp(sip, dip, 5001, 5201, bytes - 42));
+        net.events().schedule_in(interval, send);
+      };
+      net.events().schedule_at(0.0, send);
+      net.events().run();
+    }
+    return Result{net.counters().injected, net.counters().delivered,
+                  net.metrics_json()};
+  };
+  const Result closure = run(false);
+  const Result tick = run(true);
+  EXPECT_GT(closure.injected, 0u);
+  EXPECT_EQ(closure.injected, tick.injected);
+  EXPECT_EQ(closure.delivered, tick.delivered);
+  EXPECT_EQ(closure.metrics, tick.metrics);
+}
+
+// Regression: the probe's ICMP sequence is 16-bit on the wire. The seed
+// implementation indexed unbounded per-seq vectors with the wrapped
+// value, so ping 65536 aliased ping 0 and every later RTT sample was
+// misattributed or dropped. The ring must keep samples exact far past the
+// wrap.
+TEST(PingProbeWrap, SurvivesSequenceWraparound) {
+  auto fabric = net::make_leaf_spine(2, 2, 2);
+  net::Network net(fabric.topo);
+  fwd::install_leaf_spine_routing(net, fabric);
+  net::PingProbe probe(net, fabric.hosts[0][0], fabric.hosts[1][0], 1e-6);
+  probe.start(0.0, 0.07);  // ~70001 pings > 65536
+  net.events().run();
+  EXPECT_GT(probe.sent(), 65536u);
+  EXPECT_EQ(probe.lost(), 0);
+  ASSERT_EQ(probe.samples().size(), probe.sent());
+  for (const auto& s : probe.samples()) {
+    EXPECT_GT(s.rtt, 0.0);
+    EXPECT_LT(s.rtt, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace hydra

@@ -8,7 +8,11 @@
 #include <sstream>
 #include <string>
 
+#include "aether/churn.hpp"
+#include "aether/controller.hpp"
+#include "aether/slice.hpp"
 #include "forwarding/ipv4_ecmp.hpp"
+#include "forwarding/upf.hpp"
 #include "hydra/apps.hpp"
 #include "hydra/hydra.hpp"
 #include "net/engine.hpp"
@@ -395,6 +399,45 @@ TEST(EngineDifferential, StreamingExportByteIdenticalAcrossEngines) {
     net.events().run();
 
     EXPECT_GT(net.export_scheduler_ptr()->captured(), 10u);
+    return snapshot(net);
+  });
+}
+
+// Aether session churn: the generator attaches/detaches subscribers and
+// streams GTP-U uplinks from tick(), mutating UPF and checker tables
+// mid-run. Registering as a control loop degrades the parallel engine to
+// serial per-event windows, so every observation — including the final
+// table state after incremental removals — must stay byte-identical at
+// any worker count.
+TEST(EngineDifferential, AetherSessionChurnDeterministicAcrossEngines) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(2, 2, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    auto upf = std::make_shared<fwd::UpfProgram>(routing);
+    net.set_program(fabric.leaves[0], upf);
+    const int dep =
+        net.deploy(compile_library_checker("application_filtering"));
+    net.set_observability(true);
+
+    aether::AetherController ctl(net, upf, dep);
+    ctl.define_slice(aether::example_camera_slice(1));
+
+    aether::SessionChurnGenerator::Config gc;
+    gc.sessions = 200;
+    gc.churn_per_s = 20000.0;
+    gc.packets_per_s = 200000.0;
+    gc.enb_host = fabric.hosts[0][0];
+    gc.enb_ip = net.topo().node(fabric.hosts[0][0]).ip;
+    gc.n3_ip = 0x0a0001fe;
+    gc.app_ip = net.topo().node(fabric.hosts[1][0]).ip;
+    gc.seed = 99;
+    aether::SessionChurnGenerator gen(net, ctl, gc);
+    gen.set_latency_sampling(false);
+    gen.prefill();
+    gen.start(0.0, 2e-3);
+    net.events().run();
     return snapshot(net);
   });
 }

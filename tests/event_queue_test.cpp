@@ -18,7 +18,8 @@
 namespace hydra {
 namespace {
 
-p4rt::Packet pkt() { return p4rt::make_udp(0x0a000001, 0x0a000002, 1, 2, 64); }
+// The queue never dereferences packet handles, so any value works here.
+net::PacketHandle pkt() { return net::PacketHandle{42}; }
 
 TEST(EventQueue, PopWindowOnEmptyQueue) {
   net::EventQueue q;
@@ -59,9 +60,9 @@ TEST(EventQueue, PopWindowAlwaysIncludesT0Group) {
   ASSERT_EQ(out.size(), 3u);
   for (const auto& item : out) EXPECT_DOUBLE_EQ(item.t, 5.0);
   // Stable (t, seq): scheduling order within the group.
-  EXPECT_FALSE(out[0].is_switch_work);
-  EXPECT_TRUE(out[1].is_switch_work);
-  EXPECT_FALSE(out[2].is_switch_work);
+  EXPECT_FALSE(out[0].is_switch_work());
+  EXPECT_TRUE(out[1].is_switch_work());
+  EXPECT_FALSE(out[2].is_switch_work());
   EXPECT_EQ(q.pending(), 1u);
 }
 
@@ -88,11 +89,11 @@ TEST(EventQueue, SplitHeapsMergeInScheduleOrder) {
   std::vector<net::EventQueue::Item> out;
   q.pop_window(10.0, 2.0, out);
   ASSERT_EQ(out.size(), 4u);
-  EXPECT_FALSE(out[0].is_switch_work);
-  EXPECT_TRUE(out[1].is_switch_work);
+  EXPECT_FALSE(out[0].is_switch_work());
+  EXPECT_TRUE(out[1].is_switch_work());
   EXPECT_EQ(out[1].work.sw, 3);
-  EXPECT_FALSE(out[2].is_switch_work);
-  EXPECT_TRUE(out[3].is_switch_work);
+  EXPECT_FALSE(out[2].is_switch_work());
+  EXPECT_TRUE(out[3].is_switch_work());
   EXPECT_EQ(out[3].work.sw, 7);
   for (std::size_t i = 1; i < out.size(); ++i) {
     EXPECT_LT(out[i - 1].seq, out[i].seq);

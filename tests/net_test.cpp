@@ -272,7 +272,7 @@ TEST(HydraPipeline, TelemetryInjectedAndStripped) {
   configure_valley_free(f.net, dep, f.fabric);
   bool host_saw_telemetry = false;
   f.net.host(f.h(1, 0)).add_sink([&](const p4rt::Packet& p, double) {
-    host_saw_telemetry = host_saw_telemetry || !p.tele.empty();
+    host_saw_telemetry = host_saw_telemetry || p.has_live_tele();
   });
   f.net.send_from_host(f.h(0, 0),
                        p4rt::make_udp(f.ip(f.h(0, 0)), f.ip(f.h(1, 0)),

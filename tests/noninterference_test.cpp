@@ -60,7 +60,7 @@ struct World {
           o.dport = p.l4 ? p.l4->dport : 0;
           o.ttl = p.ipv4 ? p.ipv4->ttl : 0;
           o.payload = p.payload_bytes;
-          o.has_telemetry = !p.tele.empty();
+          o.has_telemetry = p.has_live_tele();
           delivered.push_back(o);
         });
       }
