@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -9,6 +10,21 @@
 #include "p4rt/tele_codec.hpp"
 
 namespace hydra::net {
+
+namespace {
+
+obs::TopKFlow to_topk_flow(const p4rt::FlowId& f) {
+  obs::TopKFlow t;
+  t.parsed = f.parsed;
+  t.src_ip = f.src_ip;
+  t.dst_ip = f.dst_ip;
+  t.src_port = f.src_port;
+  t.dst_port = f.dst_port;
+  t.proto = f.proto;
+  return t;
+}
+
+}  // namespace
 
 Network::Network(Topology topo) : topo_(std::move(topo)) {
   for (const auto& l : topo_.links()) links_.emplace_back(l);
@@ -475,6 +491,9 @@ void Network::node_receive(int node, int port, PacketHandle ph) {
     p4rt::Packet& pkt = packet(ph);
     ++counters_.delivered;
     if (obs_ != nullptr) {
+      if (obs_->live != nullptr) {
+        obs_->live->topk->on_delivered(to_topk_flow(p4rt::flow_of(pkt)));
+      }
       obs_->delivered_hops.observe(pkt.hops);
       // Detached (one branch) unless streaming export armed the handle.
       obs_->delivered_latency.observe(events_.now() - pkt.created_at);
@@ -507,6 +526,7 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
   res.last_hop = false;
   res.fwd_drop = false;
   res.rejected = false;
+  res.rejected_deps = 0;
   res.traced = false;
   res.reports.clear();
   res.hop = obs::TraceHop{};
@@ -655,6 +675,7 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
         res.reject_reason = reason;
         pd.decode_rejects.inc();
         rejected = true;
+        if (di < 64) res.rejected_deps |= 1ULL << di;
         if (forensic) {
           pd.prov.clear();
           pd.out.reject = true;
@@ -725,7 +746,10 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
         }
       }
     }
-    if (out.reject) pd.rejects.inc();
+    if (out.reject) {
+      pd.rejects.inc();
+      if (di < 64) res.rejected_deps |= 1ULL << di;
+    }
     pd.reports.inc(out.reports.size());
     if (forensic) {
       record_hop_forensics(pd, di, pkt, hctx, t, &decision, out,
@@ -783,7 +807,12 @@ void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
       (res.rejected || !res.reports.empty())) {
     build_violation(work, res, t);
   }
-  for (auto& rec : res.reports) emit_report(std::move(rec));
+  for (auto& rec : res.reports) {
+    if (obs_ != nullptr && obs_->live != nullptr) {
+      obs_->live->topk->on_report(to_topk_flow(rec.flow), rec.deployment);
+    }
+    emit_report(std::move(rec));
+  }
   if (res.traced) {
     if (obs::PacketTrace* tr = obs_->traces.active(pkt.id)) {
       tr->hops.push_back(std::move(res.hop));
@@ -805,6 +834,10 @@ void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
   if (res.rejected) {
     ++counters_.rejected;
     if (obs_ != nullptr) {
+      if (obs_->live != nullptr) {
+        obs_->live->topk->on_rejected(to_topk_flow(p4rt::flow_of(pkt)),
+                                      res.rejected_deps);
+      }
       obs_->switches[static_cast<std::size_t>(sw)].rejected.inc();
       if (obs_->traces.tracing()) {
         obs_->traces.finish(pkt.id, obs::PacketFate::kRejected,
@@ -1142,7 +1175,9 @@ void Network::set_export_callback(obs::ExportScheduler::TickCallback cb) {
 
 std::string Network::export_prometheus() {
   collect_metrics();  // throws while observability is off; absorbs shards
-  return obs::to_prometheus(obs_->registry);
+  std::vector<obs::PromFamily> extra;
+  if (obs_->live != nullptr) obs_->live->topk->prom_families(extra);
+  return obs::to_prometheus(obs_->registry, extra);
 }
 
 std::string Network::window_series_json() const {
@@ -1151,6 +1186,266 @@ std::string Network::window_series_json() const {
         "streaming export is off; call set_export_interval first");
   }
   return obs_->exporter->series_json();
+}
+
+// ---- live observability plane ---------------------------------------------
+
+void Network::arm_live_obs(const LiveObsOptions& opts) {
+  if (!events_.empty()) {
+    throw std::logic_error("arm_live_obs: event queue must be idle");
+  }
+  if (obs_ == nullptr || obs_->exporter == nullptr) {
+    throw std::logic_error(
+        "arm_live_obs: streaming export must be armed first "
+        "(set_export_interval)");
+  }
+  auto live = std::make_unique<ObsState::LiveObs>();
+  live->opts = opts;
+  obs::TopKConfig cfg;
+  cfg.k = opts.topk_k;
+  cfg.session_net = opts.session_net;
+  cfg.session_mask = opts.session_mask;
+  std::vector<std::string> props;
+  props.reserve(deployments_.size());
+  for (const auto& d : deployments_) props.push_back(d.checker->name);
+  live->topk = std::make_unique<obs::TopKAttribution>(cfg, std::move(props));
+  obs_->live = std::move(live);
+}
+
+void Network::disarm_live_obs() {
+  if (obs_ != nullptr) obs_->live.reset();
+}
+
+void Network::set_live_publisher(obs::SnapshotPublisher* publisher) {
+  if (obs_ == nullptr || obs_->live == nullptr) {
+    throw std::logic_error(
+        "set_live_publisher: live obs is off; call arm_live_obs first");
+  }
+  obs_->live->publisher = publisher;
+}
+
+const obs::HealthVerdict& Network::last_health() const {
+  if (obs_ == nullptr || obs_->live == nullptr) {
+    throw std::logic_error("last_health: live obs is off");
+  }
+  return obs_->live->health;
+}
+
+std::string Network::topk_json() const {
+  if (obs_ == nullptr || obs_->live == nullptr) {
+    throw std::logic_error("topk_json: live obs is off");
+  }
+  return obs_->live->topk->to_json();
+}
+
+void Network::update_live_after_tick() {
+  ObsState::LiveObs& live = *obs_->live;
+  const obs::ExportScheduler& sched = *obs_->exporter;
+  live.health = obs::evaluate_health(sched.windows(), sched.latency_bounds(),
+                                     live.opts.health);
+  // Gauges registered here (not at arm time) keep export-only runs
+  // byte-identical to pre-live releases; values are tick-committed state,
+  // so they are identical across engines.
+  obs::Registry& reg = obs_->registry;
+  reg.gauge("health.status", "hydra_health_status", {})
+      .set(static_cast<double>(static_cast<int>(live.health.status)));
+  reg.gauge("health.reject_rate", "hydra_health_reject_rate", {})
+      .set(live.health.reject_rate);
+  reg.gauge("health.latency_p99_s", "hydra_health_latency_p99_seconds", {})
+      .set(live.health.latency_p99_s);
+  reg.gauge("health.fault_drop_rate", "hydra_health_fault_drop_rate", {})
+      .set(live.health.fault_drop_rate);
+  reg.gauge("health.cold_suppression_rate",
+            "hydra_health_cold_suppression_rate", {})
+      .set(live.health.cold_suppression_rate);
+  if (live.publisher == nullptr) return;
+
+  obs::LiveSnapshot snap;
+  snap.tick_index = sched.captured();
+  snap.sim_time = events_.now();
+  collect_metrics();
+  std::vector<obs::PromFamily> extra;
+  live.topk->prom_families(extra);
+  snap.metrics_text = obs::to_prometheus(reg, extra);
+  snap.series_json = sched.series_json();
+  snap.health_json = live.health.to_json();
+  snap.violations_json = violation_reports_json();
+  snap.topk_json = live.topk->to_json();
+  snap.snapshot_text = obs_snapshot();
+  live.publisher->publish(std::move(snap));
+}
+
+// ---- obs snapshot/restore -------------------------------------------------
+
+std::string Network::obs_snapshot() {
+  if (obs_ == nullptr) {
+    throw std::logic_error("obs_snapshot: observability is off");
+  }
+  using obs::detail::format_double;
+  absorb_shard_metrics();
+  std::string out = "hydra-obs-snapshot v1\n";
+  out += "sim injected " + std::to_string(counters_.injected) + "\n";
+  out += "sim delivered " + std::to_string(counters_.delivered) + "\n";
+  out += "sim rejected " + std::to_string(counters_.rejected) + "\n";
+  out += "sim fwd_dropped " + std::to_string(counters_.fwd_dropped) + "\n";
+  out += "sim queue_dropped " + std::to_string(counters_.queue_dropped) + "\n";
+  out += "sim fault_dropped " + std::to_string(counters_.fault_dropped) + "\n";
+  out += obs_->registry.snapshot_text();
+  if (obs_->exporter != nullptr) {
+    const obs::ExportScheduler& sched = *obs_->exporter;
+    out += "series " + std::to_string(sched.captured()) + "\n";
+    for (const obs::WindowSample& w : sched.windows()) {
+      const obs::ExportCumulative& d = w.delta;
+      out += "window " + std::to_string(w.index) + " " +
+             format_double(w.t0) + " " + format_double(w.t1) + " " +
+             std::to_string(d.injected) + " " + std::to_string(d.delivered) +
+             " " + std::to_string(d.rejected) + " " +
+             std::to_string(d.fwd_dropped) + " " +
+             std::to_string(d.queue_dropped) + " " +
+             std::to_string(d.fault_dropped) + " " +
+             std::to_string(d.reports) + " " +
+             std::to_string(d.decode_rejects) + " " +
+             std::to_string(d.cold_suppressed) + " " + format_double(w.pps) +
+             " " + format_double(w.rejects_per_s) + "\n";
+      out += "wlat " + std::to_string(d.latency_count) + " " +
+             format_double(d.latency_sum) + " " + format_double(w.latency_p50) +
+             " " + format_double(w.latency_p90) + " " +
+             format_double(w.latency_p99) + " " +
+             std::to_string(d.latency_buckets.size());
+      for (std::uint64_t b : d.latency_buckets) out += " " + std::to_string(b);
+      out += "\n";
+      for (const auto& p : d.properties) {
+        out += "wprop " + p.name + " " + std::to_string(p.rejects) + " " +
+               std::to_string(p.reports) + " " + std::to_string(p.check_runs) +
+               " " + std::to_string(p.tele_runs) + "\n";
+      }
+    }
+  }
+  if (obs_->live != nullptr) out += obs_->live->topk->snapshot_text();
+  out += "end\n";
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_snapshot(const std::string& line) {
+  throw std::invalid_argument("obs_restore: malformed snapshot line '" + line +
+                              "'");
+}
+
+}  // namespace
+
+void Network::obs_restore(const std::string& text) {
+  if (!events_.empty()) {
+    throw std::logic_error("obs_restore: event queue must be idle");
+  }
+  if (obs_ == nullptr) {
+    throw std::logic_error(
+        "obs_restore: arm observability (and export/live obs, if wanted) "
+        "before restoring");
+  }
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "hydra-obs-snapshot v1") {
+    throw std::invalid_argument("obs_restore: unrecognized snapshot header");
+  }
+  std::deque<obs::WindowSample> windows;
+  std::uint64_t captured = 0;
+  bool have_series = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "end") {
+      saw_end = true;
+      break;
+    }
+    if (kw == "sim") {
+      std::string which;
+      std::uint64_t v = 0;
+      ls >> which >> v;
+      if (ls.fail()) bad_snapshot(line);
+      if (which == "injected") counters_.injected += v;
+      else if (which == "delivered") counters_.delivered += v;
+      else if (which == "rejected") counters_.rejected += v;
+      else if (which == "fwd_dropped") counters_.fwd_dropped += v;
+      else if (which == "queue_dropped") counters_.queue_dropped += v;
+      else if (which == "fault_dropped") counters_.fault_dropped += v;
+      else bad_snapshot(line);
+    } else if (kw == "counter") {
+      std::string name;
+      std::uint64_t v = 0;
+      ls >> name >> v;
+      if (ls.fail()) bad_snapshot(line);
+      obs_->registry.restore_counter(name, v);
+    } else if (kw == "hist") {
+      std::string name;
+      std::uint64_t count = 0;
+      double sum = 0.0;
+      std::size_t n = 0;
+      ls >> name >> count >> sum >> n;
+      if (ls.fail()) bad_snapshot(line);
+      std::vector<std::uint64_t> buckets(n, 0);
+      for (std::size_t i = 0; i < n; ++i) ls >> buckets[i];
+      if (ls.fail()) bad_snapshot(line);
+      obs_->registry.restore_histogram(name, count, sum, buckets);
+    } else if (kw == "series") {
+      ls >> captured;
+      if (ls.fail()) bad_snapshot(line);
+      have_series = true;
+    } else if (kw == "window") {
+      obs::WindowSample w;
+      obs::ExportCumulative& d = w.delta;
+      ls >> w.index >> w.t0 >> w.t1 >> d.injected >> d.delivered >>
+          d.rejected >> d.fwd_dropped >> d.queue_dropped >> d.fault_dropped >>
+          d.reports >> d.decode_rejects >> d.cold_suppressed >> w.pps >>
+          w.rejects_per_s;
+      if (ls.fail()) bad_snapshot(line);
+      windows.push_back(std::move(w));
+    } else if (kw == "wlat") {
+      if (windows.empty()) bad_snapshot(line);
+      obs::WindowSample& w = windows.back();
+      std::size_t n = 0;
+      ls >> w.delta.latency_count >> w.delta.latency_sum >> w.latency_p50 >>
+          w.latency_p90 >> w.latency_p99 >> n;
+      if (ls.fail()) bad_snapshot(line);
+      w.delta.latency_buckets.assign(n, 0);
+      for (std::size_t i = 0; i < n; ++i) ls >> w.delta.latency_buckets[i];
+      if (ls.fail()) bad_snapshot(line);
+    } else if (kw == "wprop") {
+      if (windows.empty()) bad_snapshot(line);
+      obs::ExportCumulative::Property p;
+      ls >> p.name >> p.rejects >> p.reports >> p.check_runs >> p.tele_runs;
+      if (ls.fail()) bad_snapshot(line);
+      windows.back().delta.properties.push_back(std::move(p));
+    } else if (kw == "topk" || kw == "tke") {
+      // Sketch state is only meaningful with live obs re-armed; otherwise
+      // the lines are structural no-ops.
+      if (obs_->live != nullptr) obs_->live->topk->restore_line(line);
+    } else {
+      bad_snapshot(line);
+    }
+  }
+  if (!saw_end) {
+    throw std::invalid_argument("obs_restore: truncated snapshot");
+  }
+  if (obs_->exporter != nullptr) {
+    // Re-anchor deltas at the restored totals (the arm-time baseline was
+    // taken before the restore folded the old counts in), then reinstate
+    // the captured ring; the tick clock stays in this process's fresh
+    // virtual-time domain.
+    obs_->exporter->rebaseline(export_cumulative());
+    if (have_series) {
+      obs_->exporter->restore_series(captured, std::move(windows));
+    }
+    if (obs_->live != nullptr) {
+      obs_->live->health = obs::evaluate_health(
+          obs_->exporter->windows(), obs_->exporter->latency_bounds(),
+          obs_->live->opts.health);
+    }
+  }
 }
 
 obs::ExportCumulative Network::export_cumulative() const {
@@ -1190,6 +1485,14 @@ obs::ExportCumulative Network::export_cumulative() const {
   // Total reports raised, from the monotone per-property counters
   // (reports() itself can be cleared mid-run, which would break deltas).
   for (const auto& p : cum.properties) cum.reports += p.reports;
+  // Burn-rate inputs for health evaluation, from the same deduped
+  // per-property names so shared-checker deployments count once.
+  for (const auto& p : cum.properties) {
+    cum.decode_rejects +=
+        reg.counter_value("checker." + p.name + ".tele_decode_rejects");
+    cum.cold_suppressed +=
+        reg.counter_value("checker." + p.name + ".cold_suppressed");
+  }
   if (const obs::HistogramData* h = obs_->delivered_latency.data()) {
     cum.latency_buckets = h->buckets;
     cum.latency_count = h->count;
@@ -1206,6 +1509,7 @@ void Network::export_tick_until(SimTime t) {
     // after the merge the registry totals equal the serial ones.
     absorb_shard_metrics();
     sched->tick(export_cumulative());
+    if (obs_->live != nullptr) update_live_after_tick();
   }
 }
 

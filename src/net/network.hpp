@@ -53,7 +53,10 @@
 #include "net/topology.hpp"
 #include "obs/exporter.hpp"
 #include "obs/forensics.hpp"
+#include "obs/health.hpp"
+#include "obs/httpd.hpp"
 #include "obs/metrics.hpp"
+#include "obs/topk.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "p4rt/interp.hpp"
@@ -87,6 +90,10 @@ struct HopResult {
   bool last_hop = false;
   bool fwd_drop = false;
   bool rejected = false;
+  // Bit d set for each deployment whose checker (or fail-closed telemetry
+  // decode) rejected this hop; feeds per-property top-K attribution on the
+  // commit path. Deployments >= 64 reject without attribution.
+  std::uint64_t rejected_deps = 0;
   bool traced = false;
   std::vector<ReportRecord> reports;
   obs::TraceHop hop;  // filled only when traced
@@ -409,6 +416,58 @@ class Network {
   // disarmed.
   std::string window_series_json() const;
 
+  // ---- live observability plane -----------------------------------------
+  // Arms top-K attribution + health evaluation on top of the streaming
+  // exporter (which must already be armed): delivered packets, checker
+  // rejects, and reports feed deterministic Space-Saving sketches on the
+  // commit path, and every export tick re-evaluates the SLO verdict and
+  // sets the `health.*` gauges. With a publisher attached
+  // (set_live_publisher), every tick additionally renders an immutable
+  // LiveSnapshot — Prometheus text, series/health/violations/topk JSON,
+  // and the obs state snapshot — and swaps it into the publisher for the
+  // HTTP plane; bodies for a given tick index are byte-identical across
+  // engines and worker counts. Must be called while the event queue is
+  // idle. Off means free: the commit path holds one null check.
+  struct LiveObsOptions {
+    std::size_t topk_k = 8;
+    // Subscriber (UE) block identifying PFCP sessions; mask 0 disables
+    // session attribution.
+    std::uint32_t session_net = 0;
+    std::uint32_t session_mask = 0;
+    obs::HealthThresholds health;
+  };
+  void arm_live_obs(const LiveObsOptions& opts);
+  void disarm_live_obs();
+  bool live_obs_armed() const {
+    return obs_ != nullptr && obs_->live != nullptr;
+  }
+  // Borrowed, not owned; nullptr detaches. Throws while live obs is off.
+  void set_live_publisher(obs::SnapshotPublisher* publisher);
+  // Null while live obs is off.
+  obs::TopKAttribution* topk_ptr() {
+    return obs_ != nullptr && obs_->live != nullptr ? obs_->live->topk.get()
+                                                    : nullptr;
+  }
+  // Verdict from the most recent export tick; throws while live obs is
+  // off.
+  const obs::HealthVerdict& last_health() const;
+  std::string health_json() const { return last_health().to_json(); }
+  std::string topk_json() const;
+
+  // ---- obs snapshot/restore ---------------------------------------------
+  // Deterministic line-oriented serialization of the observability state:
+  // simulation counters, registry counters + histograms, the captured
+  // window ring, and (when live obs is armed) the top-K sketches. A
+  // restarted process that rebuilds the same scenario, arms the same
+  // obs/export/live configuration, and calls obs_restore BEFORE running
+  // traffic resumes every exported counter monotonically. Throws
+  // std::logic_error while observability is off.
+  std::string obs_snapshot();
+  // Additive restore (values fold into current state); throws
+  // std::invalid_argument on a malformed or version-mismatched snapshot.
+  // Must be called while the event queue is idle.
+  void obs_restore(const std::string& text);
+
   // ---- engine-facing API (internal to net/engine.cpp and tests) --------
   // Side-effect-confined per-hop pipeline execution; see the execution
   // engine contract at the top of this header. `t` is the event's
@@ -506,6 +565,15 @@ class Network {
     // releases.
     std::unique_ptr<obs::ExportScheduler> exporter;
     obs::Histogram delivered_latency;
+    // Live observability plane (null unless arm_live_obs). The publisher
+    // is borrowed from the daemon/test that owns the HTTP server.
+    struct LiveObs {
+      LiveObsOptions opts;
+      std::unique_ptr<obs::TopKAttribution> topk;
+      obs::HealthVerdict health;
+      obs::SnapshotPublisher* publisher = nullptr;  // not owned
+    };
+    std::unique_ptr<LiveObs> live;
   };
 
   // Rebuilds per-worker execution contexts for the current engine and
@@ -550,6 +618,13 @@ class Network {
   // registry reads + delivered-latency histogram). Callers must have
   // absorbed shard metrics first.
   obs::ExportCumulative export_cumulative() const;
+
+  // Per-export-tick live plane maintenance (live obs armed only):
+  // re-evaluates health, refreshes the health.* gauges, and — with a
+  // publisher attached — renders and publishes the tick's LiveSnapshot.
+  // Runs on the commit path with workers quiesced and shard metrics
+  // absorbed.
+  void update_live_after_tick();
 
   void node_receive(int node, int port, PacketHandle pkt);
   void emit_report(ReportRecord record);

@@ -72,7 +72,12 @@ std::string braced(const std::string& body) {
 
 }  // namespace
 
-std::string to_prometheus(const Registry& reg) {
+namespace {
+
+// Renders every registry family into its own text block, keyed by family
+// name; concatenating the (sorted) map values reproduces the classic
+// single-argument exposition byte for byte.
+std::map<std::string, std::string> registry_family_blocks(const Registry& reg) {
   struct Sample {
     std::string body;
     std::uint64_t counter = 0;
@@ -98,12 +103,12 @@ std::string to_prometheus(const Registry& reg) {
     it->second.second.push_back(std::move(s));
   });
 
-  std::string out;
+  std::map<std::string, std::string> blocks;
   for (auto& [fam, entry] : families) {
     auto& [kind, samples] = entry;
     std::sort(samples.begin(), samples.end(),
               [](const Sample& a, const Sample& b) { return a.body < b.body; });
-    out += "# TYPE " + fam + " " + kind_name(kind) + "\n";
+    std::string out = "# TYPE " + fam + " " + kind_name(kind) + "\n";
     for (const Sample& s : samples) {
       switch (kind) {
         case MetricKind::kCounter:
@@ -132,15 +137,54 @@ std::string to_prometheus(const Registry& reg) {
         }
       }
     }
+    blocks.emplace(fam, std::move(out));
   }
+  return blocks;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& reg) {
+  return to_prometheus(reg, {});
+}
+
+std::string to_prometheus(const Registry& reg,
+                          const std::vector<PromFamily>& extra) {
+  std::map<std::string, std::string> blocks = registry_family_blocks(reg);
+  for (const PromFamily& f : extra) {
+    if (f.samples.empty()) continue;
+    std::vector<const PromFamily::Sample*> sorted;
+    sorted.reserve(f.samples.size());
+    for (const auto& s : f.samples) sorted.push_back(&s);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PromFamily::Sample* a, const PromFamily::Sample* b) {
+                return a->label_body < b->label_body;
+              });
+    std::string out = "# TYPE " + f.name + " " + kind_name(f.kind) + "\n";
+    for (const PromFamily::Sample* s : sorted) {
+      out += f.name + braced(s->label_body) + " " + s->value + "\n";
+    }
+    auto [it, fresh] = blocks.emplace(f.name, std::move(out));
+    if (!fresh) {
+      throw std::invalid_argument("to_prometheus: extra family '" + f.name +
+                                  "' collides with a registry family");
+    }
+  }
+  std::string out;
+  for (const auto& [fam, block] : blocks) out += block;
   return out;
 }
 
 double histogram_quantile(double q, const std::vector<double>& bounds,
                           const std::vector<std::uint64_t>& buckets) {
+  // Quiet-interval hardening: a window with no observations (or no bucket
+  // layout yet) must read as 0, never NaN/Inf, and a hostile q must not
+  // walk off either end of the distribution.
+  if (!(q >= 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
   std::uint64_t total = 0;
   for (std::uint64_t b : buckets) total += b;
-  if (total == 0 || bounds.empty()) return 0.0;
+  if (total == 0 || bounds.empty() || buckets.empty()) return 0.0;
   const double rank = q * static_cast<double>(total);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
@@ -207,6 +251,8 @@ void ExportScheduler::tick(const ExportCumulative& cum) {
   w.delta.queue_dropped = cum.queue_dropped - prev_.queue_dropped;
   w.delta.fault_dropped = cum.fault_dropped - prev_.fault_dropped;
   w.delta.reports = cum.reports - prev_.reports;
+  w.delta.decode_rejects = cum.decode_rejects - prev_.decode_rejects;
+  w.delta.cold_suppressed = cum.cold_suppressed - prev_.cold_suppressed;
   w.delta.properties.reserve(cum.properties.size());
   for (const auto& p : cum.properties) {
     ExportCumulative::Property d;
@@ -254,6 +300,13 @@ void ExportScheduler::rebaseline(const ExportCumulative& cum) {
   captured_ = 0;
 }
 
+void ExportScheduler::restore_series(std::uint64_t captured,
+                                     std::deque<WindowSample> windows) {
+  while (windows.size() > ring_capacity_) windows.pop_front();
+  ring_ = std::move(windows);
+  captured_ = captured;
+}
+
 std::string ExportScheduler::series_json() const {
   std::string out = "{\n";
   out += "  \"interval_s\": " + format_double(interval_) + ",\n";
@@ -274,6 +327,8 @@ std::string ExportScheduler::series_json() const {
            ", \"queue_dropped\": " + std::to_string(w.delta.queue_dropped) +
            ", \"fault_dropped\": " + std::to_string(w.delta.fault_dropped) +
            ", \"reports\": " + std::to_string(w.delta.reports) +
+           ", \"decode_rejects\": " + std::to_string(w.delta.decode_rejects) +
+           ", \"cold_suppressed\": " + std::to_string(w.delta.cold_suppressed) +
            ", \"pps\": " + format_double(w.pps) +
            ", \"rejects_per_s\": " + format_double(w.rejects_per_s) + ",\n";
     out += "     \"latency\": {\"count\": " +

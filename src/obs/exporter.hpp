@@ -47,12 +47,40 @@ std::string prom_family_from_name(const std::string& name, MetricKind kind);
 // sorted, histogram buckets cumulative and terminated by `+Inf`, plus the
 // `_sum` / `_count` series. Throws std::invalid_argument if two metrics of
 // different kinds map to the same family.
+//
+// The exposition ends with exactly one trailing newline and is what HTTP
+// consumers must receive under `Content-Type: text/plain; version=0.0.4`
+// (the Prometheus text-format identifier served by obs::HttpServer and
+// written verbatim by hydrastat/hydrascope --prom).
 std::string to_prometheus(const Registry& reg);
+
+// A pre-rendered exposition family merged into to_prometheus output by
+// the overload below. Used for values that live outside the Registry
+// (e.g. top-K sketch entries, whose label sets churn as keys are
+// evicted). Samples are emitted in sorted label-body order; an empty
+// sample list suppresses the family entirely.
+struct PromFamily {
+  struct Sample {
+    std::string label_body;  // `k1="v1",k2="v2"` — keys sorted, no braces
+    std::string value;       // pre-formatted number
+  };
+  std::string name;
+  MetricKind kind = MetricKind::kGauge;
+  std::vector<Sample> samples;
+};
+
+// to_prometheus with extra synthesized families interleaved in sorted
+// order with the registry-derived ones. Throws std::invalid_argument if an
+// extra family collides with a registry family name.
+std::string to_prometheus(const Registry& reg,
+                          const std::vector<PromFamily>& extra);
 
 // Prometheus-style interpolated quantile over non-cumulative bucket counts
 // (`buckets.size() == bounds.size() + 1`, last bucket is overflow).
-// Returns 0 when the histogram is empty; values that land in the overflow
-// bucket clamp to the highest finite bound.
+// Quiet/degenerate inputs never produce NaN or Inf: an empty or all-zero
+// bucket window, missing bounds, or a non-finite `q` all return 0, and `q`
+// clamps to [0, 1]. Values that land in the overflow bucket clamp to the
+// highest finite bound.
 double histogram_quantile(double q, const std::vector<double>& bounds,
                           const std::vector<std::uint64_t>& buckets);
 
@@ -66,6 +94,11 @@ struct ExportCumulative {
   std::uint64_t queue_dropped = 0;
   std::uint64_t fault_dropped = 0;
   std::uint64_t reports = 0;
+  // Telemetry damaged in flight and rejected fail-closed, and reports
+  // suppressed by checker cold-start — the burn-rate inputs for health
+  // evaluation (summed across deployments).
+  std::uint64_t decode_rejects = 0;
+  std::uint64_t cold_suppressed = 0;
   // Per-property attribution, sorted by property name.
   struct Property {
     std::string name;
@@ -128,6 +161,12 @@ class ExportScheduler {
   // Re-anchors the delta baseline at `cum` and drops captured windows;
   // used when the underlying metrics are reset mid-run.
   void rebaseline(const ExportCumulative& cum);
+
+  // Reinstates a snapshotted ring: sets the capture count and retained
+  // windows, leaving the tick clock (`ticks_`, `first_tick_`) alone so a
+  // restarted process schedules boundaries in its own fresh time domain
+  // while window indices continue monotonically from the snapshot.
+  void restore_series(std::uint64_t captured, std::deque<WindowSample> windows);
 
   // Deterministic JSON: interval, capture count, and the retained windows
   // (oldest first) with per-property attribution.

@@ -175,6 +175,51 @@ void Registry::absorb_counters(Registry& src) {
   }
 }
 
+std::string Registry::snapshot_text() const {
+  std::string out;
+  for (const auto& [name, m] : by_name_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += "counter " + name + " " +
+               std::to_string(
+                   counters_[m.slot].load(std::memory_order_relaxed)) +
+               "\n";
+        break;
+      case Kind::kGauge:
+        break;  // recomputed after restart
+      case Kind::kHistogram: {
+        const HistogramData& h = histograms_[m.slot];
+        out += "hist " + name + " " + std::to_string(h.count) + " " +
+               format_double(h.sum) + " " + std::to_string(h.buckets.size());
+        for (std::uint64_t b : h.buckets) out += " " + std::to_string(b);
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::restore_counter(const std::string& name, std::uint64_t v) {
+  counters_[require(name, Kind::kCounter).slot].fetch_add(
+      v, std::memory_order_relaxed);
+}
+
+void Registry::restore_histogram(const std::string& name, std::uint64_t count,
+                                 double sum,
+                                 const std::vector<std::uint64_t>& buckets) {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != Kind::kHistogram) return;
+  HistogramData& h = histograms_[it->second.slot];
+  if (h.buckets.size() != buckets.size()) {
+    throw std::invalid_argument("restore_histogram: '" + name +
+                                "' bucket layout changed since snapshot");
+  }
+  for (std::size_t i = 0; i < buckets.size(); ++i) h.buckets[i] += buckets[i];
+  h.count += count;
+  h.sum += sum;
+}
+
 void Registry::reset() {
   for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
   for (auto& g : gauges_) g = 0.0;

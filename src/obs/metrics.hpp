@@ -147,6 +147,23 @@ class Registry {
   // Zeroes every value but keeps all registrations (handles stay valid).
   void reset();
 
+  // ---- snapshot/restore (obs persistence) -------------------------------
+  // Deterministic line-oriented dump of every counter and histogram, names
+  // sorted: `counter <name> <value>` / `hist <name> <count> <sum> <n>
+  // <bucket>...`. Gauges are derived levels and are recomputed after a
+  // restart, so they are not persisted.
+  std::string snapshot_text() const;
+  // Adds `v` into `name`'s slot, registering a plain counter if absent
+  // (Prometheus identity attaches when the owning component re-registers
+  // it). Additive, so restoring on top of freshly re-registered metrics
+  // resumes the pre-restart totals.
+  void restore_counter(const std::string& name, std::uint64_t v);
+  // Bucket-wise add into an EXISTING histogram (the bounds live with the
+  // registration, not the snapshot); unknown names are ignored and a
+  // bucket-count mismatch throws std::invalid_argument.
+  void restore_histogram(const std::string& name, std::uint64_t count,
+                         double sum, const std::vector<std::uint64_t>& buckets);
+
   // Folds every metric held by `src` into the same-named metric here
   // (registering it if absent), then zeroes `src`. The merge primitive for
   // shard-local accumulator registries: workers record into a private

@@ -18,6 +18,7 @@
 #include "net/engine.hpp"
 #include "net/network.hpp"
 #include "net/traffic.hpp"
+#include "obs/httpd.hpp"
 
 namespace hydra {
 namespace {
@@ -33,6 +34,8 @@ struct Snapshot {
   std::string faults;     // FaultStats JSON when a fault plan is armed
   std::string prom;       // Prometheus exposition when export is armed
   std::string series;     // windowed series JSON when export is armed
+  std::string live_metrics;  // per-tick published /metrics bodies (live plane)
+  std::string live_series;   // per-tick published /series bodies (live plane)
 };
 
 std::string dump_counters(const net::Network::Counters& c) {
@@ -117,6 +120,8 @@ void expect_identical(const Snapshot& a, const Snapshot& b,
   EXPECT_EQ(a.faults, b.faults) << label;
   EXPECT_EQ(a.prom, b.prom) << label;
   EXPECT_EQ(a.series, b.series) << label;
+  EXPECT_EQ(a.live_metrics, b.live_metrics) << label;
+  EXPECT_EQ(a.live_series, b.live_series) << label;
 }
 
 // Runs `scenario` once per engine configuration (fresh network each time)
@@ -439,6 +444,65 @@ TEST(EngineDifferential, AetherSessionChurnDeterministicAcrossEngines) {
     gen.start(0.0, 2e-3);
     net.events().run();
     return snapshot(net);
+  });
+}
+
+// Live observability plane: every committed export tick publishes an
+// immutable scrape snapshot from the commit path (workers quiesced), so
+// the /metrics and /series bodies at EVERY tick — not just end of run —
+// must be byte-identical across engines and worker counts. This is the
+// determinism contract a scraper observes through hydrad.
+TEST(EngineDifferential, LiveScrapeBodiesByteIdenticalAcrossEngines) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(2, 2, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    auto upf = std::make_shared<fwd::UpfProgram>(routing);
+    net.set_program(fabric.leaves[0], upf);
+    const int dep =
+        net.deploy(compile_library_checker("application_filtering"));
+    net.set_observability(true);
+    net.set_export_interval(1e-4);
+    net::Network::LiveObsOptions opts;
+    opts.topk_k = 4;
+    opts.session_net = 0x50000000u;   // SessionChurnGenerator UE block
+    opts.session_mask = 0xFC000000u;
+    net.arm_live_obs(opts);
+
+    obs::SnapshotPublisher pub;
+    std::string live_metrics;
+    std::string live_series;
+    pub.set_on_publish([&](const obs::LiveSnapshot& s) {
+      live_metrics += "tick " + std::to_string(s.tick_index) + "\n";
+      live_metrics += s.metrics_text;
+      live_series += s.series_json;
+      live_series += '\n';
+    });
+    net.set_live_publisher(&pub);
+
+    aether::AetherController ctl(net, upf, dep);
+    ctl.define_slice(aether::example_camera_slice(1));
+    aether::SessionChurnGenerator::Config gc;
+    gc.sessions = 100;
+    gc.churn_per_s = 20000.0;
+    gc.packets_per_s = 200000.0;
+    gc.enb_host = fabric.hosts[0][0];
+    gc.enb_ip = net.topo().node(fabric.hosts[0][0]).ip;
+    gc.n3_ip = 0x0a0001fe;
+    gc.app_ip = net.topo().node(fabric.hosts[1][0]).ip;
+    gc.seed = 7;
+    aether::SessionChurnGenerator gen(net, ctl, gc);
+    gen.set_latency_sampling(false);
+    gen.prefill();
+    gen.start(0.0, 2e-3);
+    net.events().run();
+
+    EXPECT_GT(net.export_scheduler_ptr()->captured(), 5u);
+    Snapshot s = snapshot(net);
+    s.live_metrics = std::move(live_metrics);
+    s.live_series = std::move(live_series);
+    return s;
   });
 }
 

@@ -3,6 +3,9 @@
 // hop tracing through a leaf-spine fabric.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "forwarding/ipv4_ecmp.hpp"
 #include "hydra/hydra.hpp"
 #include "net/network.hpp"
@@ -438,6 +441,39 @@ TEST(Prometheus, HistogramQuantileInterpolatesAndClamps) {
   EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.5, {}, {}), 0.0);
 }
 
+TEST(Prometheus, HistogramQuantileIsNaNFreeOnDegenerateInput) {
+  const std::vector<double> bounds{1.0, 2.0};
+  const std::vector<std::uint64_t> buckets{3, 4, 1};
+  // Empty / all-zero bucket windows and missing bounds return 0, never
+  // NaN or a crash — the health evaluator feeds idle windows through here.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.99, bounds, {}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.99, {}, buckets), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(0.99, bounds, {0, 0, 0}), 0.0);
+  // Non-finite or out-of-range quantiles clamp instead of poisoning the
+  // interpolation.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(nan, bounds, buckets),
+                   obs::histogram_quantile(0.0, bounds, buckets));
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(-1.0, bounds, buckets),
+                   obs::histogram_quantile(0.0, bounds, buckets));
+  const double q1 = obs::histogram_quantile(1.0, bounds, buckets);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(inf, bounds, buckets), q1);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(2.0, bounds, buckets), q1);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_TRUE(std::isfinite(obs::histogram_quantile(q, bounds, buckets)));
+  }
+}
+
+TEST(Prometheus, ExpositionEndsWithSingleTrailingNewline) {
+  obs::Registry reg;
+  reg.counter("c", "hydra_c_total", {}).inc();
+  const std::string text = obs::to_prometheus(reg);
+  ASSERT_GE(text.size(), 2u);
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_NE(text[text.size() - 2], '\n');
+}
+
 // ---- export scheduler -----------------------------------------------------
 
 TEST(ExportScheduler, WindowDeltasRatesRingAndRebaseline) {
@@ -491,6 +527,37 @@ TEST(ExportScheduler, WindowDeltasRatesRingAndRebaseline) {
   EXPECT_DOUBLE_EQ(sched.next_tick(), tick_before);
   sched.tick(c1);
   EXPECT_EQ(sched.windows().back().delta.delivered, 5u);
+}
+
+TEST(ExportScheduler, RingWrapsManyTimesOnLongRunsWithoutDrift) {
+  // Long-run wraparound: a small ring lapped thousands of times must keep
+  // indices monotone, deltas exact, and tick boundaries drift-free (they
+  // are computed multiplicatively, not by repeated addition).
+  constexpr std::size_t kRing = 8;
+  constexpr std::uint64_t kTicks = 10000;
+  obs::ExportScheduler sched(1e-3, 1e-3, {}, kRing);
+  obs::ExportCumulative cum;
+  for (std::uint64_t i = 0; i < kTicks; ++i) {
+    cum.injected += 3;
+    cum.delivered += 2;
+    sched.tick(cum);
+    ASSERT_LE(sched.windows().size(), kRing);
+  }
+  EXPECT_EQ(sched.captured(), kTicks);
+  ASSERT_EQ(sched.windows().size(), kRing);
+  // The ring holds exactly the last kRing windows, contiguously indexed.
+  for (std::size_t i = 0; i < kRing; ++i) {
+    const obs::WindowSample& w = sched.windows()[i];
+    EXPECT_EQ(w.index, kTicks - kRing + i);
+    EXPECT_EQ(w.delta.injected, 3u);
+    EXPECT_EQ(w.delta.delivered, 2u);
+    // Boundaries are exact multiples of the interval (multiplicative, no
+    // accumulated error); window width is their difference.
+    EXPECT_DOUBLE_EQ(w.t1, 1e-3 + 1e-3 * static_cast<double>(w.index));
+  }
+  // No accumulated floating-point drift after 10k boundaries.
+  EXPECT_DOUBLE_EQ(sched.next_tick(),
+                   1e-3 + 1e-3 * static_cast<double>(kTicks));
 }
 
 namespace {

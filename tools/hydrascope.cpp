@@ -339,7 +339,9 @@ int main(int argc, char** argv) {
   }
 
   // Final scrape + window series. Written after the run regardless of
-  // --watch, so the file always reflects the terminal state.
+  // --watch, so the file always reflects the terminal state. The .prom
+  // body is Prometheus text format 0.0.4 (serve as `text/plain;
+  // version=0.0.4`) and ends with exactly one trailing newline.
   if (!prom_path.empty()) {
     if (!tools::write_text_file(prom_path, net.export_prometheus())) return 1;
     std::printf("wrote %s\n", prom_path.c_str());

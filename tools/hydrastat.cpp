@@ -241,6 +241,9 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", out_path.c_str());
   }
   if (!prom_path.empty()) {
+    // Prometheus text exposition format 0.0.4: serve the file with
+    // `Content-Type: text/plain; version=0.0.4` (hydrad does); the body
+    // ends with exactly one trailing newline.
     if (!tools::write_text_file(prom_path, net.export_prometheus())) return 1;
     std::printf("wrote %s\n", prom_path.c_str());
   }

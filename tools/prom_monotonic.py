@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Assert counter monotonicity between two Prometheus text scrapes.
+
+Usage: prom_monotonic.py BEFORE.prom AFTER.prom
+
+Every sample belonging to a counter-typed family (including histogram
+_bucket/_count/_sum series, which are cumulative) that appears in BOTH
+scrapes must be >= in AFTER. Samples only present in one scrape are
+ignored (top-K label sets legitimately churn). Exit 0 if monotone,
+1 with a per-sample report otherwise.
+"""
+import sys
+
+
+def parse(path):
+    """Return ({sample_key: value}, {family: type})."""
+    samples = {}
+    types = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) >= 4:
+                    types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            # name{labels} value   |   name value
+            try:
+                key, value = line.rsplit(" ", 1)
+                samples[key] = float(value)
+            except ValueError:
+                print(f"{path}: unparsable line: {line!r}", file=sys.stderr)
+                sys.exit(2)
+    return samples, types
+
+
+def family_of(sample_key):
+    name = sample_key.split("{", 1)[0]
+    for suffix in ("_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    before, types_before = parse(sys.argv[1])
+    after, types_after = parse(sys.argv[2])
+    cumulative = {
+        f for f, t in {**types_before, **types_after}.items()
+        if t in ("counter", "histogram")
+    }
+    checked = 0
+    bad = []
+    for key, v1 in before.items():
+        fam = family_of(key)
+        if fam not in cumulative:
+            continue
+        v2 = after.get(key)
+        if v2 is None:
+            continue
+        checked += 1
+        if v2 < v1:
+            bad.append((key, v1, v2))
+    if bad:
+        for key, v1, v2 in bad:
+            print(f"NOT MONOTONE: {key}: {v1} -> {v2}")
+        return 1
+    if checked == 0:
+        print("prom_monotonic: no overlapping counter samples to compare",
+              file=sys.stderr)
+        return 1
+    print(f"prom_monotonic: OK ({checked} counter samples non-decreasing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
