@@ -42,6 +42,10 @@ class Ipv4EcmpProgram : public net::ForwardingProgram {
   bool concurrent_safe() const override { return true; }
   void set_concurrent(bool on) override { concurrent_ = on; }
 
+  void invalidate_caches() override {
+    for (auto& [id, sw] : switches_) sw.routes.invalidate_cache();
+  }
+
   // 5-tuple hash used for ECMP member selection (exposed for tests).
   static std::uint64_t flow_hash(const p4rt::Packet& pkt);
 

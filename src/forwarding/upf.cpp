@@ -1,6 +1,33 @@
 #include "forwarding/upf.hpp"
 
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "p4rt/table_io.hpp"
+
 namespace hydra::fwd {
+
+void UpfProgram::save_state(std::ostream& out) const {
+  for (const p4rt::Table* t :
+       {&sessions_ul_, &sessions_dl_, &applications_, &terminations_}) {
+    out << ' ';
+    p4rt::serialize_table(*t, out);
+  }
+  out << ' ' << termination_drops_.load(std::memory_order_relaxed) << ' '
+      << session_miss_drops_.load(std::memory_order_relaxed);
+}
+
+void UpfProgram::load_state(std::istream& in) {
+  for (p4rt::Table* t :
+       {&sessions_ul_, &sessions_dl_, &applications_, &terminations_})
+    p4rt::deserialize_table(*t, in);
+  std::uint64_t term = 0, miss = 0;
+  if (!(in >> term >> miss))
+    throw std::runtime_error("upf snapshot: bad drop totals");
+  termination_drops_.store(term, std::memory_order_relaxed);
+  session_miss_drops_.store(miss, std::memory_order_relaxed);
+}
 
 UpfProgram::UpfProgram(std::shared_ptr<Ipv4EcmpProgram> router)
     : router_(std::move(router)) {}

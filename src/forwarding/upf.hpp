@@ -68,6 +68,22 @@ class UpfProgram : public net::ForwardingProgram {
   // Registers all four UPF tables under fwd.upf.<table>.*.
   void attach_metrics(obs::Registry* registry) override;
 
+  // Full-state snapshot: the four tables (in storage order, preserving
+  // churn-dependent tie-breaks) plus the drop totals. Session state is
+  // runtime-mutable — exactly what a restarted hydrad cannot rebuild from
+  // the scenario.
+  bool has_state() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
+  void invalidate_caches() override {
+    sessions_ul_.invalidate_cache();
+    sessions_dl_.invalidate_cache();
+    applications_.invalidate_cache();
+    terminations_.invalidate_cache();
+    if (router_ != nullptr) router_->invalidate_caches();
+  }
+
   std::uint64_t termination_drops() const {
     return termination_drops_.load(std::memory_order_relaxed);
   }

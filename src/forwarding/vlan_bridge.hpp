@@ -25,6 +25,10 @@ class VlanBridgeProgram : public net::ForwardingProgram {
   Decision process(p4rt::Packet& pkt, int in_port, int switch_id) override;
   std::string name() const override { return "vlan-bridge"; }
 
+  void invalidate_caches() override {
+    for (auto& [id, sw] : switches_) sw.l2.invalidate_cache();
+  }
+
   std::uint64_t membership_drops() const {
     return membership_drops_.load(std::memory_order_relaxed);
   }

@@ -60,11 +60,20 @@ inline constexpr std::uint32_t kNullHandle = 0xffffffffu;
 // fault-injection subsystem (switch restarts, delayed rule pushes).
 // Instances are pooled in the Network's control arena and referenced by
 // ControlHandle.
+//
+// kSwap flips one deployment slot's init stamping on one switch — the
+// per-switch leg of a rolling deploy/undeploy. Because it rides the same
+// sharded, (time, seq)-ordered channel as restarts, the flip lands between
+// that switch's hops identically under every engine, and packets already
+// carrying frames keep executing against the generation they were stamped
+// with.
 struct ControlOp {
-  enum class Kind { kRestart, kDictInsert };
+  enum class Kind { kRestart, kDictInsert, kSwap };
   Kind kind = Kind::kRestart;
   // kDictInsert payload: an exact-match entry for one checker table.
+  // kSwap payload: `deployment` is the slot, `enable` the new state.
   int deployment = -1;
+  bool enable = false;
   std::string var;
   std::vector<BitVec> key;
   std::vector<BitVec> value;

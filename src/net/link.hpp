@@ -30,6 +30,12 @@ class Link {
   };
   const DirStats& stats(int dir) const { return dirs_[dir]; }
 
+  // Full-state restore: reinstates one direction's cumulative counters and
+  // serialization clock exactly as snapshotted, so the restarted process
+  // reports identical per-link gauges and queues future transmissions
+  // against the same busy horizon.
+  void restore_stats(int dir, const DirStats& s) { dirs_[dir] = s; }
+
   // Mean offered load in Gb/s over [0, now].
   double throughput_gbps(int dir, double now) const;
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "net/engine.hpp"
+#include "p4rt/table_io.hpp"
 #include "p4rt/tele_codec.hpp"
 
 namespace hydra::net {
@@ -86,34 +87,214 @@ ForwardingProgram* Network::program(int switch_id) {
   return programs_[static_cast<std::size_t>(switch_id)].get();
 }
 
-int Network::deploy(
-    std::shared_ptr<const compiler::CompiledChecker> checker) {
+Network::Deployment& Network::live_deployment(int deployment,
+                                              const char* what) {
+  if (deployment < 0 ||
+      deployment >= static_cast<int>(deployments_.size())) {
+    throw std::invalid_argument(std::string(what) + ": deployment id " +
+                                std::to_string(deployment) +
+                                " out of range");
+  }
+  Deployment& d = deployments_[static_cast<std::size_t>(deployment)];
+  if (!d.live) {
+    throw std::invalid_argument(
+        std::string(what) + ": deployment id " + std::to_string(deployment) +
+        " is retired (checker '" + d.checker->name + "' was undeployed)");
+  }
+  return d;
+}
+
+const Network::Deployment& Network::live_deployment(int deployment,
+                                                    const char* what) const {
+  return const_cast<Network*>(this)->live_deployment(deployment, what);
+}
+
+void Network::note_property(const std::string& name) {
+  const auto it = std::lower_bound(known_properties_.begin(),
+                                   known_properties_.end(), name);
+  if (it == known_properties_.end() || *it != name) {
+    known_properties_.insert(it, name);
+  }
+}
+
+int Network::stage_deployment(
+    std::shared_ptr<const compiler::CompiledChecker> checker,
+    std::uint8_t phase) {
   if (!checker) throw std::invalid_argument("deploy: null checker");
-  Deployment d;
+  // Prefer reusing a retired slot; the deployment-id space is bounded by
+  // the 64-bit rejected_deps mask, and reuse is what keeps a long-running
+  // daemon deploying forever.
+  int slot = -1;
+  for (std::size_t i = 0; i < deployments_.size(); ++i) {
+    if (!deployments_[i].live && deployments_[i].pending_swaps == 0) {
+      slot = static_cast<int>(i);
+      break;
+    }
+  }
+  if (slot < 0) {
+    if (deployments_.size() >= static_cast<std::size_t>(kMaxDeployments)) {
+      throw std::runtime_error(
+          "deploy: all " + std::to_string(kMaxDeployments) +
+          " deployment slots are live; undeploy one first");
+    }
+    deployments_.emplace_back();
+    slot = static_cast<int>(deployments_.size()) - 1;
+  }
+  Deployment& d = deployments_[static_cast<std::size_t>(slot)];
+  const bool reused = d.checker != nullptr;
   d.checker = checker;
   d.tele_wire_bytes = checker->layout.wire_bytes;
-  d.per_switch.resize(static_cast<std::size_t>(topo_.node_count()));
+  d.generation = static_cast<std::uint32_t>(generations_.size());
+  d.live = true;
+  d.retiring = false;
+  d.pending_swaps = 0;
+  d.per_switch.assign(static_cast<std::size_t>(topo_.node_count()), {});
+  d.phase.assign(static_cast<std::size_t>(topo_.node_count()),
+                 kPhaseRetired);
   for (int i = 0; i < topo_.node_count(); ++i) {
     if (topo_.node(i).kind == NodeKind::kSwitch) {
       d.per_switch[static_cast<std::size_t>(i)] =
           p4rt::make_checker_state(checker->ir);
+      d.phase[static_cast<std::size_t>(i)] = phase;
     }
   }
-  deployments_.push_back(std::move(d));
-  for (auto& ctx : contexts_) {
-    add_context_scratch(ctx, deployments_.back());
+  generations_.push_back({checker, checker->name, false});
+  stale_counters_.emplace_back();
+  note_property(checker->name);
+  if (reused) {
+    reset_context_scratch(static_cast<std::size_t>(slot));
+  } else {
+    for (auto& ctx : contexts_) add_context_scratch(ctx, d);
   }
-  if (obs_ != nullptr) rewire_observability();
-  return static_cast<int>(deployments_.size()) - 1;
+  if (obs_ != nullptr) {
+    // Rewiring recreates shard shadow registries; fold any unabsorbed
+    // shard counts into the main registry first so a rolling deploy that
+    // lands between engine slices loses nothing.
+    absorb_shard_metrics();
+    rewire_observability();
+  }
+  if (obs_ != nullptr && obs_->live != nullptr && obs_->live->topk) {
+    // A reused slot must not inherit the old property's attribution.
+    obs_->live->topk->redefine_property(slot, checker->name);
+  }
+  return slot;
+}
+
+int Network::deploy(
+    std::shared_ptr<const compiler::CompiledChecker> checker) {
+  return stage_deployment(std::move(checker), kPhaseEnabled);
+}
+
+int Network::deploy_rolling(
+    std::shared_ptr<const compiler::CompiledChecker> checker) {
+  const int slot = stage_deployment(std::move(checker), kPhaseStaged);
+  schedule_swaps(slot, kPhaseEnabled);
+  return slot;
+}
+
+void Network::schedule_swaps(int slot, std::uint8_t phase) {
+  Deployment& d = deployments_[static_cast<std::size_t>(slot)];
+  for (int sw = 0; sw < topo_.node_count(); ++sw) {
+    if (topo_.node(sw).kind != NodeKind::kSwitch) continue;
+    const ControlHandle h = alloc_control();
+    ControlOp& op = control_op(h);
+    op.kind = ControlOp::Kind::kSwap;
+    op.deployment = slot;
+    op.enable = phase == kPhaseEnabled;
+    events_.schedule_control_at(events_.now(), sw, h);
+    ++d.pending_swaps;
+  }
+}
+
+void Network::undeploy_rolling(int deployment) {
+  Deployment& d = live_deployment(deployment, "undeploy_rolling");
+  if (d.retiring) return;  // sweep already in flight
+  if (d.pending_swaps > 0) {
+    throw std::logic_error(
+        "undeploy_rolling: deploy sweep still in flight for slot " +
+        std::to_string(deployment));
+  }
+  d.retiring = true;
+  // Register the per-generation reject counter BEFORE the first switch
+  // flips: frames rejected mid-sweep (stamped with this generation, hitting
+  // an already-retired switch) must count from the very first one — a
+  // detached handle would drop them on the floor.
+  register_stale_counter(d.generation);
+  schedule_swaps(deployment, kPhaseRetired);
+}
+
+void Network::undeploy(int deployment) {
+  if (!events_.empty()) {
+    throw std::logic_error("undeploy: event queue must be idle");
+  }
+  Deployment& d = live_deployment(deployment, "undeploy");
+  std::fill(d.phase.begin(), d.phase.end(), kPhaseRetired);
+  d.retiring = true;
+  finalize_retirement(static_cast<std::size_t>(deployment));
+}
+
+void Network::finalize_retirement(std::size_t slot) {
+  Deployment& d = deployments_[slot];
+  d.live = false;
+  d.retiring = false;
+  d.pending_swaps = 0;
+  // The checker stays (name + IR for attribution and forensics labels);
+  // the per-switch sensor state is gone for good. Frames stamped with
+  // this generation now reject fail-closed wherever they surface.
+  d.per_switch.clear();
+  d.per_switch.shrink_to_fit();
+  generations_[d.generation].retired = true;
+  register_stale_counter(d.generation);
+}
+
+void Network::register_stale_counter(std::uint32_t gen) {
+  if (obs_ == nullptr) {
+    stale_counters_[gen] = {};
+    return;
+  }
+  const std::string& prop = generations_[gen].property;
+  stale_counters_[gen] = obs_->registry.counter(
+      "checker." + prop + ".stale_generation",
+      "hydra_checker_stale_generation_rejects_total",
+      {{"property", prop}});
+}
+
+bool Network::swap_in_progress() const {
+  for (const auto& d : deployments_) {
+    if (d.pending_swaps > 0) return true;
+  }
+  return false;
+}
+
+bool Network::deployment_live(int deployment) const {
+  if (deployment < 0 ||
+      deployment >= static_cast<int>(deployments_.size())) {
+    throw std::invalid_argument("deployment_live: id out of range");
+  }
+  return deployments_[static_cast<std::size_t>(deployment)].live;
+}
+
+std::uint32_t Network::deployment_generation(int deployment) const {
+  if (deployment < 0 ||
+      deployment >= static_cast<int>(deployments_.size())) {
+    throw std::invalid_argument("deployment_generation: id out of range");
+  }
+  return deployments_[static_cast<std::size_t>(deployment)].generation;
 }
 
 const compiler::CompiledChecker& Network::checker(int deployment) const {
-  return *deployments_.at(static_cast<std::size_t>(deployment)).checker;
+  if (deployment < 0 ||
+      deployment >= static_cast<int>(deployments_.size())) {
+    throw std::invalid_argument("checker: deployment id out of range");
+  }
+  // Retired slots keep their CompiledChecker for attribution, so reading
+  // the program of an undeployed property stays legal.
+  return *deployments_[static_cast<std::size_t>(deployment)].checker;
 }
 
 p4rt::Table& Network::checker_table(int deployment, int switch_id,
                                     const std::string& var) {
-  Deployment& d = deployments_.at(static_cast<std::size_t>(deployment));
+  Deployment& d = live_deployment(deployment, "checker_table");
   const int t = d.checker->ir.find_table(var);
   if (t < 0) {
     throw std::invalid_argument("checker '" + d.checker->name +
@@ -189,6 +370,7 @@ ControlHandle Network::alloc_control() {
   ControlOp& op = control_pool_.get(h);
   op.kind = ControlOp::Kind::kRestart;
   op.deployment = -1;
+  op.enable = false;
   op.var.clear();
   op.key.clear();
   op.value.clear();
@@ -219,7 +401,7 @@ void Network::dict_insert_all_delayed(int deployment, const std::string& var,
   // Validate the variable up front — apply_control runs on a worker
   // thread and must not throw.
   const Deployment& d =
-      deployments_.at(static_cast<std::size_t>(deployment));
+      live_deployment(deployment, "dict_insert_all_delayed");
   if (d.checker->ir.find_table(var) < 0) {
     throw std::invalid_argument("checker '" + d.checker->name +
                                 "' has no control table '" + var + "'");
@@ -244,8 +426,9 @@ void Network::apply_control(SimTime t, int sw, const ControlOp& op,
   if (op.kind == ControlOp::Kind::kRestart) {
     // The restart lost every deployment's sensor contents on this switch;
     // wipe them and mark the switch cold so checkers do not raise false
-    // violations off zeroed registers.
+    // violations off zeroed registers. Retired slots have no state left.
     for (auto& d : deployments_) {
+      if (d.per_switch.empty()) continue;
       auto& state = d.per_switch[static_cast<std::size_t>(sw)];
       for (auto& reg : state.registers) reg.reset();
     }
@@ -255,10 +438,23 @@ void Network::apply_control(SimTime t, int sw, const ControlOp& op,
     res.restarted = true;
     return;
   }
+  if (op.kind == ControlOp::Kind::kSwap) {
+    // One leg of a rolling sweep: flip this switch's phase for the slot.
+    // Shard-confined (the phase vector cell for `sw` is only touched on
+    // sw's owning shard), so the flip is ordered against this switch's
+    // packet hops exactly as under serial execution. Slot bookkeeping
+    // (pending_swaps, retirement) happens at commit.
+    const auto dep = static_cast<std::size_t>(op.deployment);
+    if (dep >= deployments_.size()) return;
+    deployments_[dep].phase[static_cast<std::size_t>(sw)] =
+        op.enable ? kPhaseEnabled : kPhaseRetired;
+    return;
+  }
   // kDictInsert: a delayed controller rule push landing on this switch.
   const auto dep = static_cast<std::size_t>(op.deployment);
   if (dep >= deployments_.size()) return;
   Deployment& d = deployments_[dep];
+  if (!d.live || d.per_switch.empty()) return;  // undeployed mid-push
   const int ti = d.checker->ir.find_table(op.var);
   if (ti < 0) return;  // validated at schedule time; stay defensive
   d.per_switch[static_cast<std::size_t>(sw)]
@@ -276,11 +472,17 @@ void Network::corrupt_frame(p4rt::Packet& pkt, std::uint64_t entropy) {
       frame.damaged) {
     return;
   }
-  const Deployment& d =
-      deployments_[static_cast<std::size_t>(frame.checker)];
-  if (frame.values.size() != d.checker->ir.fields.size()) return;
+  // Reserialize against the GENERATION the frame was stamped with — the
+  // slot may since have been relinked to a different layout.
+  if (frame.generation >= generations_.size() ||
+      generations_[frame.generation].checker == nullptr) {
+    return;
+  }
+  const compiler::CompiledChecker& gc =
+      *generations_[frame.generation].checker;
+  if (frame.values.size() != gc.ir.fields.size()) return;
   std::vector<std::uint8_t> bytes =
-      p4rt::serialize_frame(d.checker->layout, d.checker->ir, frame);
+      p4rt::serialize_frame(gc.layout, gc.ir, frame);
   CorruptMode mode = faults_->plan().corrupt_mode;
   if (mode == CorruptMode::kRandom) {
     switch ((entropy >> 8) % 3) {
@@ -321,7 +523,7 @@ void Network::corrupt_frame(p4rt::Packet& pkt, std::uint64_t entropy) {
 
 p4rt::RegisterArray& Network::checker_register(int deployment, int switch_id,
                                                const std::string& var) {
-  Deployment& d = deployments_.at(static_cast<std::size_t>(deployment));
+  Deployment& d = live_deployment(deployment, "checker_register");
   const int r = d.checker->ir.find_register(var);
   if (r < 0) {
     throw std::invalid_argument("checker '" + d.checker->name +
@@ -344,6 +546,7 @@ void Network::emit_report(ReportRecord record) {
 int Network::pipeline_stages() const {
   int stages = baseline_.stages;
   for (const auto& d : deployments_) {
+    if (!d.live) continue;
     stages = std::max(stages, d.checker->resources.checker_stages);
   }
   return stages;
@@ -362,7 +565,7 @@ SimTime Network::min_spawn_delay() const {
 bool Network::flow_sharding_allowed() const {
   if (obs_ != nullptr || faults_ != nullptr) return false;
   for (const auto& d : deployments_) {
-    if (!d.checker->ir.registers.empty()) return false;
+    if (d.live && !d.checker->ir.registers.empty()) return false;
   }
   for (const auto& p : programs_) {
     if (p != nullptr && !p->concurrent_safe()) return false;
@@ -384,8 +587,13 @@ void Network::set_concurrent_tables(bool on) {
 int Network::packet_wire_bytes(const p4rt::Packet& pkt) const {
   int bytes = pkt.base_wire_bytes();
   for (const auto& f : pkt.tele) {
-    if (f.checker >= 0 &&
-        f.checker < static_cast<int>(deployments_.size())) {
+    if (f.checker < 0) continue;
+    // Size by the generation the frame was stamped with: a straggler of a
+    // relinked slot still occupies the OLD layout's bytes on the wire.
+    if (f.generation < generations_.size() &&
+        generations_[f.generation].checker != nullptr) {
+      bytes += generations_[f.generation].checker->layout.wire_bytes;
+    } else if (f.checker < static_cast<int>(deployments_.size())) {
       bytes += deployments_[static_cast<std::size_t>(f.checker)]
                    .tele_wire_bytes;
     }
@@ -527,6 +735,7 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
   res.fwd_drop = false;
   res.rejected = false;
   res.rejected_deps = 0;
+  res.stale_generations.clear();
   res.traced = false;
   res.reports.clear();
   res.hop = obs::TraceHop{};
@@ -603,9 +812,12 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
       faults_ != nullptr && t < cold_until_[static_cast<std::size_t>(sw)];
 
   // 1. Hydra init at the first hop: create and fill telemetry frames.
+  // Only switches whose swap phase is fully enabled stamp frames — the
+  // per-switch gate a rolling deploy sweeps through the control channel.
   if (hctx.first_hop) {
     for (std::size_t di = 0; di < deployments_.size(); ++di) {
       Deployment& d = deployments_[di];
+      if (d.phase[static_cast<std::size_t>(sw)] != kPhaseEnabled) continue;
       ExecContext::PerDeployment& pd = ctx.deps[di];
       pd.init_runs.inc();
       if (forensic) pd.prov.clear();
@@ -620,6 +832,7 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
       // Re-arm a retired tele slot in place (deployment order matches the
       // old push_back order; all slots retire together at the last hop).
       p4rt::TeleFrame& frame = pkt.add_frame(static_cast<int>(di));
+      frame.generation = d.generation;
       pd.interp->store_frame(vals, frame);
       if (cold_sw) frame.cold = true;
       if (hop != nullptr) {
@@ -659,6 +872,35 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     p4rt::TeleFrame* frame = pkt.frame(static_cast<int>(di));
     if (frame == nullptr) continue;  // entered before deployment; skip
 
+    // Stale generation, fail-closed: the frame belongs to a retired (or
+    // relinked) occupant of this slot — on this switch the swap has
+    // landed, or the slot was reused and the generation no longer
+    // matches. Executing it would read freed/foreign state; silently
+    // dropping it would lose the frame; attributing it to the slot's
+    // CURRENT occupant would mix two properties. So: counted reject,
+    // attributed per generation, never a crash. The slot's own counters
+    // (pd.*) and rejected_deps deliberately do NOT move.
+    if (d.phase[static_cast<std::size_t>(sw)] == kPhaseRetired ||
+        frame->generation != d.generation) {
+      // Only the FRAME is rejected — the packet itself keeps forwarding.
+      // Folding this into `rejected` would drop user traffic (and count a
+      // checker verdict) for what is purely control-plane churn.
+      res.reject_reason = "tele_stale_generation";
+      res.stale_generations.push_back(frame->generation);
+      if (forensic && frame->generation == d.generation) {
+        // Retired-but-not-reused: the IR still matches the frame, so a
+        // forensics note is meaningful. After reuse the layouts differ —
+        // recording would mix old and new properties, so skip.
+        pd.prov.clear();
+        pd.out.reject = true;
+        pd.out.reports.clear();
+        record_hop_forensics(pd, di, pkt, hctx, t, &decision, pd.out,
+                             /*ran_init=*/false, /*ran_tele=*/false,
+                             /*ran_check=*/false, "tele_stale_generation");
+      }
+      continue;
+    }
+
     // Damaged wire bytes (injected corruption on the inbound link): the
     // frame must re-parse through the checked codec before its values can
     // be trusted. A parse failure is the headline fail-closed path — a
@@ -675,7 +917,9 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
         res.reject_reason = reason;
         pd.decode_rejects.inc();
         rejected = true;
-        if (di < 64) res.rejected_deps |= 1ULL << di;
+        // di < 64 always: deploy() enforces kMaxDeployments, so reject
+        // attribution is never silently dropped.
+        res.rejected_deps |= 1ULL << di;
         if (forensic) {
           pd.prov.clear();
           pd.out.reject = true;
@@ -748,7 +992,8 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
     }
     if (out.reject) {
       pd.rejects.inc();
-      if (di < 64) res.rejected_deps |= 1ULL << di;
+      // di < 64 always (kMaxDeployments); attribution never dropped.
+      res.rejected_deps |= 1ULL << di;
     }
     pd.reports.inc(out.reports.size());
     if (forensic) {
@@ -780,15 +1025,35 @@ void Network::compute_hop(ExecContext& ctx, SimTime t, SwitchWork& work,
 
 void Network::commit_hop(SimTime t, SwitchWork&& work, HopResult&& res) {
   const int sw = work.sw;
-  // Control-plane work carried no packet; only fault bookkeeping commits,
-  // then the pooled op returns to its arena.
+  // Control-plane work carried no packet; only fault/swap bookkeeping
+  // commits, then the pooled op returns to its arena.
   if (res.control) {
+    if (work.ctl != kNullHandle) {
+      const ControlOp& op = control_op(work.ctl);
+      if (op.kind == ControlOp::Kind::kSwap) {
+        const auto dep = static_cast<std::size_t>(op.deployment);
+        if (dep < deployments_.size()) {
+          Deployment& d = deployments_[dep];
+          if (d.pending_swaps > 0 && --d.pending_swaps == 0) {
+            // Sweep complete. Committed on the canonical path with
+            // (parallel) workers parked, so retirement lands at the same
+            // (t, seq) point under every engine.
+            if (d.retiring) finalize_retirement(dep);
+          }
+        }
+      }
+    }
     if (faults_ != nullptr) {
       if (res.restarted) ++faults_->stats().restarts;
       if (res.rule_pushed) ++faults_->stats().delayed_pushes;
     }
     if (work.ctl != kNullHandle) control_pool_.free(work.ctl);
     return;
+  }
+  // Fail-closed stale-frame rejects, attributed per GENERATION (the
+  // retired property's counter — never the slot's current occupant).
+  for (const std::uint32_t gen : res.stale_generations) {
+    if (gen < stale_counters_.size()) stale_counters_[gen].inc();
   }
   const p4rt::Packet& pkt = packet(work.pkt);
   // Fault effects produced in compute fold into the injector's stats here,
@@ -880,6 +1145,18 @@ void Network::add_context_scratch(ExecContext& ctx, const Deployment& d) {
   ExecContext::PerDeployment pd;
   pd.interp = std::make_unique<p4rt::Interp>(d.checker->ir);
   ctx.deps.push_back(std::move(pd));
+}
+
+void Network::reset_context_scratch(std::size_t slot) {
+  const Deployment& d = deployments_[slot];
+  for (auto& ctx : contexts_) {
+    ExecContext::PerDeployment& pd = ctx.deps[slot];
+    pd.interp = std::make_unique<p4rt::Interp>(d.checker->ir);
+    pd.vals.clear();
+    pd.out.reject = false;
+    pd.out.reports.clear();
+    pd.prov.clear();
+  }
 }
 
 // ---- observability --------------------------------------------------------
@@ -1281,9 +1558,181 @@ std::string Network::obs_snapshot() {
   if (obs_ == nullptr) {
     throw std::logic_error("obs_snapshot: observability is off");
   }
+  std::string out = "hydra-obs-snapshot v1\n";
+  append_obs_body(out);
+  out += "end\n";
+  return out;
+}
+
+namespace {
+
+// Checker source embedded in a one-line snapshot record: newline and
+// backslash are the only characters the line format cannot carry.
+std::string escape_source(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  for (const char c : src) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string unescape_source(const std::string& esc) {
+  std::string out;
+  out.reserve(esc.size());
+  for (std::size_t i = 0; i < esc.size(); ++i) {
+    if (esc[i] == '\\' && i + 1 < esc.size()) {
+      ++i;
+      out += esc[i] == 'n' ? '\n' : esc[i];
+    } else {
+      out += esc[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Network::full_snapshot() {
+  if (obs_ == nullptr) {
+    throw std::logic_error("full_snapshot: observability is off");
+  }
+  if (swap_in_progress()) {
+    throw std::logic_error(
+        "full_snapshot: rolling swap sweep in flight; run the queue until "
+        "the sweep commits, then snapshot the quiesced state");
+  }
+  // Flush transparent lookup caches (checker tables and forwarding
+  // programs) so the snapshot point is a cache-cold boundary on BOTH sides
+  // of a restart: the restored process starts cold by construction, and a
+  // warm cache here would put cache-hit counters on diverging trajectories.
+  // Caches never change lookup results, only which counter ticks.
+  for (Deployment& d : deployments_) {
+    for (p4rt::CheckerState& state : d.per_switch) {
+      for (p4rt::Table& tab : state.tables) tab.invalidate_cache();
+    }
+  }
+  {
+    std::vector<const ForwardingProgram*> flushed;
+    for (const auto& prog : programs_) {
+      if (prog == nullptr) continue;
+      bool seen = false;
+      for (const ForwardingProgram* p : flushed) seen = seen || p == prog.get();
+      if (seen) continue;
+      flushed.push_back(prog.get());
+      prog->invalidate_caches();
+    }
+  }
+  using obs::detail::format_double;
+  std::string out = "hydra-obs-snapshot v2\n";
+  out += "clock " + format_double(events_.now()) + " " +
+         (obs_->exporter != nullptr
+              ? format_double(obs_->exporter->next_tick())
+              : std::string("0")) +
+         " " + std::to_string(next_packet_id_) + " " +
+         (obs_->exporter != nullptr
+              ? std::to_string(obs_->exporter->ticks()) + " " +
+                    format_double(obs_->exporter->first_tick())
+              : std::string("0 0")) +
+         "\n";
+  for (std::size_t g = 0; g < generations_.size(); ++g) {
+    out += "gen " + std::to_string(g) + " " +
+           (generations_[g].retired ? "1" : "0") + " " +
+           generations_[g].property + "\n";
+  }
+  for (std::size_t si = 0; si < deployments_.size(); ++si) {
+    const Deployment& d = deployments_[si];
+    const compiler::CompileOptions& o = d.checker->options;
+    out += "dep " + std::to_string(si) + " " + std::to_string(d.generation) +
+           " " + (d.live ? "1" : "0") + " " +
+           std::to_string(static_cast<int>(o.placement)) + " " +
+           (o.byte_aligned_layout ? "1" : "0") + " " +
+           std::to_string(static_cast<int>(o.dialect)) + " " +
+           std::to_string(o.baseline.stages) + " " +
+           format_double(o.baseline.phv_percent) + " " + o.baseline.name +
+           " " + d.checker->name + "\n";
+    out += "src " + std::to_string(si) + " " +
+           escape_source(d.checker->source) + "\n";
+    if (!d.live) continue;
+    for (int sw = 0; sw < topo_.node_count(); ++sw) {
+      if (topo_.node(sw).kind != NodeKind::kSwitch) continue;
+      const p4rt::CheckerState& state =
+          d.per_switch[static_cast<std::size_t>(sw)];
+      for (std::size_t ti = 0; ti < state.tables.size(); ++ti) {
+        std::ostringstream ts;
+        p4rt::serialize_table(state.tables[ti], ts);
+        out += "tab " + std::to_string(si) + " " + std::to_string(sw) + " " +
+               std::to_string(ti) + " " + ts.str() + "\n";
+      }
+      for (std::size_t ri = 0; ri < state.registers.size(); ++ri) {
+        std::ostringstream rs;
+        p4rt::serialize_registers(state.registers[ri], rs);
+        out += "reg " + std::to_string(si) + " " + std::to_string(sw) + " " +
+               std::to_string(ri) + " " + rs.str() + "\n";
+      }
+    }
+  }
+  // Mutable forwarding state, deduped by shared program instance (keyed by
+  // the lowest switch id running it).
+  std::vector<const ForwardingProgram*> done;
+  for (int sw = 0; sw < topo_.node_count(); ++sw) {
+    const ForwardingProgram* prog =
+        programs_[static_cast<std::size_t>(sw)].get();
+    if (prog == nullptr || !prog->has_state()) continue;
+    bool seen = false;
+    for (const ForwardingProgram* p : done) seen = seen || p == prog;
+    if (seen) continue;
+    done.push_back(prog);
+    std::ostringstream fs;
+    prog->save_state(fs);
+    out += "fwd " + std::to_string(sw) + " " + fs.str() + "\n";
+  }
+  // Per-link cumulative counters and the serialization clock: restoring
+  // them keeps the per-link gauges and future queueing byte-identical.
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const Link::DirStats& s = links_[li].stats(dir);
+      out += "link " + std::to_string(li) + " " + std::to_string(dir) + " " +
+             std::to_string(s.packets) + " " + std::to_string(s.bytes) + " " +
+             std::to_string(s.drops) + " " + format_double(s.busy_until) +
+             " " + format_double(s.busy_time) + "\n";
+    }
+  }
+  // The export scheduler's delta baseline (totals as of the last fired
+  // tick). Events between that tick and this snapshot are in no window
+  // yet; without this record a restored process would re-anchor the
+  // baseline at the snapshot totals and silently drop them from its first
+  // post-restore window.
+  if (obs_->exporter != nullptr) {
+    const obs::ExportCumulative& b = obs_->exporter->baseline();
+    out += "base " + std::to_string(b.injected) + " " +
+           std::to_string(b.delivered) + " " + std::to_string(b.rejected) +
+           " " + std::to_string(b.fwd_dropped) + " " +
+           std::to_string(b.queue_dropped) + " " +
+           std::to_string(b.fault_dropped) + " " + std::to_string(b.reports) +
+           " " + std::to_string(b.decode_rejects) + " " +
+           std::to_string(b.cold_suppressed) + "\n";
+    out += "blat " + std::to_string(b.latency_count) + " " +
+           format_double(b.latency_sum) + " " +
+           std::to_string(b.latency_buckets.size());
+    for (std::uint64_t v : b.latency_buckets) out += " " + std::to_string(v);
+    out += "\n";
+    for (const auto& p : b.properties) {
+      out += "bprop " + p.name + " " + std::to_string(p.rejects) + " " +
+             std::to_string(p.reports) + " " + std::to_string(p.check_runs) +
+             " " + std::to_string(p.tele_runs) + "\n";
+    }
+  }
+  append_obs_body(out);
+  out += "end\n";
+  return out;
+}
+
+void Network::append_obs_body(std::string& out) {
   using obs::detail::format_double;
   absorb_shard_metrics();
-  std::string out = "hydra-obs-snapshot v1\n";
   out += "sim injected " + std::to_string(counters_.injected) + "\n";
   out += "sim delivered " + std::to_string(counters_.delivered) + "\n";
   out += "sim rejected " + std::to_string(counters_.rejected) + "\n";
@@ -1322,8 +1771,6 @@ std::string Network::obs_snapshot() {
     }
   }
   if (obs_->live != nullptr) out += obs_->live->topk->snapshot_text();
-  out += "end\n";
-  return out;
 }
 
 namespace {
@@ -1346,22 +1793,216 @@ void Network::obs_restore(const std::string& text) {
   }
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != "hydra-obs-snapshot v1") {
+  if (!std::getline(in, line) ||
+      (line != "hydra-obs-snapshot v1" && line != "hydra-obs-snapshot v2")) {
     throw std::invalid_argument("obs_restore: unrecognized snapshot header");
+  }
+  const bool v2 = line == "hydra-obs-snapshot v2";
+  if (v2 && !deployments_.empty()) {
+    throw std::logic_error(
+        "obs_restore: a full-state (v2) snapshot rebuilds the deployment "
+        "set; restore into a scenario that has not deployed any checker");
   }
   std::deque<obs::WindowSample> windows;
   std::uint64_t captured = 0;
   bool have_series = false;
   bool saw_end = false;
+  // v2 structural state (clock / generation table / pending dep record).
+  double now = 0.0;
+  double next_tick = 0.0;
+  std::uint64_t npid = 1;
+  std::uint64_t tick_count = 0;
+  double first_tick = 0.0;
+  bool have_clock = false;
+  obs::ExportCumulative base_cum;
+  bool have_base = false;
+  struct PendingDep {
+    bool valid = false;
+    int slot = -1;
+    std::uint32_t gen = 0;
+    bool live = false;
+    compiler::CompileOptions options;
+    std::string name;
+  } pending;
+  // Fires at the first v1-body keyword: the deployment set is complete, so
+  // properties, stale counters, obs wiring, and top-K labels can be
+  // rebuilt before any counter/sketch values land.
+  bool structural_done = !v2;
+  const auto finish_structural = [&]() {
+    if (structural_done) return;
+    structural_done = true;
+    if (pending.valid) {
+      throw std::invalid_argument(
+          "obs_restore: dep record without matching src line");
+    }
+    known_properties_.clear();
+    for (const GenerationInfo& g : generations_) note_property(g.property);
+    stale_counters_.assign(generations_.size(), obs::Counter{});
+    rewire_observability();  // re-registers retired-generation counters
+    if (obs_->live != nullptr && obs_->live->topk != nullptr) {
+      for (std::size_t si = 0; si < deployments_.size(); ++si) {
+        obs_->live->topk->redefine_property(static_cast<int>(si),
+                                            deployments_[si].checker->name);
+      }
+    }
+  };
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string kw;
     ls >> kw;
     if (kw == "end") {
+      finish_structural();
       saw_end = true;
       break;
     }
+    const bool structural = kw == "clock" || kw == "gen" || kw == "dep" ||
+                            kw == "src" || kw == "tab" || kw == "reg" ||
+                            kw == "fwd" || kw == "link" || kw == "base" ||
+                            kw == "blat" || kw == "bprop";
+    if (structural) {
+      if (!v2 || structural_done) bad_snapshot(line);
+      if (kw == "clock") {
+        ls >> now >> next_tick >> npid >> tick_count >> first_tick;
+        if (ls.fail()) bad_snapshot(line);
+        have_clock = true;
+      } else if (kw == "gen") {
+        std::size_t g = 0;
+        int retired = 0;
+        std::string prop;
+        ls >> g >> retired >> prop;
+        if (ls.fail() || g != generations_.size() || prop.empty()) {
+          bad_snapshot(line);
+        }
+        generations_.push_back({nullptr, std::move(prop), retired != 0});
+      } else if (kw == "dep") {
+        int slot = -1;
+        int live = 0;
+        int placement = 0;
+        int aligned = 0;
+        int dialect = 0;
+        ls >> slot >> pending.gen >> live >> placement >> aligned >> dialect >>
+            pending.options.baseline.stages >>
+            pending.options.baseline.phv_percent >>
+            pending.options.baseline.name >> pending.name;
+        if (ls.fail() || pending.valid ||
+            slot != static_cast<int>(deployments_.size()) ||
+            pending.gen >= generations_.size() ||
+            generations_[pending.gen].property != pending.name ||
+            placement < 0 ||
+            placement > static_cast<int>(compiler::CheckPlacement::kAuto) ||
+            dialect < 0 ||
+            dialect > static_cast<int>(compiler::P4Dialect::kV1Model)) {
+          bad_snapshot(line);
+        }
+        pending.valid = true;
+        pending.slot = slot;
+        pending.live = live != 0;
+        pending.options.placement =
+            static_cast<compiler::CheckPlacement>(placement);
+        pending.options.byte_aligned_layout = aligned != 0;
+        pending.options.dialect = static_cast<compiler::P4Dialect>(dialect);
+      } else if (kw == "src") {
+        int slot = -1;
+        ls >> slot;
+        if (ls.fail() || !pending.valid || slot != pending.slot) {
+          bad_snapshot(line);
+        }
+        std::string esc;
+        std::getline(ls, esc);
+        if (!esc.empty() && esc.front() == ' ') esc.erase(0, 1);
+        auto sp = std::make_shared<const compiler::CompiledChecker>(
+            compiler::compile_checker(unescape_source(esc), pending.name,
+                                      pending.options));
+        deployments_.emplace_back();
+        Deployment& d = deployments_.back();
+        d.checker = sp;
+        d.tele_wire_bytes = sp->layout.wire_bytes;
+        d.generation = pending.gen;
+        d.live = pending.live;
+        d.phase.assign(static_cast<std::size_t>(topo_.node_count()),
+                       kPhaseRetired);
+        if (d.live) {
+          d.per_switch.assign(static_cast<std::size_t>(topo_.node_count()),
+                              {});
+          for (int i = 0; i < topo_.node_count(); ++i) {
+            if (topo_.node(i).kind != NodeKind::kSwitch) continue;
+            d.per_switch[static_cast<std::size_t>(i)] =
+                p4rt::make_checker_state(sp->ir);
+            d.phase[static_cast<std::size_t>(i)] = kPhaseEnabled;
+          }
+        }
+        generations_[d.generation].checker = sp;
+        for (auto& ctx : contexts_) add_context_scratch(ctx, d);
+        pending.valid = false;
+      } else if (kw == "tab" || kw == "reg") {
+        int slot = -1;
+        int sw = -1;
+        std::size_t idx = 0;
+        ls >> slot >> sw >> idx;
+        if (ls.fail() || slot < 0 ||
+            slot >= static_cast<int>(deployments_.size()) || sw < 0 ||
+            sw >= topo_.node_count() ||
+            topo_.node(sw).kind != NodeKind::kSwitch) {
+          bad_snapshot(line);
+        }
+        Deployment& d = deployments_[static_cast<std::size_t>(slot)];
+        if (!d.live || d.per_switch.empty()) bad_snapshot(line);
+        p4rt::CheckerState& state =
+            d.per_switch[static_cast<std::size_t>(sw)];
+        if (kw == "tab") {
+          if (idx >= state.tables.size()) bad_snapshot(line);
+          p4rt::deserialize_table(state.tables[idx], ls);
+        } else {
+          if (idx >= state.registers.size()) bad_snapshot(line);
+          p4rt::deserialize_registers(state.registers[idx], ls);
+        }
+      } else if (kw == "fwd") {
+        int sw = -1;
+        ls >> sw;
+        if (ls.fail() || sw < 0 || sw >= topo_.node_count()) {
+          bad_snapshot(line);
+        }
+        ForwardingProgram* prog = programs_[static_cast<std::size_t>(sw)].get();
+        if (prog == nullptr || !prog->has_state()) {
+          throw std::invalid_argument(
+              "obs_restore: fwd state for switch " + std::to_string(sw) +
+              ", whose program keeps none (scenario mismatch)");
+        }
+        prog->load_state(ls);
+      } else if (kw == "link") {
+        std::size_t li = 0;
+        int dir = -1;
+        Link::DirStats s;
+        ls >> li >> dir >> s.packets >> s.bytes >> s.drops >> s.busy_until >>
+            s.busy_time;
+        if (ls.fail() || li >= links_.size() || dir < 0 || dir > 1) {
+          bad_snapshot(line);
+        }
+        links_[li].restore_stats(dir, s);
+      } else if (kw == "base") {
+        ls >> base_cum.injected >> base_cum.delivered >> base_cum.rejected >>
+            base_cum.fwd_dropped >> base_cum.queue_dropped >>
+            base_cum.fault_dropped >> base_cum.reports >>
+            base_cum.decode_rejects >> base_cum.cold_suppressed;
+        if (ls.fail()) bad_snapshot(line);
+        have_base = true;
+      } else if (kw == "blat") {
+        std::size_t n = 0;
+        ls >> base_cum.latency_count >> base_cum.latency_sum >> n;
+        if (ls.fail()) bad_snapshot(line);
+        base_cum.latency_buckets.assign(n, 0);
+        for (std::size_t i = 0; i < n; ++i) ls >> base_cum.latency_buckets[i];
+        if (ls.fail()) bad_snapshot(line);
+      } else {  // bprop
+        obs::ExportCumulative::Property p;
+        ls >> p.name >> p.rejects >> p.reports >> p.check_runs >> p.tele_runs;
+        if (ls.fail()) bad_snapshot(line);
+        base_cum.properties.push_back(std::move(p));
+      }
+      continue;
+    }
+    finish_structural();
     if (kw == "sim") {
       std::string which;
       std::uint64_t v = 0;
@@ -1431,14 +2072,30 @@ void Network::obs_restore(const std::string& text) {
   if (!saw_end) {
     throw std::invalid_argument("obs_restore: truncated snapshot");
   }
+  if (v2 && have_clock) {
+    // Resume the snapshot's time domain: the clock, packet-id stream, and
+    // (below) export-tick boundaries continue exactly where the
+    // snapshotted run left off.
+    events_.advance_now(now);
+    next_packet_id_ = npid;
+  }
   if (obs_->exporter != nullptr) {
     // Re-anchor deltas at the restored totals (the arm-time baseline was
     // taken before the restore folded the old counts in), then reinstate
-    // the captured ring; the tick clock stays in this process's fresh
-    // virtual-time domain.
+    // the captured ring. v1 keeps the tick clock in this process's fresh
+    // virtual-time domain; v2 re-anchors it into the snapshot's.
     obs_->exporter->rebaseline(export_cumulative());
     if (have_series) {
       obs_->exporter->restore_series(captured, std::move(windows));
+    }
+    if (v2 && have_clock && next_tick > 0.0) {
+      obs_->exporter->resume_clock(first_tick, tick_count);
+    }
+    if (v2 && have_base) {
+      // The snapshotted run's delta baseline (totals at its last fired
+      // tick) — NOT the snapshot-time totals: events between the two are
+      // in no window yet and must land in the first post-restore window.
+      obs_->exporter->restore_baseline(std::move(base_cum));
     }
     if (obs_->live != nullptr) {
       obs_->live->health = obs::evaluate_health(
@@ -1458,8 +2115,10 @@ obs::ExportCumulative Network::export_cumulative() const {
   cum.fault_dropped = counters_.fault_dropped;
   if (obs_ == nullptr) return cum;
   const obs::Registry& reg = obs_->registry;
-  for (const auto& d : deployments_) {
-    const std::string& cn = d.checker->name;
+  // One row per property ever deployed (sorted unique), not per slot:
+  // shared-checker deployments count once and retired properties keep
+  // their attribution rows across undeploys and restores.
+  for (const std::string& cn : known_properties_) {
     obs::ExportCumulative::Property p;
     p.name = cn;
     p.rejects = reg.counter_value("checker." + cn + ".rejects");
@@ -1468,20 +2127,6 @@ obs::ExportCumulative Network::export_cumulative() const {
     p.tele_runs = reg.counter_value("checker." + cn + ".tele_runs");
     cum.properties.push_back(std::move(p));
   }
-  std::sort(cum.properties.begin(), cum.properties.end(),
-            [](const obs::ExportCumulative::Property& a,
-               const obs::ExportCumulative::Property& b) {
-              return a.name < b.name;
-            });
-  // Deployments of the same checker share flat counter names; keep one
-  // attribution row per property.
-  cum.properties.erase(
-      std::unique(cum.properties.begin(), cum.properties.end(),
-                  [](const obs::ExportCumulative::Property& a,
-                     const obs::ExportCumulative::Property& b) {
-                    return a.name == b.name;
-                  }),
-      cum.properties.end());
   // Total reports raised, from the monotone per-property counters
   // (reports() itself can be cleared mid-run, which would break deltas).
   for (const auto& p : cum.properties) cum.reports += p.reports;
@@ -1613,7 +2258,9 @@ void Network::rewire_observability() {
 
   // Checker tables: one aggregate counter set per (checker, table) name;
   // each switch's instance targets the registry of the shard executing it.
+  // Retired slots have no per-switch state left to wire.
   for (auto& d : deployments_) {
+    if (d.per_switch.empty()) continue;
     for (std::size_t t = 0; t < d.checker->ir.tables.size(); ++t) {
       const std::string& tn = d.checker->ir.tables[t].name;
       const std::string base = "p4rt.table." + d.checker->name + "." + tn;
@@ -1651,6 +2298,18 @@ void Network::rewire_observability() {
           if (switch_id < 0) return &obs_->registry;
           return registry_for_switch(switch_id);
         });
+  }
+
+  // Retired generations' stale-reject counters live in the main registry;
+  // re-register so a rebuilt registry (set_observability toggle, restore)
+  // keeps the retired-property families present and monotone.
+  for (std::uint32_t g = 0; g < generations_.size(); ++g) {
+    if (generations_[g].retired) register_stale_counter(g);
+  }
+  for (const Deployment& d : deployments_) {
+    // A retirement sweep in flight: its counter must already be live (see
+    // undeploy_rolling) and must survive a rewire mid-sweep.
+    if (d.retiring) register_stale_counter(d.generation);
   }
 
   // Engine phase profiler: main-loop histograms into the main registry,

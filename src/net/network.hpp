@@ -92,8 +92,16 @@ struct HopResult {
   bool rejected = false;
   // Bit d set for each deployment whose checker (or fail-closed telemetry
   // decode) rejected this hop; feeds per-property top-K attribution on the
-  // commit path. Deployments >= 64 reject without attribution.
+  // commit path. deploy() caps slots at kMaxDeployments (64), so every
+  // deployment id fits.
   std::uint64_t rejected_deps = 0;
+  // Generations whose telemetry frames were rejected fail-closed this hop
+  // because their deployment slot was retired or relinked (reason
+  // "tele_stale_generation"). Attributed per GENERATION on the commit
+  // path — never to the slot's current occupant, which may be a different
+  // property after reuse. Capacity reused across hops (cleared, not
+  // reallocated).
+  std::vector<std::uint32_t> stale_generations;
   bool traced = false;
   std::vector<ReportRecord> reports;
   obs::TraceHop hop;  // filled only when traced
@@ -183,9 +191,42 @@ class Network {
   ForwardingProgram* program(int switch_id);
 
   // ---- Hydra deployment (control-plane API) -----------------------------
+  // Deployment slots are bounded (rejected_deps is a 64-bit mask); deploy
+  // throws std::runtime_error when all slots are live. Retired slots are
+  // REUSED — the new property gets a fresh generation tag, so straggler
+  // frames of the old occupant reject fail-closed instead of being
+  // misattributed.
+  static constexpr int kMaxDeployments = 64;
   int deploy(std::shared_ptr<const compiler::CompiledChecker> checker);
   int deployment_count() const { return static_cast<int>(deployments_.size()); }
   const compiler::CompiledChecker& checker(int deployment) const;
+
+  // ---- rolling deploy / undeploy ----------------------------------------
+  // The staged-swap path: the checker is compiled and linked off to the
+  // side (slot staged with a fresh generation, init stamping OFF), then
+  // one kSwap ControlOp per switch — sharded and (time, seq)-ordered like
+  // switch restarts — flips that switch to stamping the new frames. The
+  // swap is atomic per switch and deterministic across engines. Call on
+  // the main thread between drains (the event queue may hold traffic, but
+  // the engine must not be mid-drain).
+  int deploy_rolling(std::shared_ptr<const compiler::CompiledChecker> checker);
+  // Sweeps per-switch disable swaps through the control channel. Frames
+  // already in flight keep executing on switches that have not swapped
+  // yet; once a switch swaps (and after the slot fully retires), its
+  // frames are rejected fail-closed with reason "tele_stale_generation"
+  // and counted per generation — never crashed on, never misattributed.
+  void undeploy_rolling(int deployment);
+  // Immediate undeploy; must be called while the event queue is idle (no
+  // in-flight packets). The slot retires at once and becomes reusable.
+  void undeploy(int deployment);
+  // True while any rolling swap sweep has per-switch flips outstanding.
+  bool swap_in_progress() const;
+  // False once `deployment` has been undeployed (the slot may since have
+  // been reused for a different property). Out-of-range ids throw.
+  bool deployment_live(int deployment) const;
+  // Generation tag of the slot's current occupant (monotone across the
+  // whole network; never reused).
+  std::uint32_t deployment_generation(int deployment) const;
 
   // Table for a control dict/set variable on one switch.
   p4rt::Table& checker_table(int deployment, int switch_id,
@@ -463,9 +504,22 @@ class Network {
   // traffic resumes every exported counter monotonically. Throws
   // std::logic_error while observability is off.
   std::string obs_snapshot();
-  // Additive restore (values fold into current state); throws
-  // std::invalid_argument on a malformed or version-mismatched snapshot.
-  // Must be called while the event queue is idle.
+  // Full-state snapshot (format v2, DESIGN.md §15): the v1 observability
+  // body plus the simulation clock, the generation table, the deployment
+  // set (with embedded checker source for slots the restoring scenario
+  // does not rebuild), every live slot's per-switch sensor registers and
+  // checker tables (sparse), and mutable forwarding state
+  // (ForwardingProgram::save_state). A hydrad restarted from it resumes
+  // with identical verdict behavior. Throws std::logic_error while
+  // observability is off or while a rolling swap sweep is still in
+  // flight (snapshot the quiesced state, not a half-swapped one).
+  std::string full_snapshot();
+  // Additive restore (values fold into current state); accepts v1 and v2
+  // snapshots (v2 additionally overwrites registers, tables, the
+  // deployment set, and the clock). Throws std::invalid_argument on a
+  // malformed snapshot or when a v2 deployment slot disagrees with the
+  // checker already deployed there. Must be called while the event queue
+  // is idle.
   void obs_restore(const std::string& text);
 
   // ---- engine-facing API (internal to net/engine.cpp and tests) --------
@@ -535,10 +589,43 @@ class Network {
   void export_tick_until(SimTime t);
 
  private:
+  // Per-switch swap phase of one deployment slot. Written ONLY by
+  // apply_control (compute, on the switch's owning shard) and by staging/
+  // retirement while the engine is not draining; read only by compute on
+  // the owning shard — the same confinement discipline as cold_until_, so
+  // a rolling sweep lands between a switch's hops identically under every
+  // engine.
+  enum : std::uint8_t {
+    kPhaseRetired = 0,  // frames for this slot reject fail-closed here
+    kPhaseStaged = 1,   // tele/check run for matching generations; no init
+    kPhaseEnabled = 2,  // fully live: init stamps new frames
+  };
+
   struct Deployment {
     std::shared_ptr<const compiler::CompiledChecker> checker;
     std::vector<p4rt::CheckerState> per_switch;  // indexed by node id
     int tele_wire_bytes = 0;
+    // Generation tag stamped into this occupant's telemetry frames; bumps
+    // on every (re)deploy so slot reuse never mixes properties.
+    std::uint32_t generation = 0;
+    bool live = false;      // false once retired; the slot is reusable
+    bool retiring = false;  // disable sweep in flight
+    int pending_swaps = 0;  // per-switch flips not yet committed
+    std::vector<std::uint8_t> phase;  // by node id; see enum above
+  };
+
+  // One entry per generation ever deployed (never erased): the compiled
+  // checker (name, IR, wire layout) survives the slot's reuse, so
+  // stale-frame accounting, fault-path reserialization, and wire sizing
+  // stay correct for frames stamped by a retired occupant.
+  struct GenerationInfo {
+    // Null only after a v2 restore for generations whose slot was reused
+    // before the snapshot (no source survives); `property` always holds
+    // the name, which is all stale-frame accounting needs then — no
+    // in-flight frames survive a restore, so the layout is never read.
+    std::shared_ptr<const compiler::CompiledChecker> checker;
+    std::string property;
+    bool retired = false;
   };
 
   struct SwitchObsCounters {
@@ -580,6 +667,36 @@ class Network {
   // deployments, then rewires observability.
   void rebuild_contexts();
   void add_context_scratch(ExecContext& ctx, const Deployment& d);
+  // Rebinds every context's slot `slot` scratch (interpreter, value
+  // store) to the slot's current checker — the reuse path of a retired
+  // slot.
+  void reset_context_scratch(std::size_t slot);
+  // Stages `checker` into a reused-or-fresh slot with every switch at
+  // `phase`; throws std::runtime_error at the kMaxDeployments cap.
+  int stage_deployment(std::shared_ptr<const compiler::CompiledChecker> c,
+                       std::uint8_t phase);
+  // Schedules one kSwap ControlOp per switch at now() flipping `slot` to
+  // `phase`; sets pending_swaps.
+  void schedule_swaps(int slot, std::uint8_t phase);
+  // Commit-path completion of an undeploy sweep: frees per-switch state,
+  // marks the generation retired, and registers its stale-frame counter.
+  void finalize_retirement(std::size_t slot);
+  // Bounds- and liveness-checks a deployment id from the control-plane
+  // API; throws std::invalid_argument naming `what` for a stale or
+  // out-of-range id (undeploy leaves holes — a stale id must produce a
+  // clear error, not UB).
+  Deployment& live_deployment(int deployment, const char* what);
+  const Deployment& live_deployment(int deployment, const char* what) const;
+  // Registers (or re-attaches) the fail-closed stale-frame counter for a
+  // retired generation: flat "checker.<property>.stale_generation", family
+  // hydra_checker_stale_generation_rejects_total. Same-property
+  // generations share one counter, which stays registered — and therefore
+  // present and monotone in every scrape — forever.
+  void register_stale_counter(std::uint32_t gen);
+  void note_property(const std::string& name);
+  // Shared v1 snapshot body (sim counters, registry, window ring, top-K);
+  // obs_snapshot wraps it in a v1 envelope, full_snapshot in v2.
+  void append_obs_body(std::string& out);
   // (Re)wires every hot-path obs handle to the registry of the shard that
   // executes it (detaches everything when observability is off).
   void rewire_observability();
@@ -641,6 +758,14 @@ class Network {
   std::vector<Host> hosts_;    // indexed by node id (empty for switches)
   std::vector<std::shared_ptr<ForwardingProgram>> programs_;  // by node id
   std::vector<Deployment> deployments_;
+  std::vector<GenerationInfo> generations_;  // by generation id, append-only
+  // Stale-frame reject counters by generation id (commit path only;
+  // detached while observability is off).
+  std::vector<obs::Counter> stale_counters_;
+  // Every property name ever deployed (sorted, unique). export_cumulative
+  // iterates this instead of the live slots so a retired property's
+  // per-window attribution rows stay present across the swap.
+  std::vector<std::string> known_properties_;
   std::vector<ReportRecord> reports_;
   std::vector<ReportCallback> report_callbacks_;
   bool control_loop_active_ = false;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -102,6 +103,26 @@ class ForwardingProgram {
   // concurrent_safe() program can switch its table probes between the
   // cached single-threaded path and the shared path. No-op by default.
   virtual void set_concurrent(bool on) { (void)on; }
+
+  // Drops any last-hit lookup caches the program keeps. Called by
+  // full_snapshot() so the snapshot point is a cache-cold boundary in the
+  // snapshotting process too — a restored process necessarily starts with
+  // cold caches, and flushing both sides keeps cache-hit counters on
+  // identical trajectories (restart equivalence). Caches are transparent
+  // perf state, so flushing never changes forwarding decisions.
+  virtual void invalidate_caches() {}
+
+  // Full-state snapshot hooks (net::Network::full_snapshot). A program
+  // with runtime-MUTABLE forwarding state — PFCP session churn is the
+  // canonical case — overrides these so a restarted hydrad resumes with
+  // identical forwarding decisions. Programs whose tables are static
+  // scenario state (routing installed at startup) keep the no-op
+  // defaults; the scenario rebuilds them on restart. save_state appends
+  // whitespace-separated tokens; load_state must consume exactly what
+  // save_state wrote (p4rt/table_io.hpp is the intended codec).
+  virtual bool has_state() const { return false; }
+  virtual void save_state(std::ostream& out) const { (void)out; }
+  virtual void load_state(std::istream& in) { (void)in; }
 };
 
 }  // namespace hydra::net

@@ -147,6 +147,8 @@ class ExportScheduler {
     return first_tick_ + interval_ * static_cast<double>(ticks_);
   }
   std::uint64_t captured() const { return captured_; }
+  std::uint64_t ticks() const { return ticks_; }
+  double first_tick() const { return first_tick_; }
   const std::deque<WindowSample>& windows() const { return ring_; }
   const std::vector<double>& latency_bounds() const { return latency_bounds_; }
 
@@ -167,6 +169,25 @@ class ExportScheduler {
   // restarted process schedules boundaries in its own fresh time domain
   // while window indices continue monotonically from the snapshot.
   void restore_series(std::uint64_t captured, std::deque<WindowSample> windows);
+
+  // Full-state restore (snapshot v2): the restarted process resumes the
+  // SNAPSHOT's time domain. Both anchor and tick count are reinstated
+  // verbatim — boundaries are computed as first_tick_ + k * interval_, so
+  // restoring the exact (anchor, count) pair reproduces the original run's
+  // window edges bit-for-bit (a re-derived anchor with a different count
+  // splits the same product differently and drifts in the last ulp).
+  void resume_clock(double first_tick, std::uint64_t ticks) {
+    first_tick_ = first_tick;
+    ticks_ = ticks;
+  }
+
+  // The delta baseline: cumulative totals as of the last fired tick. The
+  // events between that tick and a mid-window snapshot are NOT yet in any
+  // window — a restore that re-anchors the baseline at the snapshot's
+  // totals would silently drop them from the next window, so full-state
+  // snapshots serialize this and reinstate it verbatim.
+  const ExportCumulative& baseline() const { return prev_; }
+  void restore_baseline(ExportCumulative cum) { prev_ = std::move(cum); }
 
   // Deterministic JSON: interval, capture count, and the retained windows
   // (oldest first) with per-property attribution.

@@ -109,6 +109,13 @@ HttpServer::HttpServer(SnapshotPublisher& publisher, std::uint16_t port)
 
 HttpServer::~HttpServer() { stop(); }
 
+std::vector<HttpServer::Command> HttpServer::drain_commands() {
+  std::vector<Command> out;
+  std::lock_guard<std::mutex> lock(cmd_mu_);
+  out.swap(commands_);
+  return out;
+}
+
 void HttpServer::stop() {
   if (stopping_.exchange(true)) {
     if (thread_.joinable()) thread_.join();
@@ -168,13 +175,56 @@ void HttpServer::handle_connection(int fd) {
   if (sp2 == std::string::npos) return;  // malformed; just close
   const std::string method = req.substr(0, sp1);
   std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query_str;
   const std::size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  if (query != std::string::npos) {
+    query_str = path.substr(query + 1);
+    path.resize(query);
+  }
   requests_.fetch_add(1, std::memory_order_relaxed);
 
   if (method != "GET") {
     send_all(fd, make_response(405, "Method Not Allowed", "text/plain",
                                "only GET is supported\n", 0, false));
+    return;
+  }
+  if (path == "/deploy" || path == "/undeploy") {
+    // Control routes work before the first publication too — the sim is
+    // untouched here; the command is applied by the main loop later.
+    Command cmd;
+    bool ok = false;
+    if (path == "/deploy") {
+      cmd.kind = Command::Kind::kDeploy;
+      if (query_str.compare(0, 8, "checker=") == 0) {
+        cmd.checker = query_str.substr(8);
+        const std::size_t amp = cmd.checker.find('&');
+        if (amp != std::string::npos) cmd.checker.resize(amp);
+        ok = !cmd.checker.empty();
+      }
+    } else {
+      cmd.kind = Command::Kind::kUndeploy;
+      if (query_str.compare(0, 4, "dep=") == 0) {
+        errno = 0;
+        char* end = nullptr;
+        const long v = std::strtol(query_str.c_str() + 4, &end, 10);
+        ok = errno == 0 && end != query_str.c_str() + 4 &&
+             (*end == '\0' || *end == '&') && v >= 0 && v < 1 << 16;
+        cmd.deployment = static_cast<int>(v);
+      }
+    }
+    if (!ok) {
+      send_all(fd, make_response(400, "Bad Request", "text/plain",
+                                 "expected /deploy?checker=<name> or "
+                                 "/undeploy?dep=<id>\n",
+                                 0, false));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(cmd_mu_);
+      commands_.push_back(std::move(cmd));
+    }
+    send_all(fd, make_response(202, "Accepted", "text/plain", "accepted\n",
+                               0, false));
     return;
   }
   const std::shared_ptr<const LiveSnapshot> snap = publisher_.acquire();

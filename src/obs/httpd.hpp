@@ -27,6 +27,13 @@
 //   GET /topk        application/json            top-K attribution
 //   GET /snapshot    text/plain                  obs state snapshot
 //
+// plus two control routes that never touch simulator state on the HTTP
+// thread either — they enqueue a Command that the daemon's main loop
+// drains between event slices (202 Accepted; 400 on a malformed query):
+//
+//   GET /deploy?checker=<name>   stage a rolling deploy of a named checker
+//   GET /undeploy?dep=<id>       rolling-retire a deployment slot
+//
 // plus `X-Hydra-Tick: <n>` on every 200 so scrapers can pin a tick. A
 // request before the first publication gets 503; unknown paths 404; other
 // methods 405. Connections are Connection: close — scrape clients open
@@ -41,6 +48,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace hydra::obs {
 
@@ -93,10 +101,22 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
+  // A control request accepted by /deploy or /undeploy; the simulator
+  // never sees it until the owning main loop drains the queue.
+  struct Command {
+    enum class Kind { kDeploy, kUndeploy };
+    Kind kind = Kind::kDeploy;
+    std::string checker;  // kDeploy: checker name from the query
+    int deployment = -1;  // kUndeploy: slot id from the query
+  };
+
   std::uint16_t port() const { return port_; }
   std::uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  // Returns and clears the commands accepted since the last call, in
+  // arrival order. Main thread only (the caller applies them to the sim).
+  std::vector<Command> drain_commands();
   // Idempotent; joins the serving thread.
   void stop();
 
@@ -110,6 +130,8 @@ class HttpServer {
   int wake_fds_[2] = {-1, -1};  // self-pipe: stop() wakes the poll loop
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::mutex cmd_mu_;
+  std::vector<Command> commands_;  // guarded by cmd_mu_
   std::thread thread_;
 };
 

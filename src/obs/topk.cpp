@@ -123,6 +123,21 @@ void SpaceSaving::add(const TopKKey& key, std::uint64_t w) {
   index_[np] = static_cast<std::uint32_t>(victim + 1);
 }
 
+void SpaceSaving::erase(const TopKKey& key) {
+  const std::size_t ip = probe(key);
+  if (index_[ip] == 0) return;
+  const std::size_t slot = index_[ip] - 1;
+  index_erase(key);
+  const std::size_t last = slots_.size() - 1;
+  if (slot != last) {
+    slots_[slot] = slots_[last];
+    // The moved entry's index cell still points at the old last slot;
+    // repoint it (probe is valid again after the backward-shift above).
+    index_[probe(slots_[slot].key)] = static_cast<std::uint32_t>(slot + 1);
+  }
+  slots_.pop_back();
+}
+
 std::vector<SpaceSaving::Entry> SpaceSaving::ranked() const {
   std::vector<Entry> out = slots_;
   std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
@@ -225,6 +240,16 @@ void TopKAttribution::on_rejected(const TopKFlow& flow,
       dep_mask &= ~(1ULL << d);
     }
   }
+}
+
+void TopKAttribution::redefine_property(int deployment, std::string name) {
+  if (deployment < 0 || deployment >= 64) return;
+  const std::size_t d = static_cast<std::size_t>(deployment);
+  if (properties_.size() <= d) properties_.resize(d + 1);
+  properties_[d] = std::move(name);
+  const TopKKey key{static_cast<std::uint64_t>(d), 0};
+  property_rejects_.erase(key);
+  property_reports_.erase(key);
 }
 
 void TopKAttribution::on_report(const TopKFlow& flow, int deployment) {

@@ -60,6 +60,12 @@ class SpaceSaving {
 
   void add(const TopKKey& key, std::uint64_t w = 1);
 
+  // Drops `key`'s entry if present (swap-with-last + index repair; no
+  // allocation). `total()` is the stream weight observed and is left
+  // unchanged — used when a deployment slot is reused for a different
+  // property, whose attribution must start empty.
+  void erase(const TopKKey& key);
+
   // Entries ranked heaviest-first; ties broken by (stamp, key) so the
   // order is a pure function of the committed update sequence.
   std::vector<Entry> ranked() const;
@@ -128,6 +134,14 @@ class TopKAttribution {
   // session sketches but carry no property attribution).
   void on_rejected(const TopKFlow& flow, std::uint64_t dep_mask);
   void on_report(const TopKFlow& flow, int deployment);
+
+  // Rolling deploy into slot `deployment`: relabels the slot and purges
+  // its entries from the property sketches, so a reused deployment id
+  // never mixes the old and new property's attribution. Retired slots are
+  // NOT purged — their frozen entries keep rendering under the old name
+  // until the slot is reused. Also grows the label vector for slots
+  // deployed after arming.
+  void redefine_property(int deployment, std::string name);
 
   const TopKConfig& config() const { return cfg_; }
 

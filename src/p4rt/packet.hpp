@@ -86,6 +86,13 @@ struct TeleFrame {
   // violations. Metadata only; conceptually one reserved header bit.
   bool cold = false;
 
+  // Deployment generation the frame was stamped with at its first hop.
+  // Deployment ids are reused after undeploy; the generation distinguishes
+  // a frame from the slot's previous occupant so a rolling swap can reject
+  // stragglers fail-closed instead of misattributing them (conceptually
+  // part of the reserved header word next to `cold`).
+  std::uint32_t generation = 0;
+
   // A frame with checker < 0 is RETIRED: its slot (and the capacity of
   // `values`/`wire`) stays in the packet for reuse, but it is not live on
   // the wire — frame lookups, wire sizing, and corruption all skip it.
@@ -98,6 +105,7 @@ struct TeleFrame {
     wire.clear();
     damaged = false;
     cold = false;
+    generation = 0;
   }
 };
 

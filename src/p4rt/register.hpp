@@ -24,6 +24,9 @@ class RegisterArray {
   // Atomic read-add-write, returns the new value.
   BitVec add(std::size_t index, const BitVec& delta);
   void reset();
+  // Reset value for every cell — lets a snapshot serialize only the cells
+  // that diverged from it (sparse full-state snapshot, net/network.cpp).
+  const BitVec& initial() const { return initial_; }
 
  private:
   std::string name_;

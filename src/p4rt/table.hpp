@@ -157,6 +157,12 @@ class Table {
   // time rather than counted here.
   void attach_metrics(const TableMetrics& metrics) { metrics_ = metrics; }
 
+  // Drops the last-hit cache. Lookup results are unaffected; only which of
+  // `hits`/`cache_hits` ticks next changes. Full-state snapshots call this
+  // so a snapshotting process and its cache-cold restored twin keep their
+  // cache-hit counters on identical trajectories.
+  void invalidate_cache() const { cache_state_ = CacheState::kInvalid; }
+
  private:
   static bool matches(const KeyPattern& p, MatchKind kind, const BitVec& v);
   static bool pattern_equal(MatchKind kind, const KeyPattern& a,
@@ -192,7 +198,6 @@ class Table {
   // slot, and reindexes the moved entry under its new index.
   void remove_entry(std::uint32_t idx);
   void rebuild_index();
-  void invalidate_cache() const { cache_state_ = CacheState::kInvalid; }
   // Flattens `key` into `raw` (raw values, for the cache) and `flat`
   // (per-spec-masked values, for the hash probes).
   void flatten_into(const std::vector<BitVec>& key,

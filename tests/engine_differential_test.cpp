@@ -506,6 +506,54 @@ TEST(EngineDifferential, LiveScrapeBodiesByteIdenticalAcrossEngines) {
   });
 }
 
+// Rolling deploy → undeploy → redeploy under live traffic: the staged
+// per-switch swaps ride the control channel ((t, seq)-ordered like switch
+// restarts), and frames stamped by the retired generation reject
+// fail-closed mid-flight. The whole lifecycle — stale-reject counters,
+// forensics, Prometheus bodies, and the v2 full-state snapshot — must be
+// byte-identical across engines and worker counts.
+TEST(EngineDifferential, RollingDeployUndeployRedeployUnderLiveTraffic) {
+  run_differential([](net::EngineKind kind, int workers) {
+    auto fabric = net::make_leaf_spine(2, 2, 2);
+    net::Network net(fabric.topo);
+    net.set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(net, fabric);
+    net.set_observability(true);
+    net.set_forensics(true);
+    net.set_export_interval(5e-5);
+
+    const int ud = net.deploy(compile_library_checker("up_down_routing"));
+    configure_up_down(net, ud, fabric);
+
+    net::UdpFlood f1(net, fabric.hosts[0][0], fabric.hosts[1][1], 0.6, 700);
+    f1.set_poisson(29);
+    net::UdpFlood f2(net, fabric.hosts[1][0], fabric.hosts[0][1], 0.4, 300);
+    f2.set_poisson(37);
+    f1.start(0.0, 2e-3);
+    f2.start(0.0, 2e-3);
+    // Bursts 3 µs before each lifecycle pause: stamped at the ingress leaf
+    // before the swap sweep lands, mid-path when it does.
+    burst(net, fabric.hosts[0][1], fabric.hosts[1][0], 0.497e-3, 24);
+    burst(net, fabric.hosts[1][1], fabric.hosts[0][0], 0.997e-3, 24);
+    burst(net, fabric.hosts[0][0], fabric.hosts[1][0], 1.497e-3, 24);
+
+    net.events().run_until(0.5e-3);
+    const int lp = net.deploy_rolling(compile_library_checker("loops"));
+    net.events().run_until(1.0e-3);
+    net.undeploy_rolling(lp);
+    net.events().run_until(1.5e-3);
+    EXPECT_FALSE(net.deployment_live(lp));
+    EXPECT_EQ(net.deploy_rolling(compile_library_checker("loops")), lp);
+    net.events().run();
+    EXPECT_FALSE(net.swap_in_progress());
+    EXPECT_TRUE(net.deployment_live(lp));
+
+    Snapshot s = snapshot(net);
+    s.state += net.full_snapshot();
+    return s;
+  });
+}
+
 // Switching engines mid-lifetime (between drains) preserves behaviour.
 TEST(EngineDifferential, EngineSwapBetweenRuns) {
   auto run = [](bool swap) {

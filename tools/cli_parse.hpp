@@ -8,6 +8,8 @@
 // with their usage text and exit 2.
 #pragma once
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -68,16 +70,35 @@ inline bool parse_positive_double_arg(const char* prog, const char* flag,
   return true;
 }
 
-// Writes `content` to `path`; false (with a diagnostic) on I/O failure.
+// Writes `content` to `path` atomically; false (with a diagnostic) on any
+// I/O failure. The content lands in `<path>.tmp` first, is flushed and
+// fsync'd, and only then renamed over `path` — a crash or full disk
+// mid-write can never leave a truncated file at `path` (a partial
+// snapshot would otherwise brick the next hydrad start).
 inline bool write_text_file(const std::string& path,
                             const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
     return false;
   }
-  std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size();
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::fprintf(stderr, "short write to %s\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot rename %s to %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
   return true;
 }
 

@@ -12,6 +12,8 @@
 //   GET /violations  forensic violation reports JSON
 //   GET /topk        top-K flow/session/property attribution JSON
 //   GET /snapshot    obs state snapshot (the restart file format)
+//   GET /deploy?checker=<name>   rolling-deploy a library checker (202)
+//   GET /undeploy?dep=<id>       rolling-retire a deployment slot (202)
 //
 //   $ hydrad [--listen PORT] [--interval S] [--snapshot PATH]
 //            [--sessions N] [--churn-per-s X] [--packets-per-s X]
@@ -20,10 +22,27 @@
 //
 // `--pace` is simulated seconds advanced per wall-clock second (default
 // 1). `--duration-s 0` (default) runs until SIGTERM/SIGINT, which
-// triggers a graceful shutdown: the final obs snapshot is flushed to
-// `--snapshot PATH` and the process exits 0. If PATH already exists at
-// startup it is restored first, so a restarted daemon resumes its
-// counters monotonically instead of resetting them.
+// triggers a graceful shutdown: a full-state snapshot (format v2 —
+// clock, deployment set, checker sensors/tables, UPF forwarding state,
+// and the whole obs plane) is flushed to `--snapshot PATH` and the
+// process exits 0. If PATH already exists at startup it is restored
+// first: a v2 snapshot resumes the simulation clock, deployment set, and
+// every exported counter exactly; a legacy v1 snapshot folds counters in
+// additively. A corrupt/truncated file is renamed to PATH.bad and the
+// daemon starts fresh rather than dying.
+//
+// The deploy/undeploy control routes are applied between event slices on
+// the main loop via Network::deploy_rolling / undeploy_rolling — traffic
+// keeps flowing through the swap, and telemetry frames stamped by a
+// retired deployment generation are rejected fail-closed (the
+// hydra_checker_stale_generation_rejects_total family), never dropped on
+// the floor.
+//
+// The PFCP control plane (controller bindings, churn bookkeeping) is
+// deliberately NOT serialized: after a v2 restore the daemon re-seeds the
+// slice and re-attaches the population. Re-installed config entries
+// duplicate restored ones with identical match+action — lookups are
+// unaffected and duplicates drain as churn detaches sessions.
 #include <unistd.h>
 
 #include <algorithm>
@@ -182,39 +201,77 @@ int main(int argc, char** argv) {
 
   // ---- scenario (identical shape to bench/million_users) -----------------
   auto fabric = net::make_leaf_spine(2, 2, 2);
-  net::Network net(fabric.topo);
-  net.set_engine(kind, workers);
-  auto routing = fwd::install_leaf_spine_routing(net, fabric);
-  auto upf = std::make_shared<fwd::UpfProgram>(routing);
-  net.set_program(fabric.leaves[0], upf);
-  const int dep = net.deploy(compile_library_checker("application_filtering"));
-  net.set_observability(true);
-  if (forensics) net.set_forensics(true);
-  net.set_export_interval(interval_s, static_cast<std::size_t>(ring));
-  net::Network::LiveObsOptions live;
-  live.topk_k = static_cast<std::size_t>(topk_k);
-  live.session_net = kUeNet;
-  live.session_mask = kUeMask;
-  net.arm_live_obs(live);
+  std::unique_ptr<net::Network> netp;
+  std::shared_ptr<fwd::UpfProgram> upf;
+  const auto build_scenario = [&]() {
+    netp = std::make_unique<net::Network>(fabric.topo);
+    netp->set_engine(kind, workers);
+    auto routing = fwd::install_leaf_spine_routing(*netp, fabric);
+    upf = std::make_shared<fwd::UpfProgram>(routing);
+    netp->set_program(fabric.leaves[0], upf);
+    netp->set_observability(true);
+    if (forensics) netp->set_forensics(true);
+    netp->set_export_interval(interval_s, static_cast<std::size_t>(ring));
+    net::Network::LiveObsOptions live;
+    live.topk_k = static_cast<std::size_t>(topk_k);
+    live.session_net = kUeNet;
+    live.session_mask = kUeMask;
+    netp->arm_live_obs(live);
+  };
+  build_scenario();
 
-  // Restore BEFORE any traffic: counters resume monotonically from the
-  // previous incarnation's flushed state.
+  // Restore BEFORE any deploy or traffic: a v2 snapshot rebuilds the
+  // deployment set itself (and the clock, registers, tables, and UPF
+  // state); a v1 snapshot folds counters in additively under whatever the
+  // scenario deploys. A bad file is set aside and the daemon starts
+  // fresh — a crashed snapshot write must not wedge the restart loop.
+  std::string snapshot_text;
   if (!snapshot_path.empty()) {
     std::ifstream in(snapshot_path, std::ios::binary);
     if (in) {
       std::ostringstream buf;
       buf << in.rdbuf();
-      try {
-        net.obs_restore(buf.str());
-        std::printf("hydrad: restored obs state from %s\n",
-                    snapshot_path.c_str());
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "hydrad: cannot restore %s: %s\n",
-                     snapshot_path.c_str(), e.what());
-        return 1;
-      }
+      snapshot_text = buf.str();
     }
   }
+  const bool snapshot_v2 =
+      snapshot_text.compare(0, 22, "hydra-obs-snapshot v2\n") == 0;
+  int dep = -1;
+  if (!snapshot_text.empty() && !snapshot_v2) {
+    dep = netp->deploy(compile_library_checker("application_filtering"));
+  }
+  if (!snapshot_text.empty()) {
+    try {
+      netp->obs_restore(snapshot_text);
+      std::printf("hydrad: restored %s state from %s\n",
+                  snapshot_v2 ? "full network" : "obs", snapshot_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hydrad: cannot restore %s: %s\n",
+                   snapshot_path.c_str(), e.what());
+      const std::string bad = snapshot_path + ".bad";
+      if (std::rename(snapshot_path.c_str(), bad.c_str()) == 0) {
+        std::fprintf(stderr, "hydrad: set aside as %s; starting fresh\n",
+                     bad.c_str());
+      }
+      build_scenario();  // drop any partially-restored state
+      dep = -1;
+    }
+  }
+  if (dep < 0) {
+    // v2 restore carries the deployment set: adopt the restored
+    // application_filtering slot if one is live, else deploy fresh.
+    for (int i = 0; i < netp->deployment_count(); ++i) {
+      if (netp->deployment_live(i) &&
+          netp->checker(i).name == "application_filtering") {
+        dep = i;
+        break;
+      }
+    }
+    if (dep < 0) {
+      dep = netp->deploy(compile_library_checker("application_filtering"));
+    }
+  }
+  net::Network& net = *netp;
 
   obs::SnapshotPublisher publisher;
   net.set_live_publisher(&publisher);
@@ -263,23 +320,57 @@ int main(int argc, char** argv) {
   const double slice = interval_s;
   const double chunk =
       duration_s > 0.0 ? duration_s : std::max(0.5, 50.0 * interval_s);
-  double scheduled_until = 0.0;
-  double target = 0.0;
+  // A v2 restore resumed the simulation clock; pace, schedule, and stop
+  // relative to where the snapshot left off.
+  const double sim_start = net.events().now();
+  const double sim_stop = duration_s > 0.0 ? sim_start + duration_s : 0.0;
+  double scheduled_until = sim_start;
+  double target = sim_start;
   const auto wall_start = clock::now();
   while (!g_stop) {
+    // Control-plane commands accepted by the HTTP thread since the last
+    // slice: applied here, on the main loop, with the engine idle — the
+    // HTTP thread never touches simulator state.
+    for (const obs::HttpServer::Command& cmd : server->drain_commands()) {
+      try {
+        if (cmd.kind == obs::HttpServer::Command::Kind::kDeploy) {
+          const int slot =
+              net.deploy_rolling(compile_library_checker(cmd.checker));
+          std::printf("hydrad: rolling deploy of '%s' into slot %d (gen %u)\n",
+                      cmd.checker.c_str(), slot,
+                      net.deployment_generation(slot));
+        } else if (cmd.deployment == dep) {
+          // The churn control plane pushes policy into this slot on every
+          // attach; retiring it would wedge the generator.
+          std::fprintf(stderr,
+                       "hydrad: refusing to undeploy slot %d (the churn "
+                       "scenario's checker)\n",
+                       cmd.deployment);
+        } else {
+          net.undeploy_rolling(cmd.deployment);
+          std::printf("hydrad: rolling undeploy of slot %d\n",
+                      cmd.deployment);
+        }
+        std::fflush(stdout);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "hydrad: control command failed: %s\n",
+                     e.what());
+      }
+    }
     if (target + slice > scheduled_until &&
-        (duration_s <= 0.0 || scheduled_until < duration_s)) {
+        (sim_stop <= 0.0 || scheduled_until < sim_stop)) {
       gen.start(scheduled_until, chunk);
       scheduled_until += chunk;
     }
     target += slice;
     net.events().run_until(target);
-    if (duration_s > 0.0 && target >= duration_s) break;
+    if (sim_stop > 0.0 && target >= sim_stop) break;
     // Wall-clock pacing: sleep (in interruptible hops) until this slice's
     // wall deadline; fall behind silently if the machine is too slow.
     const auto deadline =
         wall_start + std::chrono::duration_cast<clock::duration>(
-                         std::chrono::duration<double>(target / pace));
+                         std::chrono::duration<double>((target - sim_start) /
+                                                       pace));
     while (!g_stop && clock::now() < deadline) {
       const auto remain = deadline - clock::now();
       std::this_thread::sleep_for(
@@ -289,7 +380,13 @@ int main(int argc, char** argv) {
 
   // ---- graceful shutdown -------------------------------------------------
   server->stop();
-  const std::string snap = net.obs_snapshot();
+  // Quiesce any rolling swap sweep still in flight (its per-switch flips
+  // are scheduled at or before the current virtual time) so the snapshot
+  // captures a fully-swapped deployment set.
+  if (net.swap_in_progress()) {
+    net.events().run_until(net.events().now() + slice);
+  }
+  const std::string snap = net.full_snapshot();
   if (!snapshot_path.empty()) {
     if (!tools::write_text_file(snapshot_path, snap)) return 1;
     std::printf("hydrad: wrote snapshot %s (%zu bytes)\n",
